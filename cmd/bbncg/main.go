@@ -1,0 +1,304 @@
+// Command bbncg regenerates every table and figure of "On a Bounded
+// Budget Network Creation Game" (SPAA 2011) from the library's exact
+// simulators. Each subcommand corresponds to one evaluation artifact;
+// `bbncg all` reproduces everything.
+//
+// Usage:
+//
+//	bbncg [-full] [-csv] [-seed N] <command>
+//
+// Commands:
+//
+//	table1   all four rows of Table 1 (both MAX and SUM columns)
+//	fig1     the Figure 1 existence construction (n=22)
+//	fig2     the Figure 2 spider (MAX tree equilibrium, diameter Theta(n))
+//	fig3     the Figure 3 subtree-weight audit (SUM trees, Theta(log n))
+//	unit     the all-unit-budgets dynamics sweep (Theorems 4.1/4.2)
+//	shift    the shift-graph lower bound (Lemma 5.2 / Theorem 5.3)
+//	sumupper the SUM upper-bound sweep (Theorem 6.9)
+//	exist    Theorem 2.3 existence + price-of-stability sweep
+//	nphard   Theorem 2.1 best-response <-> k-center/k-median cross-check
+//	conn     Theorem 7.2 connectivity dichotomy sweep
+//	dyn      Section 8 convergence statistics
+//	all      everything above in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full sweep ranges from EXPERIMENTS.md (slower)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	seed := flag.Int64("seed", 1, "seed for randomized sweeps")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	effort := experiments.Quick
+	if *full {
+		effort = experiments.Full
+	}
+	app := &app{out: os.Stdout, effort: effort, csv: *csv, seed: *seed}
+	if err := app.run(flag.Arg(0)); err != nil {
+		fmt.Fprintf(os.Stderr, "bbncg: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: bbncg [-full] [-csv] [-seed N] <command>
+
+commands:
+  table1    reproduce Table 1 (all rows, both versions)
+  fig1      Figure 1: Theorem 2.3 case-2 equilibrium (n=22)
+  fig2      Figure 2: spider MAX tree equilibrium
+  fig3      Figure 3: subtree weights along a longest path
+  unit      all-unit-budget dynamics (Theorems 4.1/4.2)
+  shift     shift-graph lower bound (Lemma 5.2/Theorem 5.3)
+  sumupper  SUM diameter upper-bound sweep (Theorem 6.9)
+  exist     existence & price of stability (Theorem 2.3)
+  nphard    NP-hardness reduction cross-check (Theorem 2.1)
+  conn      connectivity dichotomy (Theorem 7.2)
+  dyn       convergence statistics (Section 8)
+  poa       exact PoA/PoS by exhaustive profile enumeration (small n)
+  uniform   the Section 8 uniform-budget (B > 1) open problem
+  baseline  contrast with basic network creation games (Alon et al.)
+  weak      Section 6 machinery audits (tree balls, rich leaves, folding)
+  simul     sequential vs simultaneous dynamics (Section 8)
+  fip       exact finite-improvement-property analysis (Section 8)
+  directed  contrast with the directed BBC game (Laoutaris et al.)
+  robust    dynamics robustness across initial overlay families
+  treedyn   dynamics on random Tree-BG instances (Section 3 empirics)
+  all       everything, in paper order
+`)
+}
+
+type app struct {
+	out    io.Writer
+	effort experiments.Effort
+	csv    bool
+	seed   int64
+}
+
+func (a *app) emit(t *sweep.Table) error {
+	var err error
+	if a.csv {
+		err = t.CSV(a.out)
+	} else {
+		err = t.Render(a.out)
+	}
+	if err == nil {
+		_, err = fmt.Fprintln(a.out)
+	}
+	return err
+}
+
+func (a *app) run(cmd string) error {
+	switch cmd {
+	case "table1":
+		return a.table1()
+	case "fig1":
+		t, err := experiments.Figure1()
+		if err != nil {
+			return err
+		}
+		return a.emit(t)
+	case "fig2":
+		k := 5
+		if a.effort == experiments.Full {
+			k = 16
+		}
+		t, err := experiments.Figure2(k)
+		if err != nil {
+			return err
+		}
+		return a.emit(t)
+	case "fig3":
+		k := 4
+		if a.effort == experiments.Full {
+			k = 7
+		}
+		t, err := experiments.Figure3(k)
+		if err != nil {
+			return err
+		}
+		return a.emit(t)
+	case "unit":
+		return a.unit()
+	case "shift":
+		t, err := experiments.Table1PositiveMAX(a.effort)
+		if err != nil {
+			return err
+		}
+		return a.emit(t)
+	case "sumupper":
+		return a.sumUpper()
+	case "exist":
+		t, err := experiments.Existence(a.effort, a.seed)
+		if err != nil {
+			return err
+		}
+		return a.emit(t)
+	case "nphard":
+		t, err := experiments.Reduction(a.effort, a.seed)
+		if err != nil {
+			return err
+		}
+		return a.emit(t)
+	case "conn":
+		t, err := experiments.Connectivity(a.effort, a.seed)
+		if err != nil {
+			return err
+		}
+		return a.emit(t)
+	case "dyn":
+		t, err := experiments.DynamicsStats(a.effort, a.seed)
+		if err != nil {
+			return err
+		}
+		return a.emit(t)
+	case "poa":
+		t, err := experiments.ExactPoA(a.effort)
+		if err != nil {
+			return err
+		}
+		return a.emit(t)
+	case "uniform":
+		t, err := experiments.UniformBudget(a.effort, a.seed)
+		if err != nil {
+			return err
+		}
+		return a.emit(t)
+	case "baseline":
+		t, err := experiments.BaselineContrast(a.effort, a.seed)
+		if err != nil {
+			return err
+		}
+		return a.emit(t)
+	case "weak":
+		t, err := experiments.WeakMachinery(a.effort, a.seed)
+		if err != nil {
+			return err
+		}
+		return a.emit(t)
+	case "simul":
+		t, err := experiments.SimultaneousContrast(a.effort, a.seed)
+		if err != nil {
+			return err
+		}
+		return a.emit(t)
+	case "fip":
+		t, err := experiments.FIP(a.effort)
+		if err != nil {
+			return err
+		}
+		return a.emit(t)
+	case "directed":
+		t, err := experiments.DirectedContrast(a.effort, a.seed)
+		if err != nil {
+			return err
+		}
+		return a.emit(t)
+	case "robust":
+		t, err := experiments.Robustness(a.effort, a.seed)
+		if err != nil {
+			return err
+		}
+		return a.emit(t)
+	case "treedyn":
+		t, err := experiments.TreeDynamics(a.effort, a.seed)
+		if err != nil {
+			return err
+		}
+		return a.emit(t)
+	case "all":
+		return a.all()
+	default:
+		return fmt.Errorf("unknown command %q (run with no arguments for usage)", cmd)
+	}
+}
+
+func (a *app) table1() error {
+	t, err := experiments.Table1TreesMAX(a.effort)
+	if err != nil {
+		return err
+	}
+	if err := a.emit(t); err != nil {
+		return err
+	}
+	t, err = experiments.Table1TreesSUM(a.effort)
+	if err != nil {
+		return err
+	}
+	if err := a.emit(t); err != nil {
+		return err
+	}
+	if err := a.unit(); err != nil {
+		return err
+	}
+	t, err = experiments.Table1PositiveMAX(a.effort)
+	if err != nil {
+		return err
+	}
+	if err := a.emit(t); err != nil {
+		return err
+	}
+	return a.sumUpper()
+}
+
+func (a *app) unit() error {
+	for _, ver := range []core.Version{core.SUM, core.MAX} {
+		t, _, err := experiments.Table1Unit(ver, a.effort, a.seed)
+		if err != nil {
+			return err
+		}
+		if err := a.emit(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *app) sumUpper() error {
+	t, ns, diams, err := experiments.Table1GeneralSUM(a.effort, a.seed)
+	if err != nil {
+		return err
+	}
+	if err := a.emit(t); err != nil {
+		return err
+	}
+	if len(ns) >= 2 {
+		fits, err := analysis.FitGrowth(ns, diams)
+		if err != nil {
+			return err
+		}
+		ft := sweep.NewTable("growth-law fit of SUM equilibrium diameters", "model", "coefficient", "rel-RMSE")
+		for _, f := range fits {
+			ft.Addf(f.Model, f.Coefficient, f.RelRMSE)
+		}
+		return a.emit(ft)
+	}
+	return nil
+}
+
+func (a *app) all() error {
+	steps := []string{"fig1", "fig2", "fig3", "table1", "exist", "nphard",
+		"conn", "dyn", "poa", "uniform", "baseline", "weak", "simul", "fip", "directed", "robust", "treedyn"}
+	for _, s := range steps {
+		if err := a.run(s); err != nil {
+			return fmt.Errorf("%s: %w", s, err)
+		}
+	}
+	return nil
+}

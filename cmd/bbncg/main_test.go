@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// Integration: every subcommand must run at Quick effort, produce output
+// containing its headline, and return no error. This exercises the full
+// CLI glue (experiment -> table -> renderer) end to end.
+func TestAllSubcommandsQuick(t *testing.T) {
+	cases := []struct {
+		cmd    string
+		needle string
+	}{
+		{"fig1", "Figure 1"},
+		{"fig2", "Figure 2"},
+		{"fig3", "Figure 3"},
+		{"unit", "All-Unit"},
+		{"shift", "All-Positive"},
+		{"sumupper", "General, SUM"},
+		{"exist", "Theorem 2.3"},
+		{"nphard", "Theorem 2.1"},
+		{"conn", "Theorem 7.2"},
+		{"dyn", "Section 8"},
+		{"poa", "Exact equilibrium landscape"},
+		{"uniform", "uniform budgets"},
+		{"baseline", "basic (swap)"},
+		{"weak", "Section 6"},
+		{"simul", "simultaneous"},
+		{"fip", "finite improvement"},
+		{"directed", "Directed"},
+		{"robust", "Robustness"},
+	}
+	for _, c := range cases {
+		var sb strings.Builder
+		a := &app{out: &sb, effort: experiments.Quick, seed: 1}
+		if err := a.run(c.cmd); err != nil {
+			t.Fatalf("%s: %v", c.cmd, err)
+		}
+		if !strings.Contains(sb.String(), c.needle) {
+			t.Fatalf("%s: output missing %q:\n%s", c.cmd, c.needle, sb.String())
+		}
+	}
+}
+
+func TestTable1Subcommand(t *testing.T) {
+	var sb strings.Builder
+	a := &app{out: &sb, effort: experiments.Quick, seed: 1}
+	if err := a.run("table1"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, needle := range []string{"Trees, MAX", "Trees, SUM", "All-Unit, SUM",
+		"All-Unit, MAX", "All-Positive, MAX", "General, SUM", "growth-law"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("table1 output missing %q", needle)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var sb strings.Builder
+	a := &app{out: &sb, effort: experiments.Quick, csv: true, seed: 1}
+	if err := a.run("fig2"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "quantity,value") {
+		t.Fatalf("CSV header missing:\n%s", out)
+	}
+	if strings.Contains(out, "==") {
+		t.Fatal("CSV output contains table decoration")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	a := &app{out: &strings.Builder{}, effort: experiments.Quick, seed: 1}
+	if err := a.run("bogus"); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}

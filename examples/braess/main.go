@@ -1,0 +1,82 @@
+// Braess-style budget paradox (Section 5): giving every player a positive
+// budget can make equilibria WORSE than the all-unit-budget game.
+//
+// With all budgets exactly 1, every equilibrium has diameter O(1)
+// (Theorems 4.1/4.2). Yet the shift graphs of Lemma 5.2 are MAX
+// equilibria with all-positive budgets and diameter sqrt(log n): more
+// budget, worse network. This example builds both sides at comparable
+// sizes and prints the comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/internal/construct"
+	"repro/internal/core"
+	"repro/internal/dynamics"
+)
+
+func main() {
+	fmt.Println("The bounded-budget Braess paradox (Section 5)")
+	fmt.Println()
+
+	// Side 1: all-unit budgets, n = 512. Best-response dynamics reach an
+	// equilibrium whose diameter the theory pins at O(1). (We use n = 64
+	// with the exact responder to keep this example instant.)
+	rng := rand.New(rand.NewSource(7))
+	g := core.UniformGame(64, 1, core.MAX)
+	res, err := dynamics.RunFromRandom(g, rng, dynamics.Options{
+		Responder:   core.ExactResponder(0),
+		DetectLoops: true,
+		MaxRounds:   2000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Converged {
+		log.Fatalf("unit-budget dynamics did not converge: %+v", res)
+	}
+	audit := analysis.AuditUnitBudget(res.Final)
+	fmt.Printf("all budgets = 1, n = %d:\n", g.N())
+	fmt.Printf("  equilibrium diameter   = %d   (theory: O(1), cycle <= 7)\n", audit.SocialCost)
+	fmt.Printf("  unique cycle length    = %d\n", audit.CycleLen)
+	fmt.Printf("  max distance to cycle  = %d\n", audit.MaxDistToCyc)
+	fmt.Println()
+
+	// Side 2: all budgets >= 1, via the Lemma 5.2 shift graph with
+	// t = 2^k, k = 3: n = 512 and the equilibrium diameter is
+	// k = sqrt(log2 n) = 3 — and it grows without bound as k does,
+	// while the unit-budget diameter stays constant.
+	sg, err := construct.NewShiftGraph(8, 3, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert := sg.CertifyEquilibrium()
+	if !cert.OK {
+		log.Fatalf("shift graph certificate failed: %+v", cert)
+	}
+	minB, maxB := sg.D.N(), 0
+	for _, b := range sg.Budgets() {
+		if b < minB {
+			minB = b
+		}
+		if b > maxB {
+			maxB = b
+		}
+	}
+	fmt.Printf("all budgets >= 1 (shift graph t=8, k=3), n = %d:\n", cert.N)
+	fmt.Printf("  budgets range          = [%d, %d]  (everyone can build)\n", minB, maxB)
+	fmt.Printf("  equilibrium diameter   = %d   (= sqrt(log2 %d) = %.0f)\n",
+		cert.EccMax, cert.N, math.Sqrt(math.Log2(float64(cert.N))))
+	fmt.Printf("  Lemma 5.2 certificate  = OK (every positive-outdegree orientation is a MAX equilibrium)\n")
+	fmt.Println()
+
+	fmt.Println("Conclusion: increasing everyone's budget from 'exactly 1' to")
+	fmt.Println("'at least 1' admits equilibria whose diameter grows like")
+	fmt.Println("sqrt(log n) — extra capacity degrades the stable network,")
+	fmt.Println("the game-theoretic analogue of Braess's paradox.")
+}

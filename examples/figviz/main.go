@@ -1,0 +1,88 @@
+// Figure visualisation: export the paper's constructions as Graphviz DOT
+// files for inspection (render with `dot -Tpng fig2-spider.dot -o ...`).
+// Writes into the directory given as the first argument (default ".").
+// The unit-budget equilibrium highlights its unique cycle — the object
+// Theorems 4.1/4.2 are about.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/construct"
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/graph"
+)
+
+func main() {
+	dir := "."
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+
+	// Figure 1: the Theorem 2.3 case-2 equilibrium.
+	budgets := make([]int, 22)
+	budgets[16] = 2
+	for i := 17; i < 22; i++ {
+		budgets[i] = 5
+	}
+	fig1, err := construct.Existence(budgets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels := make([]string, 22)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("v%d", i+1) // the paper's 1-based names
+	}
+	write(dir, "fig1-existence.dot", fig1, graph.DOTOptions{Name: "fig1", Labels: labels})
+
+	// Figure 2: the spider.
+	spider, _, err := construct.Spider(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	write(dir, "fig2-spider.dot", spider, graph.DOTOptions{Name: "spider", Highlight: []int{0}})
+
+	// Theorem 3.4: the binary tree.
+	tree, _, err := construct.PerfectBinaryTree(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	write(dir, "thm34-binarytree.dot", tree, graph.DOTOptions{Name: "binarytree", Highlight: []int{0}})
+
+	// A unit-budget equilibrium reached by dynamics, unique cycle
+	// highlighted.
+	g := core.UniformGame(12, 1, core.MAX)
+	res, err := dynamics.RunFromRandom(g, rand.New(rand.NewSource(6)), dynamics.Options{
+		Responder:   core.ExactResponder(0),
+		DetectLoops: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Converged {
+		log.Fatal("unit dynamics did not converge")
+	}
+	cycle := graph.UniqueDirectedCycle(res.Final)
+	write(dir, "unit-equilibrium.dot", res.Final,
+		graph.DOTOptions{Name: "unitEq", Highlight: cycle})
+
+	fmt.Println("wrote fig1-existence.dot, fig2-spider.dot, thm34-binarytree.dot, unit-equilibrium.dot")
+	fmt.Printf("unit equilibrium: cycle length %d, diameter %d (Theorem 4.2: <= 7, < 8)\n",
+		len(cycle), graph.Diameter(res.Final.Underlying()))
+}
+
+func write(dir, name string, d *graph.Digraph, opts graph.DOTOptions) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := d.WriteDOT(f, opts); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+// Quickstart: define a bounded budget network creation game, realize a
+// profile, inspect costs, compute a best response, run best-response
+// dynamics to a Nash equilibrium, and verify it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/graph"
+)
+
+func main() {
+	// Six players. Player budgets say how many links each may own:
+	// players 0 and 1 can buy two links, the rest one.
+	budgets := []int{2, 2, 1, 1, 1, 1}
+	game, err := core.NewGame(budgets, core.SUM)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A realization assigns each player exactly its budget of arcs.
+	// Start from a deliberately bad one: a long chain.
+	d := graph.NewDigraph(6)
+	d.SetOut(0, []int{1, 2})
+	d.SetOut(1, []int{2, 3})
+	d.SetOut(2, []int{3})
+	d.SetOut(3, []int{4})
+	d.SetOut(4, []int{5})
+	d.SetOut(5, []int{0})
+	fmt.Println("start:", d)
+	fmt.Println("social cost (diameter):", game.SocialCost(d))
+	fmt.Println("player costs:", game.AllCosts(d))
+
+	// What is player 3's best response to everyone else's strategy?
+	br, err := game.ExactBestResponse(d, 3, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("player 3: current cost %d, best response %v with cost %d\n",
+		br.Current, br.Strategy, br.Cost)
+
+	// Let everyone improve until no one can: best-response dynamics.
+	res, err := dynamics.Run(game, d, dynamics.Options{
+		Responder:   core.ExactResponder(0),
+		DetectLoops: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dynamics: converged=%v after %d rounds, %d moves\n",
+		res.Converged, res.Rounds, res.Moves)
+	fmt.Println("equilibrium:", res.Final)
+	fmt.Println("equilibrium social cost:", game.SocialCost(res.Final))
+
+	// Double-check the fixed point is a Nash equilibrium.
+	dev, err := game.VerifyNash(res.Final, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dev == nil {
+		fmt.Println("verified: no player can improve unilaterally")
+	} else {
+		fmt.Println("not an equilibrium:", dev)
+	}
+
+	// The same machinery runs the MAX version, where players minimise
+	// their worst-case distance instead of the total.
+	maxGame := core.MustGame(budgets, core.MAX)
+	res2, err := dynamics.RunFromRandom(maxGame, rand.New(rand.NewSource(1)), dynamics.Options{
+		Responder:   core.ExactResponder(0),
+		DetectLoops: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MAX version from a random start: converged=%v, diameter=%d\n",
+		res2.Converged, maxGame.SocialCost(res2.Final))
+}

@@ -1,0 +1,91 @@
+// Tree-BG: the threshold instances where budgets sum to exactly n-1
+// (Section 3). The same budget total supports wildly different equilibria
+// depending on the cost version: the MAX game stabilises the spider at
+// diameter Theta(n), while SUM tree equilibria are pinned at Theta(log n)
+// — this example builds both extremes, verifies them, and audits the
+// Theorem 3.3 mechanism that separates the two.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/construct"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sweep"
+)
+
+func main() {
+	table := sweep.NewTable("Tree-BG equilibria: MAX spiders vs SUM binary trees",
+		"instance", "n", "diameter", "version", "nash")
+
+	// The MAX side: spiders (Figure 2). Diameter 2k grows linearly in n.
+	for _, k := range []int{3, 5, 8} {
+		d, budgets, err := construct.Spider(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := core.MustGame(budgets, core.MAX)
+		dev, err := g.VerifyNash(d, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.Addf(fmt.Sprintf("spider k=%d", k), d.N(),
+			graph.Diameter(d.Underlying()), "MAX", ok(dev == nil))
+	}
+
+	// The SUM side: perfect binary trees (Theorem 3.4). Diameter 2k is
+	// logarithmic in n = 2^(k+1)-1.
+	for _, k := range []int{2, 3, 4} {
+		d, budgets, err := construct.PerfectBinaryTree(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := core.MustGame(budgets, core.SUM)
+		dev, err := g.VerifyNash(d, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.Addf(fmt.Sprintf("binary tree k=%d", k), d.N(),
+			graph.Diameter(d.Underlying()), "SUM", ok(dev == nil))
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Why can't the spider survive in the SUM version? Theorem 3.3's
+	// inequality (1): along a longest path, each owned forward arc must
+	// see geometrically growing subtree weights. The binary tree obeys
+	// it; the spider flagrantly violates it.
+	fmt.Println("\nTheorem 3.3 subtree-weight audit (the Theta(log n) mechanism):")
+	for _, build := range []struct {
+		name string
+		make func() (*graph.Digraph, []int, error)
+	}{
+		{"binary tree k=4", func() (*graph.Digraph, []int, error) { return construct.PerfectBinaryTree(4) }},
+		{"spider k=8", func() (*graph.Digraph, []int, error) { return construct.Spider(8) }},
+	} {
+		d, _, err := build.make()
+		if err != nil {
+			log.Fatal(err)
+		}
+		audit, err := analysis.AuditTreeSumPath(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s diameter %2d, inequality (1) holds: %-5v (violations: %d)\n",
+			build.name, audit.Diameter, audit.InequalityOK, len(audit.Violations))
+	}
+	fmt.Println("\nThe spider is a MAX equilibrium but fails the SUM inequality —")
+	fmt.Println("exactly the asymmetry behind Table 1's Theta(n) vs Theta(log n) row.")
+}
+
+func ok(b bool) string {
+	if b {
+		return "verified"
+	}
+	return "REFUTED"
+}

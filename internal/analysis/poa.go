@@ -1,0 +1,139 @@
+// Package analysis provides the measurement toolkit for the paper's
+// evaluation artifacts: price-of-anarchy estimation against the O(1)
+// optimum of Theorem 2.3, structural audits of equilibria (the unit-budget
+// structure of Theorems 4.1/4.2, the tree-path inequality of Theorem
+// 3.3/Figure 3, the connectivity dichotomy of Theorem 7.2), and growth-law
+// fitting for diameter series against the Table 1 bounds.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/construct"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// PoA is a price-of-anarchy data point: the diameter of an equilibrium
+// graph over an upper bound on the optimal (minimum realizable) diameter.
+// The paper measures social cost by diameter, and Theorem 2.3's
+// construction pins the optimum at <= 4 for all instances with total
+// budget >= n-1, so Ratio is a lower bound on the true price of anarchy.
+type PoA struct {
+	EquilibriumDiameter int64
+	OptUpperBound       int64
+	Ratio               float64
+}
+
+// OptDiameterUpperBound returns the diameter of the Theorem 2.3
+// equilibrium for the given budgets — a constructive upper bound on the
+// minimum diameter over all realizations (and the paper's denominator,
+// which is O(1) for total budget >= n-1). For total budget < n-1 every
+// realization is disconnected and the bound is C_inf = n^2.
+func OptDiameterUpperBound(budgets []int) (int64, error) {
+	n := len(budgets)
+	total := 0
+	for _, b := range budgets {
+		total += b
+	}
+	if total < n-1 {
+		return int64(n) * int64(n), nil
+	}
+	d, err := construct.Existence(budgets)
+	if err != nil {
+		return 0, err
+	}
+	diam := graph.Diameter(d.Underlying())
+	if diam == graph.InfDiameter {
+		return 0, fmt.Errorf("analysis: existence construction disconnected for budgets with total %d >= n-1", total)
+	}
+	return int64(diam), nil
+}
+
+// PriceOfAnarchy measures the PoA witnessed by equilibrium graph eq for
+// the game's budget vector.
+func PriceOfAnarchy(g *core.Game, eq *graph.Digraph) (PoA, error) {
+	if err := g.CheckRealization(eq); err != nil {
+		return PoA{}, err
+	}
+	opt, err := OptDiameterUpperBound(g.Budgets)
+	if err != nil {
+		return PoA{}, err
+	}
+	eqd := g.SocialCost(eq)
+	if opt == 0 {
+		opt = 1 // n = 1 degenerate: diameter 0; avoid division by zero
+	}
+	return PoA{
+		EquilibriumDiameter: eqd,
+		OptUpperBound:       opt,
+		Ratio:               float64(eqd) / float64(opt),
+	}, nil
+}
+
+// GrowthModel is a candidate asymptotic law for a diameter series.
+type GrowthModel struct {
+	Name string
+	F    func(n float64) float64
+}
+
+// Models returns the growth laws appearing in Table 1.
+func Models() []GrowthModel {
+	return []GrowthModel{
+		{Name: "constant", F: func(n float64) float64 { return 1 }},
+		{Name: "sqrt(log n)", F: func(n float64) float64 { return math.Sqrt(math.Log2(n)) }},
+		{Name: "log n", F: func(n float64) float64 { return math.Log2(n) }},
+		{Name: "2^sqrt(log n)", F: func(n float64) float64 { return math.Exp2(math.Sqrt(math.Log2(n))) }},
+		{Name: "linear", F: func(n float64) float64 { return n }},
+	}
+}
+
+// Fit is the least-squares fit of one growth model to a series.
+type Fit struct {
+	Model       string
+	Coefficient float64 // a in y ~ a*f(n)
+	RelRMSE     float64 // sqrt(sum (y-af)^2 / sum y^2)
+}
+
+// FitGrowth fits every model through the origin to the series (n_i, y_i)
+// and returns all fits, best (smallest relative RMSE) first... the slice
+// is sorted by RelRMSE ascending, so [0] is the best-matching law.
+func FitGrowth(ns []float64, ys []float64) ([]Fit, error) {
+	if len(ns) != len(ys) || len(ns) < 2 {
+		return nil, fmt.Errorf("analysis: need >= 2 aligned samples, got %d and %d", len(ns), len(ys))
+	}
+	var sumY2 float64
+	for _, y := range ys {
+		sumY2 += y * y
+	}
+	if sumY2 == 0 {
+		return nil, fmt.Errorf("analysis: all-zero series cannot be fitted")
+	}
+	var fits []Fit
+	for _, m := range Models() {
+		var sfy, sff float64
+		for i, n := range ns {
+			f := m.F(n)
+			sfy += f * ys[i]
+			sff += f * f
+		}
+		if sff == 0 {
+			continue
+		}
+		a := sfy / sff
+		var sse float64
+		for i, n := range ns {
+			r := ys[i] - a*m.F(n)
+			sse += r * r
+		}
+		fits = append(fits, Fit{Model: m.Name, Coefficient: a, RelRMSE: math.Sqrt(sse / sumY2)})
+	}
+	// Insertion sort by RelRMSE (tiny slice).
+	for i := 1; i < len(fits); i++ {
+		for j := i; j > 0 && fits[j].RelRMSE < fits[j-1].RelRMSE; j-- {
+			fits[j], fits[j-1] = fits[j-1], fits[j]
+		}
+	}
+	return fits, nil
+}

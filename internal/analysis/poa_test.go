@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/construct"
+	"repro/internal/core"
+)
+
+func TestOptDiameterUpperBoundConnected(t *testing.T) {
+	// sigma >= n-1: Theorem 2.3 guarantees diameter <= 4.
+	budgets := []int{0, 0, 1, 2, 3}
+	opt, err := OptDiameterUpperBound(budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt < 1 || opt > 4 {
+		t.Fatalf("opt upper bound = %d, want in [1,4]", opt)
+	}
+}
+
+func TestOptDiameterUpperBoundDisconnected(t *testing.T) {
+	budgets := []int{0, 0, 0, 1}
+	opt, err := OptDiameterUpperBound(budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 16 {
+		t.Fatalf("sub-threshold bound = %d, want n^2 = 16", opt)
+	}
+}
+
+func TestPriceOfAnarchySpider(t *testing.T) {
+	// Spider(k) witnesses PoA >= 2k / O(1) in the MAX version.
+	d, budgets, err := construct.Spider(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.MustGame(budgets, core.MAX)
+	poa, err := PriceOfAnarchy(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poa.EquilibriumDiameter != 10 {
+		t.Fatalf("equilibrium diameter = %d, want 10", poa.EquilibriumDiameter)
+	}
+	if poa.OptUpperBound > 4 {
+		t.Fatalf("opt bound = %d, want <= 4", poa.OptUpperBound)
+	}
+	if poa.Ratio < 2.5 {
+		t.Fatalf("PoA ratio = %.3f, want >= 2.5 (10/4)", poa.Ratio)
+	}
+}
+
+func TestPriceOfAnarchyRejectsWrongGraph(t *testing.T) {
+	d, _, err := construct.Spider(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.UniformGame(d.N(), 1, core.MAX)
+	if _, err := PriceOfAnarchy(g, d); err == nil {
+		t.Fatal("realization mismatch accepted")
+	}
+}
+
+func TestFitGrowthRecoversLinear(t *testing.T) {
+	ns := []float64{16, 32, 64, 128, 256, 512}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		ys[i] = 0.7 * n
+	}
+	fits, err := FitGrowth(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fits[0].Model != "linear" {
+		t.Fatalf("best fit = %s, want linear (fits: %+v)", fits[0].Model, fits)
+	}
+	if math.Abs(fits[0].Coefficient-0.7) > 1e-9 {
+		t.Fatalf("coefficient = %f, want 0.7", fits[0].Coefficient)
+	}
+}
+
+func TestFitGrowthRecoversLog(t *testing.T) {
+	ns := []float64{16, 64, 256, 1024, 4096}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		ys[i] = 2 * math.Log2(n)
+	}
+	fits, err := FitGrowth(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fits[0].Model != "log n" {
+		t.Fatalf("best fit = %s, want log n", fits[0].Model)
+	}
+}
+
+func TestFitGrowthRecoversSqrtLog(t *testing.T) {
+	ns := []float64{16, 256, 4096, 65536, 1 << 20}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		ys[i] = math.Sqrt(math.Log2(n))
+	}
+	fits, err := FitGrowth(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fits[0].Model != "sqrt(log n)" {
+		t.Fatalf("best fit = %s, want sqrt(log n)", fits[0].Model)
+	}
+}
+
+func TestFitGrowthValidation(t *testing.T) {
+	if _, err := FitGrowth([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	if _, err := FitGrowth([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("misaligned series accepted")
+	}
+	if _, err := FitGrowth([]float64{4, 8}, []float64{0, 0}); err == nil {
+		t.Fatal("all-zero series accepted")
+	}
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Structural audits: necessary conditions the paper proves for
+// equilibrium graphs, checked computationally on constructed or
+// dynamics-reached equilibria.
+
+// UnitAudit reports the Theorem 4.1 / 4.2 structure of a (1,...,1)-BG
+// equilibrium: connected, exactly one cycle, cycle length bounded (<= 5
+// in SUM, <= 7 in MAX), and every vertex within the distance bound of the
+// cycle (<= 1 in SUM, <= 2 in MAX).
+type UnitAudit struct {
+	Connected     bool
+	CycleLen      int
+	MaxDistToCyc  int32
+	HasBrace      bool
+	SatisfiesSUM  bool // cycle <= 5 and all vertices within distance 1
+	SatisfiesMAX  bool // cycle <= 7 and all vertices within distance 2
+	SocialCost    int64
+	VertexCount   int
+	ArcCount      int
+	UniqueOutOnes bool // every vertex owns exactly one arc
+}
+
+// AuditUnitBudget inspects a realization of (1,...,1)-BG.
+func AuditUnitBudget(d *graph.Digraph) UnitAudit {
+	a := d.Underlying()
+	audit := UnitAudit{
+		VertexCount:   d.N(),
+		ArcCount:      d.ArcCount(),
+		Connected:     graph.IsConnected(a),
+		HasBrace:      len(d.Braces()) > 0,
+		UniqueOutOnes: true,
+	}
+	for v := 0; v < d.N(); v++ {
+		if d.OutDegree(v) != 1 {
+			audit.UniqueOutOnes = false
+		}
+	}
+	if !audit.Connected || !audit.UniqueOutOnes {
+		return audit
+	}
+	cyc := graph.UniqueDirectedCycle(d)
+	audit.CycleLen = len(cyc)
+	if len(cyc) == 0 {
+		return audit
+	}
+	dists := graph.DistancesToSet(a, cyc)
+	for _, dist := range dists {
+		if dist > audit.MaxDistToCyc {
+			audit.MaxDistToCyc = dist
+		}
+	}
+	if diam := graph.Diameter(a); diam >= 0 {
+		audit.SocialCost = int64(diam)
+	}
+	audit.SatisfiesSUM = audit.CycleLen >= 2 && audit.CycleLen <= 5 && audit.MaxDistToCyc <= 1
+	audit.SatisfiesMAX = audit.CycleLen >= 2 && audit.CycleLen <= 7 && audit.MaxDistToCyc <= 2
+	return audit
+}
+
+// TreePathAudit is the Figure 3 / Theorem 3.3 check: along a longest path
+// of a tree equilibrium, for every owned forward arc v_i -> v_{i+1} with
+// i+2 <= d, the subtree weight a(i+1) must dominate the total weight
+// beyond it (inequality (1)); the count t of same-direction arcs then
+// forces diameter <= 2t = O(log n).
+type TreePathAudit struct {
+	Diameter      int    // d: length of the longest path
+	PathLen       int    // d+1 vertices
+	ForwardArcs   int    // owned arcs oriented v_i -> v_{i+1}
+	BackwardArcs  int    // owned arcs oriented v_{i+1} -> v_i
+	SubtreeSizes  []int  // a(0..d)
+	Violations    []int  // positions i whose inequality fails
+	InequalityOK  bool   // Violations empty
+	MajorityArcs  int    // t = max(Forward, Backward)
+	ImpliedBound  int    // 2 * ceil(log2(n+1)) + 2 sanity bound (not asserted)
+	MajorityCheck string // which direction was audited
+}
+
+// AuditTreeSumPath audits inequality (1) of Theorem 3.3 on a tree
+// realization. It returns an error if d is not a connected tree.
+func AuditTreeSumPath(d *graph.Digraph) (TreePathAudit, error) {
+	a := d.Underlying()
+	n := d.N()
+	if !graph.IsConnected(a) || a.EdgeCount() != n-1 || len(d.Braces()) > 0 {
+		return TreePathAudit{}, fmt.Errorf("analysis: tree audit needs a connected brace-free tree")
+	}
+	path := longestPath(a)
+	audit := TreePathAudit{
+		Diameter: len(path) - 1,
+		PathLen:  len(path),
+	}
+	// a(i) = size of the component of vertices hanging off v_i when the
+	// path edges are removed (including v_i itself).
+	onPath := make([]bool, n)
+	for _, v := range path {
+		onPath[v] = true
+	}
+	sizes := make([]int, len(path))
+	for i, v := range path {
+		sizes[i] = hangSize(a, v, onPath)
+	}
+	audit.SubtreeSizes = sizes
+	// Suffix sums over a(k).
+	suffix := make([]int, len(path)+1)
+	for i := len(path) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + sizes[i]
+	}
+	for i := 0; i+1 < len(path); i++ {
+		u, v := path[i], path[i+1]
+		if d.HasArc(u, v) {
+			audit.ForwardArcs++
+			// Deviation v_i -> v_{i+2} requires i+2 <= d.
+			if i+2 < len(path) && sizes[i+1] < suffix[i+2] {
+				audit.Violations = append(audit.Violations, i)
+			}
+		}
+		if d.HasArc(v, u) {
+			audit.BackwardArcs++
+			if i-1 >= 0 && sizes[i] < (suffix[0]-suffix[i]) {
+				audit.Violations = append(audit.Violations, -i-1) // negative marks backward
+			}
+		}
+	}
+	audit.InequalityOK = len(audit.Violations) == 0
+	audit.MajorityArcs = audit.ForwardArcs
+	audit.MajorityCheck = "forward"
+	if audit.BackwardArcs > audit.ForwardArcs {
+		audit.MajorityArcs = audit.BackwardArcs
+		audit.MajorityCheck = "backward"
+	}
+	audit.ImpliedBound = 2 * audit.MajorityArcs
+	return audit, nil
+}
+
+// longestPath returns the vertex sequence of a longest path in a tree
+// (double BFS: farthest from 0, then farthest from there, with parents).
+func longestPath(a graph.Und) []int {
+	far := func(src int) (int, []int) {
+		n := len(a)
+		parent := make([]int, n)
+		dist := make([]int32, n)
+		for i := range parent {
+			parent[i] = -1
+			dist[i] = -1
+		}
+		queue := []int{src}
+		dist[src] = 0
+		best := src
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			if dist[u] > dist[best] {
+				best = u
+			}
+			for _, w := range a[u] {
+				if dist[w] < 0 {
+					dist[w] = dist[u] + 1
+					parent[w] = u
+					queue = append(queue, w)
+				}
+			}
+		}
+		return best, parent
+	}
+	u, _ := far(0)
+	v, parent := far(u)
+	var path []int
+	for x := v; x >= 0; x = parent[x] {
+		path = append(path, x)
+	}
+	// path runs v..u; reverse for stable orientation u..v.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// hangSize counts vertices whose unique path to the longest path enters
+// at v (v itself included): a BFS from v that never crosses other path
+// vertices.
+func hangSize(a graph.Und, v int, onPath []bool) int {
+	seen := map[int]bool{v: true}
+	queue := []int{v}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, w := range a[u] {
+			if seen[w] || onPath[w] {
+				continue
+			}
+			seen[w] = true
+			queue = append(queue, w)
+		}
+	}
+	return len(seen)
+}
+
+// ConnAudit is the Theorem 7.2 dichotomy check for SUM equilibria with
+// all budgets >= k: either the diameter is < 4 or the graph is
+// k-connected.
+type ConnAudit struct {
+	Diameter  int32
+	MinBudget int
+	KConn     bool // graph is MinBudget-connected
+	Satisfied bool // Diameter < 4 || KConn
+}
+
+// AuditConnectivity checks the dichotomy for realization d whose players
+// all have budget >= k.
+func AuditConnectivity(d *graph.Digraph, k int) ConnAudit {
+	a := d.Underlying()
+	audit := ConnAudit{
+		Diameter:  graph.Diameter(a),
+		MinBudget: k,
+	}
+	audit.KConn = graph.IsKConnected(a, k)
+	audit.Satisfied = (audit.Diameter >= 0 && audit.Diameter < 4) || audit.KConn
+	return audit
+}

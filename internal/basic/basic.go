@@ -1,0 +1,171 @@
+// Package basic implements the baseline the paper compares against:
+// the *basic network creation games* of Alon, Demaine, Hajiaghayi and
+// Leighton (SPAA 2010). The graph is undirected with no link ownership;
+// any vertex may swap any single edge incident to it (replace {u,v} by
+// {u,w}); a graph is a swap equilibrium if no vertex benefits from any
+// such swap.
+//
+// The paper's headline contrast (Section 1.1): in the basic MAX version
+// every tree swap equilibrium has diameter at most 3, whereas the
+// bounded-budget MAX game has tree equilibria of diameter Theta(n) (the
+// spider). This package reproduces the baseline side of that contrast.
+package basic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Game selects the cost version for the basic (ownerless) game.
+type Game struct {
+	Version core.Version
+}
+
+// Cost of vertex u in the undirected graph a: eccentricity (MAX) or
+// total distance (SUM), with unreachable vertices charged n^2 each, in
+// the spirit of the bounded-budget game's C_inf (Alon et al. only treat
+// connected graphs; swaps in this package never disconnect thanks to the
+// penalty dominating every finite improvement).
+func (g Game) Cost(a graph.Und, u int) int64 {
+	n := len(a)
+	s := graph.NewScratch(n)
+	r := s.BFS(a, u)
+	pen := int64(n) * int64(n)
+	switch g.Version {
+	case core.SUM:
+		return r.Sum + int64(n-r.Reached)*pen
+	case core.MAX:
+		if r.Reached != n {
+			return pen
+		}
+		return int64(r.Ecc)
+	default:
+		panic("basic: unknown version")
+	}
+}
+
+// Swap is a single-edge move by a vertex: drop {U, Drop}, add {U, Add}.
+type Swap struct {
+	U, Drop, Add     int
+	OldCost, NewCost int64
+}
+
+func (s Swap) String() string {
+	return fmt.Sprintf("vertex %d swaps edge to %d for edge to %d: cost %d -> %d",
+		s.U, s.Drop, s.Add, s.OldCost, s.NewCost)
+}
+
+// BestSwap returns the best improving single-edge swap available to u,
+// or nil if none improves. The adjacency is not modified.
+func (g Game) BestSwap(a graph.Und, u int) *Swap {
+	n := len(a)
+	cur := g.Cost(a, u)
+	var best *Swap
+	work := a.Clone()
+	for _, v := range a[u] {
+		removeEdge(work, u, v)
+		for w := 0; w < n; w++ {
+			if w == u || w == v || a.HasEdge(u, w) {
+				continue
+			}
+			addEdge(work, u, w)
+			c := g.Cost(work, u)
+			removeEdge(work, u, w)
+			if c < cur && (best == nil || c < best.NewCost) {
+				best = &Swap{U: u, Drop: v, Add: w, OldCost: cur, NewCost: c}
+			}
+		}
+		addEdge(work, u, v)
+	}
+	return best
+}
+
+// IsSwapEquilibrium reports whether no vertex has an improving swap,
+// returning a witness otherwise.
+func (g Game) IsSwapEquilibrium(a graph.Und) *Swap {
+	for u := range a {
+		if sw := g.BestSwap(a, u); sw != nil {
+			return sw
+		}
+	}
+	return nil
+}
+
+// Result summarises a run of basic swap dynamics.
+type Result struct {
+	Converged bool
+	Rounds    int
+	Moves     int
+	Final     graph.Und
+}
+
+// SwapDynamics runs rounds of best-swap moves in random vertex order
+// until no vertex can improve or maxRounds elapses. Alon et al. note
+// these dynamics need not terminate in general; in practice (and in all
+// experiments here) they do, and the cost penalty keeps the graph
+// connected once connected.
+func (g Game) SwapDynamics(a graph.Und, rng *rand.Rand, maxRounds int) Result {
+	work := a.Clone()
+	n := len(work)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if maxRounds <= 0 {
+		maxRounds = 500
+	}
+	res := Result{}
+	for round := 1; round <= maxRounds; round++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		changed := false
+		for _, u := range order {
+			if sw := g.BestSwap(work, u); sw != nil {
+				removeEdge(work, sw.U, sw.Drop)
+				addEdge(work, sw.U, sw.Add)
+				res.Moves++
+				changed = true
+			}
+		}
+		res.Rounds = round
+		if !changed {
+			res.Converged = true
+			break
+		}
+	}
+	res.Final = work
+	return res
+}
+
+// removeEdge / addEdge keep neighbour lists sorted.
+func removeEdge(a graph.Und, u, v int) {
+	a[u] = removeSorted(a[u], v)
+	a[v] = removeSorted(a[v], u)
+}
+
+func addEdge(a graph.Und, u, v int) {
+	a[u] = insertSorted(a[u], v)
+	a[v] = insertSorted(a[v], u)
+}
+
+func removeSorted(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+func insertSorted(s []int, v int) []int {
+	i := 0
+	for i < len(s) && s[i] < v {
+		i++
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,154 @@
+package basic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestCostMatchesCoreOnConnectedGraphs(t *testing.T) {
+	d := graph.PathGraph(6)
+	a := d.Underlying()
+	for _, ver := range []core.Version{core.SUM, core.MAX} {
+		bg := Game{Version: ver}
+		cg := core.GameOf(d, ver)
+		for u := 0; u < 6; u++ {
+			if got, want := bg.Cost(a, u), cg.Cost(d, u); got != want {
+				t.Fatalf("%v cost(%d) = %d, core says %d", ver, u, got, want)
+			}
+		}
+	}
+}
+
+func TestStarIsBasicSwapEquilibrium(t *testing.T) {
+	a := graph.StarGraph(7).Underlying()
+	for _, ver := range []core.Version{core.SUM, core.MAX} {
+		if sw := (Game{Version: ver}).IsSwapEquilibrium(a); sw != nil {
+			t.Fatalf("%v: star admits improving swap %v", ver, sw)
+		}
+	}
+}
+
+func TestPathIsNotBasicSwapEquilibrium(t *testing.T) {
+	a := graph.PathGraph(6).Underlying()
+	for _, ver := range []core.Version{core.SUM, core.MAX} {
+		if sw := (Game{Version: ver}).IsSwapEquilibrium(a); sw == nil {
+			t.Fatalf("%v: long path reported as swap equilibrium", ver)
+		}
+	}
+}
+
+func TestSpiderContrast(t *testing.T) {
+	// The paper's Section 1.1 contrast: the spider is a bounded-budget
+	// MAX equilibrium (ownership protects it), but in the basic ownerless
+	// model some vertex can swap its way to an improvement.
+	d, budgets, err := constructSpider(t, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.MustGame(budgets, core.MAX)
+	dev, err := g.VerifyNash(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev != nil {
+		t.Fatalf("spider should be a BG MAX equilibrium: %v", dev)
+	}
+	if sw := (Game{Version: core.MAX}).IsSwapEquilibrium(d.Underlying()); sw == nil {
+		t.Fatal("spider should NOT be a basic swap equilibrium")
+	}
+}
+
+func TestBasicTreeDynamicsReachSmallDiameter(t *testing.T) {
+	// Alon et al.: MAX tree swap equilibria have diameter <= 3. Run swap
+	// dynamics from long paths and spiders; converged trees must land at
+	// diameter <= 3.
+	rng := rand.New(rand.NewSource(11))
+	bg := Game{Version: core.MAX}
+	starts := []graph.Und{
+		graph.PathGraph(17).Underlying(),
+	}
+	if d, _, err := constructSpider(t, 5); err == nil {
+		starts = append(starts, d.Underlying())
+	}
+	for i, start := range starts {
+		res := bg.SwapDynamics(start, rng, 500)
+		if !res.Converged {
+			t.Fatalf("start %d: basic dynamics did not converge", i)
+		}
+		// Swaps preserve edge count, so a tree stays a tree.
+		if res.Final.EdgeCount() != start.EdgeCount() {
+			t.Fatalf("start %d: edge count changed", i)
+		}
+		diam := graph.Diameter(res.Final)
+		if diam < 0 || diam > 3 {
+			t.Fatalf("start %d: basic MAX tree equilibrium has diameter %d, Alon et al. cap is 3", i, diam)
+		}
+	}
+}
+
+func TestBasicSUMTreeDynamics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bg := Game{Version: core.SUM}
+	res := bg.SwapDynamics(graph.PathGraph(15).Underlying(), rng, 500)
+	if !res.Converged {
+		t.Fatal("SUM basic dynamics did not converge")
+	}
+	if sw := bg.IsSwapEquilibrium(res.Final); sw != nil {
+		t.Fatalf("fixed point admits a swap: %v", sw)
+	}
+	if diam := graph.Diameter(res.Final); diam < 0 || diam > 5 {
+		t.Fatalf("SUM basic tree equilibrium diameter %d unexpectedly large", diam)
+	}
+}
+
+func TestBestSwapDoesNotMutate(t *testing.T) {
+	a := graph.PathGraph(6).Underlying()
+	snapshot := a.Clone()
+	(Game{Version: core.SUM}).BestSwap(a, 0)
+	for v := range a {
+		if len(a[v]) != len(snapshot[v]) {
+			t.Fatal("BestSwap mutated the adjacency")
+		}
+		for i := range a[v] {
+			if a[v][i] != snapshot[v][i] {
+				t.Fatal("BestSwap mutated the adjacency")
+			}
+		}
+	}
+}
+
+func TestSwapPreservesConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	bg := Game{Version: core.MAX}
+	for trial := 0; trial < 10; trial++ {
+		d := graph.RandomTree(10, rng)
+		res := bg.SwapDynamics(d.Underlying(), rng, 200)
+		if !graph.IsConnected(res.Final) {
+			t.Fatal("swap dynamics disconnected the graph")
+		}
+	}
+}
+
+// constructSpider rebuilds the Theorem 3.2 spider locally so the
+// baseline package's tests stay self-contained (same layout as
+// construct.Spider, which is covered by its own tests).
+func constructSpider(t *testing.T, k int) (*graph.Digraph, []int, error) {
+	t.Helper()
+	n := 3*k + 1
+	d := graph.NewDigraph(n)
+	for leg := 0; leg < 3; leg++ {
+		first := leg*k + 1
+		d.AddArc(first, 0)
+		for i := 0; i+1 < k; i++ {
+			d.AddArc(first+i, first+i+1)
+		}
+	}
+	budgets := make([]int, n)
+	for v := 0; v < n; v++ {
+		budgets[v] = d.OutDegree(v)
+	}
+	return d, budgets, nil
+}

@@ -1,0 +1,42 @@
+package basic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func BenchmarkBestSwapBasic(b *testing.B) {
+	a := graph.PathGraph(32).Underlying()
+	bg := Game{Version: core.MAX}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bg.BestSwap(a, i%32)
+	}
+}
+
+func BenchmarkSwapDynamicsFromPath(b *testing.B) {
+	bg := Game{Version: core.MAX}
+	start := graph.PathGraph(17).Underlying()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := bg.SwapDynamics(start, rng, 500)
+		if !res.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+func BenchmarkIsSwapEquilibrium(b *testing.B) {
+	a := graph.StarGraph(24).Underlying()
+	bg := Game{Version: core.SUM}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sw := bg.IsSwapEquilibrium(a); sw != nil {
+			b.Fatal("star refuted")
+		}
+	}
+}

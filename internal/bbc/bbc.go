@@ -1,0 +1,247 @@
+// Package bbc implements the *directed* bounded budget connection game
+// of Laoutaris, Poplawski, Rajaraman, Sundaram and Teng (PODC 2008), the
+// model this paper's game descends from (Section 1.1). The difference is
+// link semantics: in BBC a bought arc u->v carries traffic only from u
+// toward v (distances are directed), while in the paper's game links are
+// usable by both endpoints. Laoutaris et al. proved that best-response
+// dynamics in the directed game can cycle; the bidirectional game's
+// dynamics converged in every experiment of this repo (and provably so
+// at small n, see internal/enumerate's FIP analysis). This package exists
+// to reproduce that contrast.
+package bbc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Game is an n-player directed bounded budget connection game with
+// uniform or per-player budgets. Player cost is the sum of *directed*
+// distances to every other player, with unreachable players charged
+// n^2 each (the same C_inf convention as the undirected game, replacing
+// the original paper's infinite penalty to keep costs comparable).
+type Game struct {
+	Budgets []int
+}
+
+// NewGame validates budgets (0 <= b_i < n).
+func NewGame(budgets []int) (*Game, error) {
+	n := len(budgets)
+	for i, b := range budgets {
+		if b < 0 || b >= n {
+			return nil, fmt.Errorf("bbc: budget b[%d]=%d out of range [0,%d)", i, b, n)
+		}
+	}
+	return &Game{Budgets: append([]int(nil), budgets...)}, nil
+}
+
+// UniformGame gives every player budget b.
+func UniformGame(n, b int) *Game {
+	budgets := make([]int, n)
+	for i := range budgets {
+		budgets[i] = b
+	}
+	g, err := NewGame(budgets)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the player count.
+func (g *Game) N() int { return len(g.Budgets) }
+
+// Cost returns player u's sum of directed distances in realization d.
+func (g *Game) Cost(d *graph.Digraph, u int) int64 {
+	n := d.N()
+	dist := directedBFS(d, u)
+	pen := int64(n) * int64(n)
+	var c int64
+	for v := 0; v < n; v++ {
+		if v == u {
+			continue
+		}
+		if dist[v] < 0 {
+			c += pen
+		} else {
+			c += int64(dist[v])
+		}
+	}
+	return c
+}
+
+// directedBFS computes directed distances from src along arcs.
+func directedBFS(d *graph.Digraph, src int) []int32 {
+	n := d.N()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range d.Out(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// BestResponse enumerates u's strategies exactly and returns a cost
+// minimiser with ties broken toward the current strategy.
+func (g *Game) BestResponse(d *graph.Digraph, u int) (strategy []int, cost, current int64) {
+	n := g.N()
+	b := g.Budgets[u]
+	current = g.Cost(d, u)
+	bestCost := current
+	best := append([]int(nil), d.Out(u)...)
+	work := d.Clone()
+	targets := make([]int, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v != u {
+			targets = append(targets, v)
+		}
+	}
+	comb := make([]int, b)
+	trial := make([]int, b)
+	var rec func(start, at int)
+	rec = func(start, at int) {
+		if at == b {
+			for i, idx := range comb {
+				trial[i] = targets[idx]
+			}
+			work.SetOut(u, trial)
+			if c := g.Cost(work, u); c < bestCost {
+				bestCost = c
+				best = append(best[:0:0], trial...)
+			}
+			return
+		}
+		for i := start; i <= len(targets)-(b-at); i++ {
+			comb[at] = i
+			rec(i+1, at+1)
+		}
+	}
+	rec(0, 0)
+	return best, bestCost, current
+}
+
+// VerifyNash returns a deviating player and its improving strategy, or
+// (-1, nil) if d is a Nash equilibrium of the directed game.
+func (g *Game) VerifyNash(d *graph.Digraph) (int, []int) {
+	for u := 0; u < g.N(); u++ {
+		if g.Budgets[u] == 0 {
+			continue
+		}
+		s, c, cur := g.BestResponse(d, u)
+		if c < cur {
+			return u, s
+		}
+	}
+	return -1, nil
+}
+
+// Result summarises a directed dynamics run.
+type Result struct {
+	Converged  bool
+	Loop       bool
+	LoopLength int
+	Rounds     int
+	Moves      int
+	Final      *graph.Digraph
+}
+
+// Run executes round-robin best-response dynamics with exact loop
+// detection (hash plus full-profile confirmation, as in the undirected
+// engine).
+func (g *Game) Run(start *graph.Digraph, maxRounds int) (Result, error) {
+	n := g.N()
+	if start.N() != n {
+		return Result{}, fmt.Errorf("bbc: graph has %d vertices, game has %d", start.N(), n)
+	}
+	for u := 0; u < n; u++ {
+		if start.OutDegree(u) != g.Budgets[u] {
+			return Result{}, fmt.Errorf("bbc: vertex %d outdegree %d, budget %d", u, start.OutDegree(u), g.Budgets[u])
+		}
+	}
+	if maxRounds <= 0 {
+		maxRounds = 1000
+	}
+	d := start.Clone()
+	seen := map[uint64][]snapshot{}
+	record(seen, d, 0)
+	res := Result{}
+	for round := 1; round <= maxRounds; round++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			if g.Budgets[u] == 0 {
+				continue
+			}
+			s, c, cur := g.BestResponse(d, u)
+			if c < cur {
+				d.SetOut(u, s)
+				res.Moves++
+				changed = true
+			}
+		}
+		res.Rounds = round
+		if !changed {
+			res.Converged = true
+			break
+		}
+		if prev, ok := lookup(seen, d); ok {
+			res.Loop = true
+			res.LoopLength = round - prev
+			break
+		}
+		record(seen, d, round)
+	}
+	res.Final = d
+	return res, nil
+}
+
+type snapshot struct {
+	d     *graph.Digraph
+	round int
+}
+
+func hashGraph(d *graph.Digraph) uint64 {
+	var h uint64 = 1469598103934665603
+	mix := func(x uint64) {
+		h ^= x
+		h *= 1099511628211
+	}
+	for u := 0; u < d.N(); u++ {
+		for _, v := range d.Out(u) {
+			mix(uint64(u)<<32 | uint64(v))
+		}
+		mix(math.MaxUint64)
+	}
+	return h
+}
+
+func record(seen map[uint64][]snapshot, d *graph.Digraph, round int) {
+	h := hashGraph(d)
+	seen[h] = append(seen[h], snapshot{d: d.Clone(), round: round})
+}
+
+func lookup(seen map[uint64][]snapshot, d *graph.Digraph) (int, bool) {
+	for _, s := range seen[hashGraph(d)] {
+		if s.d.Equal(d) {
+			return s.round, true
+		}
+	}
+	return 0, false
+}
+
+// RandomRealization draws a uniformly random valid start.
+func (g *Game) RandomRealization(rng *rand.Rand) *graph.Digraph {
+	return graph.RandomOutDigraph(g.Budgets, rng)
+}

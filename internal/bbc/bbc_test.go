@@ -1,0 +1,129 @@
+package bbc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDirectedCostCycle(t *testing.T) {
+	// Directed 4-cycle: cost of each vertex = 1+2+3 = 6.
+	g := UniformGame(4, 1)
+	d := graph.CycleGraph(4)
+	for u := 0; u < 4; u++ {
+		if c := g.Cost(d, u); c != 6 {
+			t.Fatalf("cost(%d) = %d, want 6", u, c)
+		}
+	}
+}
+
+func TestDirectedCostUnreachable(t *testing.T) {
+	// Arc 0->1 only: vertex 1 reaches nothing; n^2 = 9 per missing.
+	d := graph.NewDigraph(3)
+	d.AddArc(0, 1)
+	g, err := NewGame([]int{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := g.Cost(d, 0); c != 1+9 {
+		t.Fatalf("cost(0) = %d, want 10", c)
+	}
+	if c := g.Cost(d, 1); c != 18 {
+		t.Fatalf("cost(1) = %d, want 18", c)
+	}
+}
+
+func TestDirectedVsUndirectedSemantics(t *testing.T) {
+	// The defining difference from the paper's game: in BBC the arc
+	// 1->0 does NOT help 0 reach 1.
+	d := graph.NewDigraph(2)
+	d.AddArc(1, 0)
+	g, err := NewGame([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := g.Cost(d, 1); c != 1 {
+		t.Fatalf("owner cost = %d, want 1", c)
+	}
+	if c := g.Cost(d, 0); c != 4 {
+		t.Fatalf("non-owner cost = %d, want C_inf = 4", c)
+	}
+}
+
+func TestBestResponseDirectedStar(t *testing.T) {
+	// 4 players, budget 1 each, all pointing at 0 except 0 points at 1.
+	d := graph.NewDigraph(4)
+	d.AddArc(0, 1)
+	d.AddArc(2, 0)
+	d.AddArc(3, 0)
+	g := UniformGame(4, 1)
+	// Player 2: current cost = d(2,0)=1, d(2,1)=2, d(2,3)=C_inf.
+	_, c, cur := g.BestResponse(d, 2)
+	if cur != 1+2+16 {
+		t.Fatalf("current = %d, want 19", cur)
+	}
+	if c > cur {
+		t.Fatal("best response worse than current")
+	}
+}
+
+func TestVerifyNashDirectedCycleSmall(t *testing.T) {
+	// The directed triangle is an equilibrium for budget 1: each vertex
+	// reaches the other two at cost 1+2 and no single arc can beat that.
+	g := UniformGame(3, 1)
+	d := graph.CycleGraph(3)
+	if u, _ := g.VerifyNash(d); u >= 0 {
+		t.Fatalf("directed triangle refuted by player %d", u)
+	}
+}
+
+func TestRunConvergesOrLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{4, 5, 6} {
+		g := UniformGame(n, 1)
+		for trial := 0; trial < 10; trial++ {
+			res, err := g.Run(g.RandomRealization(rng), 500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged && !res.Loop {
+				t.Fatalf("n=%d trial %d: no verdict in 500 rounds", n, trial)
+			}
+			if res.Converged {
+				if u, _ := g.VerifyNash(res.Final); u >= 0 {
+					t.Fatalf("converged graph refuted by player %d", u)
+				}
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := UniformGame(4, 1)
+	if _, err := g.Run(graph.NewDigraph(3), 10); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := g.Run(graph.NewDigraph(4), 10); err == nil {
+		t.Fatal("budget mismatch accepted")
+	}
+}
+
+func TestNewGameValidation(t *testing.T) {
+	if _, err := NewGame([]int{3, 0, 0}); err == nil {
+		t.Fatal("budget >= n accepted")
+	}
+	if _, err := NewGame([]int{-1}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestGraphHashDistinguishesOrientation(t *testing.T) {
+	a := graph.NewDigraph(2)
+	a.AddArc(0, 1)
+	b := graph.NewDigraph(2)
+	b.AddArc(1, 0)
+	if hashGraph(a) == hashGraph(b) {
+		t.Fatal("hash ignores arc direction")
+	}
+}

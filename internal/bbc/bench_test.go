@@ -1,0 +1,42 @@
+package bbc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkDirectedBestResponse(b *testing.B) {
+	g := UniformGame(16, 2)
+	d := g.RandomRealization(rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BestResponse(d, i%16)
+	}
+}
+
+func BenchmarkDirectedRun(b *testing.B) {
+	g := UniformGame(8, 1)
+	start := g.RandomRealization(rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Run(start, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDirectedVerifyNash(b *testing.B) {
+	g := UniformGame(10, 1)
+	// Drive to a fixed point first.
+	d := g.RandomRealization(rand.New(rand.NewSource(2)))
+	res, err := g.Run(d, 300)
+	if err != nil || !res.Converged {
+		b.Skip("no converged instance for this seed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if u, _ := g.VerifyNash(res.Final); u >= 0 {
+			b.Fatal("fixed point refuted")
+		}
+	}
+}

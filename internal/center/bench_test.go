@@ -1,0 +1,69 @@
+package center
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func benchMetric() graph.Und {
+	rng := rand.New(rand.NewSource(1))
+	d := graph.RandomTree(14, rng)
+	d.AddArc(13, 2)
+	d.AddArc(11, 4)
+	return d.Underlying()
+}
+
+func BenchmarkKCenterExact(b *testing.B) {
+	a := benchMetric()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KCenterExact(a, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMedianExact(b *testing.B) {
+	a := benchMetric()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMedianExact(a, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKCenterGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := graph.RandomTree(400, rng).Underlying()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KCenterGreedy(a, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMedianGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := graph.RandomTree(200, rng).Underlying()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMedianGreedy(a, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReductionKCenter(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	h := graph.RandomTree(12, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KCenterViaBestResponse(h, 3, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package center implements the k-center and k-median facility-location
+// problems on graphs, the two NP-hard problems Theorem 2.1 reduces to
+// best-response computation: a best response of a fresh player with
+// budget k in the MAX version is an optimal k-center of the existing
+// graph, and in the SUM version an optimal k-median. Exact solvers
+// (subset enumeration with multi-source BFS) serve small instances and
+// the reduction cross-checks; greedy algorithms (Gonzalez farthest-point
+// for k-center, marginal-gain for k-median) scale to sweeps.
+package center
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Solution is a chosen centre set with its objective value.
+type Solution struct {
+	Centers  []int
+	Value    int64 // k-center: max distance; k-median: sum of distances
+	Explored int64 // candidate sets evaluated (exact solvers)
+}
+
+// unreachablePenalty is the distance charged for vertices in components
+// not touched by the centre set, mirroring the game's C_inf = n^2.
+func unreachablePenalty(n int) int64 { return int64(n) * int64(n) }
+
+// objective computes both objectives for one centre set via a
+// multi-source BFS.
+func objective(a graph.Und, s *graph.Scratch, centers []int) (maxDist, sumDist int64) {
+	n := len(a)
+	d := graph.DistancesToSetScratch(a, s, centers)
+	pen := unreachablePenalty(n)
+	for v := 0; v < n; v++ {
+		dv := int64(d.Dist(v))
+		if d.Dist(v) < 0 {
+			dv = pen
+		}
+		if dv > maxDist {
+			maxDist = dv
+		}
+		sumDist += dv
+	}
+	return maxDist, sumDist
+}
+
+// enumerateExact drives both exact solvers: it enumerates all k-subsets
+// and keeps the one minimising pick(max, sum).
+func enumerateExact(a graph.Und, k int, pick func(maxDist, sumDist int64) int64) (Solution, error) {
+	n := len(a)
+	if k < 1 || k > n {
+		return Solution{}, fmt.Errorf("center: k=%d out of range [1,%d]", k, n)
+	}
+	s := graph.NewScratch(n)
+	best := Solution{Value: math.MaxInt64}
+	comb := make([]int, k)
+	var rec func(start, at int)
+	rec = func(start, at int) {
+		if at == k {
+			best.Explored++
+			m, su := objective(a, s, comb)
+			if v := pick(m, su); v < best.Value {
+				best.Value = v
+				best.Centers = append(best.Centers[:0:0], comb...)
+			}
+			return
+		}
+		for v := start; v <= n-(k-at); v++ {
+			comb[at] = v
+			rec(v+1, at+1)
+		}
+	}
+	rec(0, 0)
+	return best, nil
+}
+
+// KCenterExact solves min over |S|=k of max_v dist(v, S) by enumeration.
+func KCenterExact(a graph.Und, k int) (Solution, error) {
+	return enumerateExact(a, k, func(m, _ int64) int64 { return m })
+}
+
+// KMedianExact solves min over |S|=k of sum_v dist(v, S) by enumeration.
+func KMedianExact(a graph.Und, k int) (Solution, error) {
+	return enumerateExact(a, k, func(_, s int64) int64 { return s })
+}
+
+// KCenterGreedy is the Gonzalez farthest-point heuristic: repeatedly add
+// the vertex farthest from the current centre set. It is a 2-approximation
+// on connected graphs. The first centre is vertex 0 for determinism.
+func KCenterGreedy(a graph.Und, k int) (Solution, error) {
+	n := len(a)
+	if k < 1 || k > n {
+		return Solution{}, fmt.Errorf("center: k=%d out of range [1,%d]", k, n)
+	}
+	s := graph.NewScratch(n)
+	centers := []int{0}
+	for len(centers) < k {
+		d := graph.DistancesToSetScratch(a, s, centers)
+		far, farDist := -1, int64(-1)
+		pen := unreachablePenalty(n)
+		for v := 0; v < n; v++ {
+			dv := int64(d.Dist(v))
+			if d.Dist(v) < 0 {
+				dv = pen
+			}
+			if dv > farDist {
+				farDist = dv
+				far = v
+			}
+		}
+		centers = append(centers, far)
+	}
+	m, _ := objective(a, s, centers)
+	return Solution{Centers: centers, Value: m}, nil
+}
+
+// KMedianGreedy adds, in each of k rounds, the vertex whose inclusion
+// most reduces the total distance (the standard marginal-gain greedy,
+// a (1-1/e)-style heuristic for the supermodular-cost variant).
+func KMedianGreedy(a graph.Und, k int) (Solution, error) {
+	n := len(a)
+	if k < 1 || k > n {
+		return Solution{}, fmt.Errorf("center: k=%d out of range [1,%d]", k, n)
+	}
+	s := graph.NewScratch(n)
+	var centers []int
+	for len(centers) < k {
+		bestV, bestVal := -1, int64(math.MaxInt64)
+		for v := 0; v < n; v++ {
+			if intsContain(centers, v) {
+				continue
+			}
+			_, su := objective(a, s, append(centers, v))
+			if su < bestVal {
+				bestVal = su
+				bestV = v
+			}
+		}
+		centers = append(centers, bestV)
+	}
+	_, su := objective(a, s, centers)
+	return Solution{Centers: centers, Value: su}, nil
+}
+
+func intsContain(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

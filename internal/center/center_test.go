@@ -1,0 +1,168 @@
+package center
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestKCenterExactPath(t *testing.T) {
+	// Path on 7 vertices: 1 centre -> radius 3 (the middle vertex);
+	// 2 centres -> radius 2 (each centre covers at most 3 vertices at
+	// radius 1, so radius 1 is impossible with 7 vertices).
+	a := graph.PathGraph(7).Underlying()
+	s1, err := KCenterExact(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Value != 3 || len(s1.Centers) != 1 || s1.Centers[0] != 3 {
+		t.Fatalf("1-center = %+v, want centre 3 radius 3", s1)
+	}
+	s2, err := KCenterExact(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Value != 2 {
+		t.Fatalf("2-center value = %d, want 2", s2.Value)
+	}
+}
+
+func TestKMedianExactStar(t *testing.T) {
+	// Star: the centre is the optimal 1-median with value n-1.
+	a := graph.StarGraph(6).Underlying()
+	s, err := KMedianExact(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value != 5 || s.Centers[0] != 0 {
+		t.Fatalf("1-median = %+v, want centre 0 value 5", s)
+	}
+}
+
+func TestKMedianExactPath(t *testing.T) {
+	// Path on 6 vertices, 1 median: either middle vertex, value
+	// 2+1+0+1+2+3 = 9 at vertex 2.
+	a := graph.PathGraph(6).Underlying()
+	s, err := KMedianExact(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value != 9 {
+		t.Fatalf("1-median value = %d, want 9", s.Value)
+	}
+}
+
+func TestExactValueEqualsAllCenters(t *testing.T) {
+	a := graph.CycleGraph(5).Underlying()
+	s, err := KCenterExact(a, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value != 0 {
+		t.Fatalf("all-centres value = %d, want 0", s.Value)
+	}
+}
+
+func TestKRangeValidation(t *testing.T) {
+	a := graph.PathGraph(4).Underlying()
+	for _, k := range []int{0, 5, -1} {
+		if _, err := KCenterExact(a, k); err == nil {
+			t.Fatalf("KCenterExact accepted k=%d", k)
+		}
+		if _, err := KMedianExact(a, k); err == nil {
+			t.Fatalf("KMedianExact accepted k=%d", k)
+		}
+		if _, err := KCenterGreedy(a, k); err == nil {
+			t.Fatalf("KCenterGreedy accepted k=%d", k)
+		}
+		if _, err := KMedianGreedy(a, k); err == nil {
+			t.Fatalf("KMedianGreedy accepted k=%d", k)
+		}
+	}
+}
+
+func TestDisconnectedPenalty(t *testing.T) {
+	// Two components, one centre: the untouched component pays n^2 each.
+	d := graph.NewDigraph(4)
+	d.AddArc(0, 1)
+	d.AddArc(2, 3)
+	a := d.Underlying()
+	s, err := KCenterExact(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value != 16 {
+		t.Fatalf("disconnected 1-center value = %d, want n^2 = 16", s.Value)
+	}
+	s2, err := KCenterExact(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Value != 1 {
+		t.Fatalf("2-center across components = %d, want 1", s2.Value)
+	}
+}
+
+// Gonzalez greedy is a 2-approximation for k-center on connected graphs.
+func TestKCenterGreedyApproximation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		d := graph.RandomTree(n, rng)
+		a := d.Underlying()
+		k := 1 + rng.Intn(3)
+		if k > n {
+			k = n
+		}
+		exact, err := KCenterExact(a, k)
+		if err != nil {
+			return false
+		}
+		greedy, err := KCenterGreedy(a, k)
+		if err != nil {
+			return false
+		}
+		return greedy.Value >= exact.Value && greedy.Value <= 2*exact.Value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMedianGreedyNeverBeatsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(7)
+		d := graph.RandomTree(n, rng)
+		a := d.Underlying()
+		k := 1 + rng.Intn(3)
+		if k > n {
+			k = n
+		}
+		exact, err := KMedianExact(a, k)
+		if err != nil {
+			return false
+		}
+		greedy, err := KMedianGreedy(a, k)
+		if err != nil {
+			return false
+		}
+		return greedy.Value >= exact.Value && len(greedy.Centers) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExploredCounts(t *testing.T) {
+	a := graph.PathGraph(6).Underlying()
+	s, err := KCenterExact(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Explored != 15 { // C(6,2)
+		t.Fatalf("explored = %d, want 15", s.Explored)
+	}
+}

@@ -1,0 +1,84 @@
+package center
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Theorem 2.1 reduction: solving k-center (resp. k-median) on a graph H
+// is exactly computing the best response of a fresh (n+1)-th player with
+// budget k joining a game whose other players realize H. These adapters
+// run the reduction in both directions so tests can confirm the optima
+// coincide — the computational content of the NP-hardness proof.
+
+// augmentedGame builds the (b1,...,bn,k)-BG instance of the proof: the
+// first n players realize H (each owning its orientation's out-arcs), and
+// player n has budget k and an empty initial strategy, completed to an
+// arbitrary valid one so the realization is well-formed.
+func augmentedGame(h *graph.Digraph, k int, version core.Version) (*core.Game, *graph.Digraph, error) {
+	n := h.N()
+	if k < 1 || k > n {
+		return nil, nil, fmt.Errorf("center: k=%d out of range [1,%d]", k, n)
+	}
+	d := graph.NewDigraph(n + 1)
+	budgets := make([]int, n+1)
+	for u := 0; u < n; u++ {
+		budgets[u] = h.OutDegree(u)
+		for _, v := range h.Out(u) {
+			d.AddArc(u, v)
+		}
+	}
+	budgets[n] = k
+	// Fill player n's strategy with the first k vertices; the best
+	// response computation replaces it anyway.
+	init := make([]int, k)
+	for i := range init {
+		init[i] = i
+	}
+	d.SetOut(n, init)
+	g, err := core.NewGame(budgets, version)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, d, nil
+}
+
+// KCenterViaBestResponse solves k-center on the underlying graph of h by
+// computing the new player's exact best response in the MAX version.
+// For a connected H with k < n, cMAX(new) = 1 + max_v dist(v, S), so the
+// k-center value is the best-response cost minus one.
+func KCenterViaBestResponse(h *graph.Digraph, k int, maxCandidates int64) (Solution, error) {
+	g, d, err := augmentedGame(h, k, core.MAX)
+	if err != nil {
+		return Solution{}, err
+	}
+	br, err := g.ExactBestResponse(d, h.N(), maxCandidates)
+	if err != nil {
+		return Solution{}, err
+	}
+	value := br.Cost - 1
+	if k == h.N() {
+		// Every vertex is a centre; the new player's eccentricity is 1
+		// but the k-center value is 0.
+		value = 0
+	}
+	return Solution{Centers: br.Strategy, Value: value, Explored: br.Explored}, nil
+}
+
+// KMedianViaBestResponse solves k-median on the underlying graph of h by
+// computing the new player's exact best response in the SUM version:
+// cSUM(new) = n + sum_v dist(v, S) on connected instances, so the
+// k-median value is the best-response cost minus n.
+func KMedianViaBestResponse(h *graph.Digraph, k int, maxCandidates int64) (Solution, error) {
+	g, d, err := augmentedGame(h, k, core.SUM)
+	if err != nil {
+		return Solution{}, err
+	}
+	br, err := g.ExactBestResponse(d, h.N(), maxCandidates)
+	if err != nil {
+		return Solution{}, err
+	}
+	return Solution{Centers: br.Strategy, Value: br.Cost - int64(h.N()), Explored: br.Explored}, nil
+}

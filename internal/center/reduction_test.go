@@ -1,0 +1,129 @@
+package center
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// The computational content of Theorem 2.1: the fresh player's exact best
+// response in the MAX version attains exactly the optimal k-center value
+// (and k-median in the SUM version), on connected instances.
+
+func TestKCenterReductionPath(t *testing.T) {
+	h := graph.PathGraph(7)
+	direct, err := KCenterExact(h.Underlying(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaGame, err := KCenterViaBestResponse(h, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Value != viaGame.Value {
+		t.Fatalf("k-center direct = %d, via best response = %d", direct.Value, viaGame.Value)
+	}
+}
+
+func TestKMedianReductionStar(t *testing.T) {
+	h := graph.StarGraph(6)
+	direct, err := KMedianExact(h.Underlying(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaGame, err := KMedianViaBestResponse(h, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Value != viaGame.Value {
+		t.Fatalf("k-median direct = %d, via best response = %d", direct.Value, viaGame.Value)
+	}
+}
+
+func TestReductionEquivalenceRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(7)
+		h := graph.RandomTree(n, rng)
+		// Add a couple of extra edges for non-tree metrics.
+		for e := 0; e < rng.Intn(3); e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !h.Underlying().HasEdge(u, v) {
+				h.AddArc(u, v)
+			}
+		}
+		k := 1 + rng.Intn(3)
+		if k > n {
+			k = n
+		}
+		dc, err := KCenterExact(h.Underlying(), k)
+		if err != nil {
+			return false
+		}
+		gc, err := KCenterViaBestResponse(h, k, 0)
+		if err != nil {
+			return false
+		}
+		if dc.Value != gc.Value {
+			return false
+		}
+		dm, err := KMedianExact(h.Underlying(), k)
+		if err != nil {
+			return false
+		}
+		gm, err := KMedianViaBestResponse(h, k, 0)
+		if err != nil {
+			return false
+		}
+		return dm.Value == gm.Value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReductionAllCentres(t *testing.T) {
+	h := graph.CycleGraph(5)
+	viaGame, err := KCenterViaBestResponse(h, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaGame.Value != 0 {
+		t.Fatalf("k=n reduction value = %d, want 0", viaGame.Value)
+	}
+}
+
+func TestReductionValidation(t *testing.T) {
+	h := graph.PathGraph(4)
+	if _, err := KCenterViaBestResponse(h, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KMedianViaBestResponse(h, 5, 0); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := KCenterViaBestResponse(h, 2, 1); err == nil {
+		t.Fatal("candidate cap not propagated")
+	}
+}
+
+func TestReductionCentersAreOptimal(t *testing.T) {
+	// Not only the value: the returned centre set must achieve it.
+	h := graph.PathGraph(9)
+	sol, err := KCenterViaBestResponse(h, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.Underlying()
+	d := graph.DistancesToSet(a, sol.Centers)
+	var worst int32
+	for _, dist := range d {
+		if dist > worst {
+			worst = dist
+		}
+	}
+	if int64(worst) != sol.Value {
+		t.Fatalf("returned centres achieve %d, reported %d", worst, sol.Value)
+	}
+}

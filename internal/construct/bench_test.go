@@ -1,0 +1,66 @@
+package construct
+
+import (
+	"testing"
+)
+
+func BenchmarkExistenceCase1(b *testing.B) {
+	budgets := []int{0, 0, 0, 2, 2, 3, 4, 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Existence(budgets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExistenceCase2Figure1(b *testing.B) {
+	budgets := make([]int, 22)
+	budgets[16] = 2
+	for i := 17; i < 22; i++ {
+		budgets[i] = 5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Existence(budgets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpiderBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Spider(20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerfectBinaryTreeBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := PerfectBinaryTree(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShiftGraphBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewShiftGraph(8, 3, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShiftGraphCertify(b *testing.B) {
+	sg, err := NewShiftGraph(8, 3, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cert := sg.CertifyEquilibrium(); !cert.OK {
+			b.Fatal("certificate failed")
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package construct
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// PerfectBinaryTree builds the Theorem 3.4 tree: a perfect binary tree on
+// n = 2^(k+1)-1 vertices in which every internal vertex u_i owns arcs to
+// its children u_{2i} and u_{2i+1} (1-based heap indexing; vertex v here
+// is u_{v+1}). It is a Tree-BG realization (budgets sum to n-1) and a
+// Nash equilibrium in the SUM version, with diameter 2k = Theta(log n):
+// the witness that the O(log n) bound of Theorem 3.3 is tight.
+func PerfectBinaryTree(k int) (*graph.Digraph, []int, error) {
+	if k < 0 {
+		return nil, nil, fmt.Errorf("construct: binary tree needs k >= 0, got %d", k)
+	}
+	if k > 25 {
+		return nil, nil, fmt.Errorf("construct: k = %d would allocate 2^%d vertices", k, k+1)
+	}
+	n := 1<<(k+1) - 1
+	d := graph.NewDigraph(n)
+	for i := 1; 2*i+1 <= n; i++ {
+		d.AddArc(i-1, 2*i-1)
+		d.AddArc(i-1, 2*i)
+	}
+	budgets := make([]int, n)
+	for v := 0; v < n; v++ {
+		budgets[v] = d.OutDegree(v)
+	}
+	return d, budgets, nil
+}
+
+// PerfectBinaryTreeDiameter returns the diameter of PerfectBinaryTree(k):
+// 2k, realised between two leaves in different root subtrees.
+func PerfectBinaryTreeDiameter(k int) int { return 2 * k }

@@ -1,0 +1,102 @@
+package construct
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestPerfectBinaryTreeShape(t *testing.T) {
+	for k := 0; k <= 6; k++ {
+		d, budgets, err := PerfectBinaryTree(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1<<(k+1) - 1
+		if d.N() != n {
+			t.Fatalf("k=%d: n = %d, want %d", k, d.N(), n)
+		}
+		if d.ArcCount() != n-1 {
+			t.Fatalf("k=%d: arcs = %d, want %d", k, d.ArcCount(), n-1)
+		}
+		sum := 0
+		for _, b := range budgets {
+			sum += b
+		}
+		if sum != n-1 {
+			t.Fatalf("k=%d: Tree-BG requires budget sum n-1, got %d", k, sum)
+		}
+		a := d.Underlying()
+		if !graph.IsConnected(a) {
+			t.Fatalf("k=%d: disconnected", k)
+		}
+		want := int32(PerfectBinaryTreeDiameter(k))
+		if diam := graph.Diameter(a); diam != want {
+			t.Fatalf("k=%d: diameter = %d, want %d", k, diam, want)
+		}
+	}
+}
+
+func TestPerfectBinaryTreeBudgets(t *testing.T) {
+	d, budgets, err := PerfectBinaryTree(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.N() // 15
+	for v := 0; v < n; v++ {
+		want := 2
+		if v >= n/2 {
+			want = 0 // leaves
+		}
+		if budgets[v] != want {
+			t.Fatalf("vertex %d budget = %d, want %d", v, budgets[v], want)
+		}
+	}
+}
+
+func TestPerfectBinaryTreeIsSUMEquilibrium(t *testing.T) {
+	// Theorem 3.4: the perfect binary tree is a SUM Nash equilibrium with
+	// diameter Theta(log n).
+	for k := 1; k <= 4; k++ {
+		d, budgets, err := PerfectBinaryTree(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := core.MustGame(budgets, core.SUM)
+		dev, err := g.VerifyNash(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev != nil {
+			t.Fatalf("k=%d: binary tree not a SUM equilibrium: %v", k, dev)
+		}
+	}
+}
+
+func TestPerfectBinaryTreeSwapStableLarge(t *testing.T) {
+	// Exact verification is exponential; at k=7 (n=255) check the
+	// necessary swap-stability condition, which the construction also
+	// satisfies.
+	d, budgets, err := PerfectBinaryTree(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.MustGame(budgets, core.SUM)
+	dev, err := g.VerifySwapStable(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev != nil {
+		t.Fatalf("k=7: binary tree not swap-stable: %v", dev)
+	}
+}
+
+func TestPerfectBinaryTreeRejectsBadK(t *testing.T) {
+	if _, _, err := PerfectBinaryTree(-1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	if _, _, err := PerfectBinaryTree(26); err == nil {
+		t.Fatal("absurd k accepted")
+	}
+}

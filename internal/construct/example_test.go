@@ -1,0 +1,37 @@
+package construct_test
+
+import (
+	"fmt"
+
+	"repro/internal/construct"
+	"repro/internal/graph"
+)
+
+// The Theorem 3.2 spider: a MAX-version tree equilibrium whose diameter
+// grows linearly in n.
+func ExampleSpider() {
+	d, budgets, _ := construct.Spider(3)
+	sum := 0
+	for _, b := range budgets {
+		sum += b
+	}
+	fmt.Println(d.N(), graph.Diameter(d.Underlying()), sum)
+	// Output: 10 6 9
+}
+
+// The Theorem 2.3 existence construction: an equilibrium for any budget
+// vector, with O(1) diameter once budgets reach n-1.
+func ExampleExistence() {
+	d, _ := construct.Existence([]int{0, 0, 1, 2, 3})
+	fmt.Println(graph.Diameter(d.Underlying()) <= 4)
+	// Output: true
+}
+
+// The Lemma 5.2 shift graph at the Theorem 5.3 parameters t = 2^k:
+// every vertex's local diameter is exactly k = sqrt(log2 n).
+func ExampleNewShiftGraph() {
+	sg, _ := construct.NewShiftGraph(4, 2, 0)
+	cert := sg.CertifyEquilibrium()
+	fmt.Println(cert.N, cert.EccMax, cert.OK)
+	// Output: 16 2 true
+}

@@ -1,0 +1,252 @@
+// Package construct builds the explicit graphs the paper's proofs use:
+// the Theorem 2.3 equilibria that establish existence of Nash equilibria
+// for every budget vector (Figure 1 is its Case 2 at n=22), the Theorem
+// 3.2 spider with diameter Theta(n) in the MAX version (Figure 2), the
+// Theorem 3.4 perfect binary tree with diameter Theta(log n) in the SUM
+// version, the Lemma 5.2 shift graph whose MAX equilibria have diameter
+// sqrt(log n) (Theorem 5.3), and canonical unit-budget instances for
+// Section 4.
+package construct
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Existence builds a Nash equilibrium realization of the budget vector,
+// valid in both the MAX and SUM versions, following the three-case
+// construction in the proof of Theorem 2.3. The returned graph has
+// diameter at most 4 whenever the budgets sum to at least n-1, which is
+// what makes the price of stability O(1).
+func Existence(budgets []int) (*graph.Digraph, error) {
+	n := len(budgets)
+	for i, b := range budgets {
+		if b < 0 || b >= n {
+			return nil, fmt.Errorf("construct: budget b[%d]=%d out of range [0,%d)", i, b, n)
+		}
+	}
+	d := graph.NewDigraph(n)
+	if n <= 1 {
+		return d, nil
+	}
+	// Work on slots 1..n with nondecreasing budgets; slot j holds the
+	// original vertex perm[j-1]. The construction is written against the
+	// paper's sorted indexing and mapped back through perm.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return budgets[perm[a]] < budgets[perm[b]] })
+	bs := make([]int, n+1) // 1-based sorted budgets
+	for j := 1; j <= n; j++ {
+		bs[j] = budgets[perm[j-1]]
+	}
+	sigma := 0
+	z := 0
+	for j := 1; j <= n; j++ {
+		sigma += bs[j]
+		if bs[j] == 0 {
+			z++
+		}
+	}
+	add := func(u, v int) { d.AddArc(perm[u-1], perm[v-1]) }
+	outdeg := func(u int) int { return d.OutDegree(perm[u-1]) }
+	hasArc := func(u, v int) bool { return d.HasArc(perm[u-1], perm[v-1]) }
+
+	switch {
+	case sigma >= n-1 && bs[n] >= z:
+		existenceCase1(d, perm, bs, add, outdeg)
+	case sigma >= n-1:
+		if err := existenceCase2(n, z, bs, add, outdeg, hasArc); err != nil {
+			return nil, err
+		}
+	default:
+		if err := existenceCase3(n, budgets, perm, bs, d); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// existenceCase1 handles sigma >= n-1 and b_n >= z: one high-budget hub
+// vn covers all zero-budget vertices; everyone else attaches to vn; spare
+// budget is spent on non-adjacent vertices and braces are swapped away.
+func existenceCase1(d *graph.Digraph, perm []int, bs []int,
+	add func(u, v int), outdeg func(u int) int) {
+	n := len(perm)
+	bn := bs[n]
+	for j := 1; j <= bn; j++ {
+		add(n, j)
+	}
+	for i := bn + 1; i <= n-1; i++ {
+		add(i, n)
+	}
+	// Spend remaining budgets, preferring targets not yet adjacent so the
+	// graph stays (mostly) brace-free.
+	a := d.Underlying()
+	for slot := 1; slot <= n; slot++ {
+		u := perm[slot-1]
+		for d.OutDegree(u) < bs[slot] {
+			target := -1
+			for w := 0; w < n; w++ {
+				if w != u && !a.HasEdge(u, w) {
+					target = w
+					break
+				}
+			}
+			if target < 0 {
+				// Adjacent to everyone: a brace is unavoidable but
+				// harmless (local diameter 1 satisfies Lemma 2.2).
+				for w := 0; w < n; w++ {
+					if w != u && !d.HasArc(u, w) {
+						target = w
+						break
+					}
+				}
+			}
+			d.AddArc(u, target)
+			a = d.Underlying()
+		}
+	}
+	// Brace elimination: replace u->v in a brace with an arc to a
+	// non-adjacent vertex while u has local diameter 2; each replacement
+	// removes one brace and creates none, so the loop terminates.
+	for {
+		swapped := false
+		a = d.Underlying()
+		for _, br := range d.Braces() {
+			for _, u := range []int{br[0], br[1]} {
+				v := br[0] + br[1] - u
+				ecc, conn := graph.Eccentricity(a, u)
+				if !conn || ecc < 2 {
+					continue
+				}
+				target := -1
+				for w := 0; w < d.N(); w++ {
+					if w != u && !a.HasEdge(u, w) {
+						target = w
+						break
+					}
+				}
+				if target < 0 {
+					continue
+				}
+				d.RemoveArc(u, v)
+				d.AddArc(u, target)
+				swapped = true
+				break
+			}
+			if swapped {
+				break
+			}
+		}
+		if !swapped {
+			return
+		}
+	}
+}
+
+// existenceCase2 handles sigma >= n-1 and b_n < z: no single vertex can
+// cover all zero-budget players, so the top budgets share set A between
+// them, exactly as in Figure 1. Slots follow the paper's 1-based
+// indexing: A = 1..z, B = z+1..t, C = t+1..n-1, hub = n.
+func existenceCase2(n, z int, bs []int,
+	add func(u, v int), outdeg func(u int) int, hasArc func(u, v int) bool) error {
+	suffix := make([]int, n+2) // suffix[i] = bs[i] + ... + bs[n]
+	for i := n; i >= 1; i-- {
+		suffix[i] = suffix[i+1] + bs[i]
+	}
+	t := -1
+	for cand := n - 1; cand >= z+1; cand-- {
+		if suffix[cand] >= z+n-cand {
+			t = cand
+			break
+		}
+	}
+	if t < 0 {
+		return fmt.Errorf("construct: case 2 found no valid t (n=%d z=%d)", n, z)
+	}
+	// Phase 1: B ∪ C -> vn.
+	for i := z + 1; i <= n-1; i++ {
+		add(i, n)
+	}
+	// Phase 2: {vn} ∪ C ∪ {vt} -> A, consuming A left to right.
+	pos := 1
+	for j := 0; j < bs[n]; j++ {
+		add(n, pos)
+		pos++
+	}
+	for i := n - 1; i >= t+1; i-- {
+		for j := 0; j < bs[i]-1; j++ {
+			add(i, pos)
+			pos++
+		}
+	}
+	s := z + n - (t + 1) - (suffix[t+1])
+	if s <= 0 {
+		return fmt.Errorf("construct: case 2 slack s=%d must be positive", s)
+	}
+	for j := 0; j < s; j++ {
+		add(t, pos)
+		pos++
+	}
+	if pos != z+1 {
+		return fmt.Errorf("construct: case 2 consumed %d of %d zero-budget slots", pos-1, z)
+	}
+	// Phase 3: B -> C ∪ {vt}, targets in reverse order v_{n-1},...,v_t.
+	for u := z + 1; u <= t; u++ {
+		for target := n - 1; target >= t && outdeg(u) < bs[u]; target-- {
+			if target == u || hasArc(u, target) {
+				continue
+			}
+			add(u, target)
+		}
+	}
+	// Phase 4: B -> A, targets in order v_1, v_2, ...
+	for u := z + 1; u <= t; u++ {
+		for target := 1; target <= z && outdeg(u) < bs[u]; target++ {
+			if hasArc(u, target) {
+				continue
+			}
+			add(u, target)
+		}
+		if outdeg(u) != bs[u] {
+			return fmt.Errorf("construct: case 2 vertex slot %d ended with outdegree %d, budget %d",
+				u, outdeg(u), bs[u])
+		}
+	}
+	return nil
+}
+
+// existenceCase3 handles sigma < n-1: every realization is disconnected.
+// The suffix of players from the smallest m with b_m+...+b_n >= n-m forms
+// a connected equilibrium among themselves (built recursively; the
+// sub-instance lands in case 1 or 2), and everyone before m is an
+// isolated zero-budget vertex.
+func existenceCase3(n int, budgets, perm []int, bs []int, d *graph.Digraph) error {
+	suffix := 0
+	m := -1
+	for i := n; i >= 1; i-- {
+		suffix += bs[i]
+		if suffix >= n-i {
+			m = i
+		}
+	}
+	// m always exists: i = n gives suffix >= 0 = n-n.
+	sub := make([]int, 0, n-m+1)
+	for j := m; j <= n; j++ {
+		sub = append(sub, bs[j])
+	}
+	subGraph, err := Existence(sub)
+	if err != nil {
+		return err
+	}
+	for su := 0; su < subGraph.N(); su++ {
+		for _, sv := range subGraph.Out(su) {
+			d.AddArc(perm[m-1+su], perm[m-1+sv])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package construct
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func verifyBothVersions(t *testing.T, budgets []int, d *graph.Digraph, label string) {
+	t.Helper()
+	for _, ver := range []core.Version{core.SUM, core.MAX} {
+		g := core.MustGame(budgets, ver)
+		if err := g.CheckRealization(d); err != nil {
+			t.Fatalf("%s (%v): %v", label, ver, err)
+		}
+		dev, err := g.VerifyNash(d, 0)
+		if err != nil {
+			t.Fatalf("%s (%v): %v", label, ver, err)
+		}
+		if dev != nil {
+			t.Fatalf("%s (%v): not an equilibrium: %v", label, ver, dev)
+		}
+	}
+}
+
+func TestExistenceCase1(t *testing.T) {
+	// z = 2 zero-budget players, top budget 3 >= z, sigma = 6 >= n-1 = 4.
+	budgets := []int{0, 0, 1, 2, 3}
+	d, err := Existence(budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyBothVersions(t, budgets, d, "case1")
+	if diam := graph.Diameter(d.Underlying()); diam > 2 {
+		t.Fatalf("case 1 diameter = %d, want <= 2", diam)
+	}
+}
+
+func TestExistenceCase1LemmaCertificates(t *testing.T) {
+	budgets := []int{0, 0, 0, 2, 2, 3, 4}
+	d, err := Existence(budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < d.N(); u++ {
+		if !core.Lemma22Satisfied(d, u) {
+			t.Fatalf("vertex %d does not satisfy Lemma 2.2 in case-1 output\n%v", u, d)
+		}
+	}
+}
+
+func TestExistenceCase2Figure1(t *testing.T) {
+	// The printed Figure 1 instance: n=22, z=16, t=19.
+	budgets := make([]int, 22)
+	budgets[16] = 2
+	for i := 17; i < 22; i++ {
+		budgets[i] = 5
+	}
+	d, err := Existence(budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact arc set from the figure, 0-based.
+	want := [][2]int{
+		{16, 21}, {17, 21}, {18, 21}, {19, 21}, {20, 21}, // phase 1
+		{21, 0}, {21, 1}, {21, 2}, {21, 3}, {21, 4}, // phase 2: v22 -> A
+		{20, 5}, {20, 6}, {20, 7}, {20, 8}, // v21 -> A
+		{19, 9}, {19, 10}, {19, 11}, {19, 12}, // v20 -> A
+		{18, 13}, {18, 14}, {18, 15}, // v19 -> A (s = 3)
+		{16, 20},                     // phase 3: v17 -> v21
+		{17, 20}, {17, 19}, {17, 18}, // v18 -> v21, v20, v19
+		{18, 20}, // v19 -> v21
+		{17, 0},  // phase 4: v18 -> v1
+	}
+	if got := d.ArcCount(); got != len(want) {
+		t.Fatalf("arc count = %d, want %d\n%v", got, len(want), d)
+	}
+	for _, a := range want {
+		if !d.HasArc(a[0], a[1]) {
+			t.Fatalf("missing Figure-1 arc %d->%d\n%v", a[0], a[1], d)
+		}
+	}
+	if diam := graph.Diameter(d.Underlying()); diam > 4 {
+		t.Fatalf("Figure 1 diameter = %d, want <= 4", diam)
+	}
+	verifyBothVersions(t, budgets, d, "figure1")
+}
+
+func TestExistenceCase2SmallInstances(t *testing.T) {
+	// sigma >= n-1, top budget < z.
+	cases := [][]int{
+		{0, 0, 0, 0, 2, 2},       // n=6, z=4, bn=2 < 4, sigma=4  < 5? sigma=4 < n-1=5: case 3 actually
+		{0, 0, 0, 0, 2, 3},       // sigma=5 = n-1, bn=3 < z=4: case 2
+		{0, 0, 0, 0, 0, 2, 2, 3}, // n=8, z=5, sigma=7 = n-1, bn=3 < 5
+	}
+	for _, budgets := range cases {
+		d, err := Existence(budgets)
+		if err != nil {
+			t.Fatalf("budgets %v: %v", budgets, err)
+		}
+		verifyBothVersions(t, budgets, d, "case2-small")
+	}
+}
+
+func TestExistenceCase3Disconnected(t *testing.T) {
+	budgets := []int{0, 0, 0, 1, 1}
+	d, err := Existence(budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyBothVersions(t, budgets, d, "case3")
+	if graph.IsConnected(d.Underlying()) {
+		t.Fatal("case 3 output should be disconnected (sigma < n-1)")
+	}
+}
+
+func TestExistenceAllZero(t *testing.T) {
+	budgets := []int{0, 0, 0}
+	d, err := Existence(budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ArcCount() != 0 {
+		t.Fatal("all-zero budgets should give the empty graph")
+	}
+	verifyBothVersions(t, budgets, d, "all-zero")
+}
+
+func TestExistenceTrivialSizes(t *testing.T) {
+	for _, budgets := range [][]int{{}, {0}} {
+		if _, err := Existence(budgets); err != nil {
+			t.Fatalf("budgets %v: %v", budgets, err)
+		}
+	}
+	if _, err := Existence([]int{5, 0, 0}); err == nil {
+		t.Fatal("budget >= n accepted")
+	}
+	if _, err := Existence([]int{-1, 0}); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestExistenceUnsortedInput(t *testing.T) {
+	// Budgets deliberately out of order: the permutation mapping must
+	// still produce an equilibrium of the *original* indexing.
+	budgets := []int{3, 0, 2, 0, 1}
+	d, err := Existence(budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyBothVersions(t, budgets, d, "unsorted")
+}
+
+func TestExistenceRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(6)
+		budgets := make([]int, n)
+		for i := range budgets {
+			budgets[i] = rng.Intn(3)
+			if budgets[i] >= n {
+				budgets[i] = n - 1
+			}
+		}
+		d, err := Existence(budgets)
+		if err != nil {
+			t.Fatalf("trial %d budgets %v: %v", trial, budgets, err)
+		}
+		verifyBothVersions(t, budgets, d, "random")
+	}
+}
+
+func TestExistenceDiameterBoundConnectedInstances(t *testing.T) {
+	// Price of stability evidence: whenever sigma >= n-1, the constructed
+	// equilibrium has diameter at most 4 (Theorem 2.3's O(1)).
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(8)
+		budgets := make([]int, n)
+		sigma := 0
+		for i := range budgets {
+			budgets[i] = rng.Intn(n / 2)
+			sigma += budgets[i]
+		}
+		if sigma < n-1 {
+			continue
+		}
+		d, err := Existence(budgets)
+		if err != nil {
+			t.Fatalf("budgets %v: %v", budgets, err)
+		}
+		diam := graph.Diameter(d.Underlying())
+		if diam == graph.InfDiameter || diam > 4 {
+			t.Fatalf("budgets %v: diameter %d, want <= 4", budgets, diam)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package construct
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestShiftGraphBasicStructure(t *testing.T) {
+	sg, err := NewShiftGraph(4, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.D.N() != 16 {
+		t.Fatalf("n = %d, want 16", sg.D.N())
+	}
+	a := sg.D.Underlying()
+	if !graph.IsConnected(a) {
+		t.Fatal("shift graph disconnected")
+	}
+	if a.MaxDegree() > 8 {
+		t.Fatalf("max degree = %d, want <= 2t = 8", a.MaxDegree())
+	}
+	if a.MinDegree() < 3 {
+		t.Fatalf("min degree = %d, want >= t-1 = 3", a.MinDegree())
+	}
+	if len(sg.D.Braces()) != 0 {
+		t.Fatalf("orientation created braces: %v", sg.D.Braces())
+	}
+	for _, b := range sg.Budgets() {
+		if b < 1 {
+			t.Fatal("orientation left a vertex with zero outdegree")
+		}
+	}
+}
+
+func TestShiftGraphAdjacencyDefinition(t *testing.T) {
+	// Spot-check the shift adjacency at t=3, k=2 against the definition:
+	// (x1,x2) ~ (y1,y2) iff x1 = y2 or y1 = x2.
+	sg, err := NewShiftGraph(3, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sg.D.Underlying()
+	id := func(x1, x2 int) int { return x1*3 + x2 }
+	for x1 := 0; x1 < 3; x1++ {
+		for x2 := 0; x2 < 3; x2++ {
+			for y1 := 0; y1 < 3; y1++ {
+				for y2 := 0; y2 < 3; y2++ {
+					u, v := id(x1, x2), id(y1, y2)
+					if u == v {
+						continue
+					}
+					want := x1 == y2 || y1 == x2
+					if a.HasEdge(u, v) != want {
+						t.Fatalf("adjacency(%d%d,%d%d) = %v, want %v",
+							x1, x2, y1, y2, a.HasEdge(u, v), want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestShiftGraphHypothesis(t *testing.T) {
+	holds := func(tt, k int) bool {
+		sg, err := NewShiftGraph(tt, k, 0)
+		if err != nil {
+			t.Fatalf("t=%d k=%d: %v", tt, k, err)
+		}
+		return sg.HypothesisHolds()
+	}
+	if !holds(3, 2) || !holds(4, 2) || !holds(5, 3) || !holds(9, 4) {
+		t.Fatal("hypothesis should hold (2^k < 2t-1)")
+	}
+	if holds(2, 2) || holds(4, 3) || holds(8, 4) {
+		t.Fatal("hypothesis should fail (2^k >= 2t-1)")
+	}
+}
+
+func TestShiftGraphCertificate(t *testing.T) {
+	for _, p := range []struct{ t, k int }{{3, 2}, {4, 2}, {5, 2}, {5, 3}, {6, 3}} {
+		sg, err := NewShiftGraph(p.t, p.k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert := sg.CertifyEquilibrium()
+		if !cert.OK {
+			t.Fatalf("t=%d k=%d: certificate failed: %+v", p.t, p.k, cert)
+		}
+		if cert.EccMin != int32(p.k) || cert.EccMax != int32(p.k) {
+			t.Fatalf("t=%d k=%d: eccentricities [%d,%d], want all %d",
+				p.t, p.k, cert.EccMin, cert.EccMax, p.k)
+		}
+	}
+}
+
+func TestShiftGraphExactNashSmall(t *testing.T) {
+	// Exact verification of Lemma 5.2's conclusion where enumeration is
+	// feasible: the orientation is a MAX Nash equilibrium.
+	for _, p := range []struct{ t, k int }{{3, 2}, {4, 2}} {
+		sg, err := NewShiftGraph(p.t, p.k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := core.MustGame(sg.Budgets(), core.MAX)
+		dev, err := g.VerifyNash(sg.D, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev != nil {
+			t.Fatalf("t=%d k=%d: shift orientation not a MAX equilibrium: %v", p.t, p.k, dev)
+		}
+	}
+}
+
+func TestShiftGraphSwapStableMedium(t *testing.T) {
+	sg, err := NewShiftGraph(5, 3, 0) // n = 125
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.MustGame(sg.Budgets(), core.MAX)
+	dev, err := g.VerifySwapStable(sg.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev != nil {
+		t.Fatalf("shift(5,3) not swap-stable: %v", dev)
+	}
+}
+
+func TestShiftGraphDiameterSqrtLogN(t *testing.T) {
+	// Theorem 5.3's series t = 2^k: diameter k = sqrt(log2 n). k=3 gives
+	// t=8, n=512.
+	sg, err := NewShiftGraph(8, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := sg.CertifyEquilibrium()
+	if !cert.OK {
+		t.Fatalf("t=2^k certificate failed: %+v", cert)
+	}
+	// log2(512) = 9, sqrt = 3 = k.
+	if cert.EccMax != 3 {
+		t.Fatalf("diameter = %d, want sqrt(log n) = 3", cert.EccMax)
+	}
+}
+
+func TestShiftGraphParameterValidation(t *testing.T) {
+	if _, err := NewShiftGraph(1, 2, 0); err == nil {
+		t.Fatal("t=1 accepted")
+	}
+	if _, err := NewShiftGraph(4, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewShiftGraph(10, 10, 1000); err == nil {
+		t.Fatal("vertex-count guard did not trip")
+	}
+}
+
+func TestOrientWithPositiveOutdegrees(t *testing.T) {
+	// Random connected graphs containing a cycle: orientation must cover
+	// every edge exactly once and give everyone outdegree >= 1.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(10)
+		// Random tree plus a few extra edges to guarantee a cycle.
+		d := graph.RandomTree(n, rng)
+		for e := 0; e < 2+rng.Intn(3); e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				a := d.Underlying()
+				if !a.HasEdge(u, v) {
+					d.AddArc(u, v)
+				}
+			}
+		}
+		adj := d.Underlying()
+		if adj.EdgeCount() < n {
+			continue // all extras were duplicates; no guaranteed cycle
+		}
+		o, err := orientWithPositiveOutdegrees(adj)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(o.Braces()) != 0 {
+			t.Fatalf("trial %d: braces created", trial)
+		}
+		if !equalUnd(o.Underlying(), adj) {
+			t.Fatalf("trial %d: orientation changed the underlying graph", trial)
+		}
+		for v := 0; v < n; v++ {
+			if o.OutDegree(v) < 1 {
+				t.Fatalf("trial %d: vertex %d has outdegree 0", trial, v)
+			}
+		}
+	}
+}
+
+func TestOrientRejectsForest(t *testing.T) {
+	tree := graph.PathGraph(5).Underlying()
+	if _, err := orientWithPositiveOutdegrees(tree); err == nil {
+		t.Fatal("forest accepted")
+	}
+}
+
+func TestOrientRejectsDisconnected(t *testing.T) {
+	d := graph.NewDigraph(6)
+	d.AddArc(0, 1)
+	d.AddArc(1, 2)
+	d.AddArc(2, 0)
+	// vertices 3..5 isolated
+	if _, err := orientWithPositiveOutdegrees(d.Underlying()); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func equalUnd(a, b graph.Und) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if len(a[v]) != len(b[v]) {
+			return false
+		}
+		for i := range a[v] {
+			if a[v][i] != b[v][i] {
+				return false
+			}
+		}
+	}
+	return true
+}

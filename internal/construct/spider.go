@@ -1,0 +1,41 @@
+package construct
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Spider builds the Theorem 3.2 / Figure 2 tree: three directed paths
+// X = x_1...x_k, Y = y_1...y_k, Z = z_1...z_k whose first vertices each
+// also own an arc to a shared centre w. It is a Tree-BG realization
+// (budgets sum to n-1 = 3k) and a Nash equilibrium in the MAX version
+// with diameter 2k = Theta(n), witnessing the Theta(n) price of anarchy
+// for tree instances of the MAX game.
+//
+// Vertex numbering: w = 0; x_i = i, y_i = k+i, z_i = 2k+i (1 <= i <= k).
+// Budgets: x_1, y_1, z_1 have budget 2; interior path vertices budget 1;
+// the three path ends and w have budget 0.
+func Spider(k int) (*graph.Digraph, []int, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("construct: spider needs k >= 1, got %d", k)
+	}
+	n := 3*k + 1
+	d := graph.NewDigraph(n)
+	for leg := 0; leg < 3; leg++ {
+		first := leg*k + 1
+		d.AddArc(first, 0) // x_1 -> w
+		for i := 0; i+1 < k; i++ {
+			d.AddArc(first+i, first+i+1)
+		}
+	}
+	budgets := make([]int, n)
+	for v := 0; v < n; v++ {
+		budgets[v] = d.OutDegree(v)
+	}
+	return d, budgets, nil
+}
+
+// SpiderDiameter returns the diameter the paper derives for Spider(k):
+// 2k, the distance between two path ends through the centre.
+func SpiderDiameter(k int) int { return 2 * k }

@@ -1,0 +1,101 @@
+package construct
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestSpiderShape(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		d, budgets, err := Spider(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 3*k + 1
+		if d.N() != n {
+			t.Fatalf("k=%d: n = %d, want %d", k, d.N(), n)
+		}
+		if d.ArcCount() != n-1 {
+			t.Fatalf("k=%d: arcs = %d, want %d (tree)", k, d.ArcCount(), n-1)
+		}
+		sum := 0
+		for _, b := range budgets {
+			sum += b
+		}
+		if sum != n-1 {
+			t.Fatalf("k=%d: budget sum = %d, want n-1 = %d (Tree-BG)", k, sum, n-1)
+		}
+		a := d.Underlying()
+		if !graph.IsConnected(a) {
+			t.Fatalf("k=%d: spider disconnected", k)
+		}
+		if diam := graph.Diameter(a); diam != int32(SpiderDiameter(k)) {
+			t.Fatalf("k=%d: diameter = %d, want %d", k, diam, SpiderDiameter(k))
+		}
+	}
+}
+
+func TestSpiderBudgets(t *testing.T) {
+	_, budgets, err := Spider(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w and the three path ends have budget 0; x1,y1,z1 have budget 2.
+	if budgets[0] != 0 {
+		t.Fatal("centre should have budget 0")
+	}
+	for leg := 0; leg < 3; leg++ {
+		first := leg*4 + 1
+		last := leg*4 + 4
+		if budgets[first] != 2 {
+			t.Fatalf("leg head %d budget = %d, want 2", first, budgets[first])
+		}
+		if budgets[last] != 0 {
+			t.Fatalf("leg end %d budget = %d, want 0", last, budgets[last])
+		}
+	}
+}
+
+func TestSpiderIsMAXEquilibrium(t *testing.T) {
+	// Theorem 3.2: the spider is a Nash equilibrium of the MAX version,
+	// despite its Theta(n) diameter.
+	for k := 2; k <= 5; k++ {
+		d, budgets, err := Spider(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := core.MustGame(budgets, core.MAX)
+		dev, err := g.VerifyNash(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev != nil {
+			t.Fatalf("k=%d: spider not a MAX equilibrium: %v", k, dev)
+		}
+	}
+}
+
+func TestLargeSpiderIsNotSUMEquilibrium(t *testing.T) {
+	// Theorem 3.3 caps SUM tree equilibria at O(log n) diameter, so a
+	// large spider (diameter 16 at n = 25) must admit a SUM deviation.
+	d, budgets, err := Spider(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.MustGame(budgets, core.SUM)
+	dev, err := g.VerifyNash(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev == nil {
+		t.Fatal("large spider verified as SUM equilibrium, contradicting Theorem 3.3")
+	}
+}
+
+func TestSpiderRejectsBadK(t *testing.T) {
+	if _, _, err := Spider(0); err == nil {
+		t.Fatal("Spider(0) accepted")
+	}
+}

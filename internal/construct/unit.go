@@ -1,0 +1,59 @@
+package construct
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Canonical instances of (1,...,1)-BG for Section 4. Every equilibrium of
+// the unit-budget game is a connected unicyclic graph: a unique directed
+// cycle (of length at most 5 in the SUM version and at most 7 in the MAX
+// version) with all other vertices hanging close to it. These generators
+// produce the canonical members of that family for direct verification.
+
+// UnitCycle returns the directed cycle on n >= 2 vertices, the minimal
+// realization of (1,...,1)-BG. It is an equilibrium of both versions for
+// small n (n <= 5 in SUM, n <= 7 in MAX; tests pin the exact thresholds).
+func UnitCycle(n int) (*graph.Digraph, []int, error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("construct: unit cycle needs n >= 2, got %d", n)
+	}
+	d := graph.CycleGraph(n)
+	return d, uniformOnes(n), nil
+}
+
+// UnitSatellite returns a c-cycle whose remaining n-c vertices each own
+// one arc to a cycle vertex, distributed round-robin. For c in the legal
+// range this realises the structure Theorems 4.1/4.2 prove equilibria
+// must have: every vertex on the cycle or adjacent to it.
+func UnitSatellite(n, c int) (*graph.Digraph, []int, error) {
+	if c < 2 || c > n {
+		return nil, nil, fmt.Errorf("construct: satellite cycle length %d out of range [2,%d]", c, n)
+	}
+	d := graph.NewDigraph(n)
+	for i := 0; i < c; i++ {
+		d.AddArc(i, (i+1)%c)
+	}
+	for v := c; v < n; v++ {
+		d.AddArc(v, (v-c)%c)
+	}
+	return d, uniformOnes(n), nil
+}
+
+// UnitBrace returns the 2-player instance: the only realization of
+// (1,1)-BG is the brace {0,1}, which is trivially an equilibrium.
+func UnitBrace() (*graph.Digraph, []int) {
+	d := graph.NewDigraph(2)
+	d.AddArc(0, 1)
+	d.AddArc(1, 0)
+	return d, uniformOnes(2)
+}
+
+func uniformOnes(n int) []int {
+	b := make([]int, n)
+	for i := range b {
+		b[i] = 1
+	}
+	return b
+}

@@ -1,0 +1,132 @@
+package construct
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func unitVerify(t *testing.T, d *graph.Digraph, budgets []int, ver core.Version) *core.Deviation {
+	t.Helper()
+	g := core.MustGame(budgets, ver)
+	dev, err := g.VerifyNash(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func TestUnitCycleSUMEquilibriumThreshold(t *testing.T) {
+	// Theorem 4.1: SUM equilibria of (1,...,1)-BG have cycle length <= 5.
+	// The pure cycle C_n is an equilibrium exactly up to n = 5.
+	for n := 2; n <= 5; n++ {
+		d, budgets, err := UnitCycle(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev := unitVerify(t, d, budgets, core.SUM); dev != nil {
+			t.Fatalf("C_%d should be a SUM equilibrium: %v", n, dev)
+		}
+	}
+	for n := 6; n <= 8; n++ {
+		d, budgets, err := UnitCycle(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev := unitVerify(t, d, budgets, core.SUM); dev == nil {
+			t.Fatalf("C_%d should NOT be a SUM equilibrium (Theorem 4.1)", n)
+		}
+	}
+}
+
+func TestUnitCycleMAXEquilibriumThreshold(t *testing.T) {
+	// Theorem 4.2: MAX equilibria of (1,...,1)-BG have cycle length <= 7.
+	// Not every shorter cycle is an equilibrium, though: C_6 admits an
+	// improving deviation (an even cycle's endpoint rewires to distance 2
+	// from everything), while C_7's degree bound pins every deviation at
+	// eccentricity 3. The equilibrium cycles are exactly {2,3,4,5,7}.
+	for _, n := range []int{2, 3, 4, 5, 7} {
+		d, budgets, err := UnitCycle(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev := unitVerify(t, d, budgets, core.MAX); dev != nil {
+			t.Fatalf("C_%d should be a MAX equilibrium: %v", n, dev)
+		}
+	}
+	if d, budgets, err := UnitCycle(6); err != nil {
+		t.Fatal(err)
+	} else if dev := unitVerify(t, d, budgets, core.MAX); dev == nil {
+		t.Fatal("C_6 should NOT be a MAX equilibrium (antipodal rewiring)")
+	}
+	for n := 8; n <= 10; n++ {
+		d, budgets, err := UnitCycle(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev := unitVerify(t, d, budgets, core.MAX); dev == nil {
+			t.Fatalf("C_%d should NOT be a MAX equilibrium (Theorem 4.2)", n)
+		}
+	}
+}
+
+func TestUnitSatelliteStructure(t *testing.T) {
+	d, budgets, err := UnitSatellite(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range budgets {
+		if b != 1 {
+			t.Fatal("unit budgets expected")
+		}
+	}
+	a := d.Underlying()
+	if !graph.IsConnected(a) {
+		t.Fatal("satellite graph disconnected")
+	}
+	cyc := graph.CycleInUnicyclic(a, d.Braces())
+	if len(cyc) != 4 {
+		t.Fatalf("cycle length = %d, want 4", len(cyc))
+	}
+	dists := graph.DistancesToSet(a, cyc)
+	for v, dist := range dists {
+		if dist > 1 {
+			t.Fatalf("vertex %d at distance %d from cycle, want <= 1", v, dist)
+		}
+	}
+}
+
+func TestUnitSatelliteDegenerate(t *testing.T) {
+	if _, _, err := UnitSatellite(5, 1); err == nil {
+		t.Fatal("cycle length 1 accepted")
+	}
+	if _, _, err := UnitSatellite(5, 6); err == nil {
+		t.Fatal("cycle longer than n accepted")
+	}
+	d, _, err := UnitSatellite(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ArcCount() != 4 {
+		t.Fatal("pure cycle case broken")
+	}
+}
+
+func TestUnitBrace(t *testing.T) {
+	d, budgets := UnitBrace()
+	if len(d.Braces()) != 1 {
+		t.Fatal("brace missing")
+	}
+	for _, ver := range []core.Version{core.SUM, core.MAX} {
+		if dev := unitVerify(t, d, budgets, ver); dev != nil {
+			t.Fatalf("%v: the 2-player brace must be an equilibrium: %v", ver, dev)
+		}
+	}
+}
+
+func TestUnitCycleRejectsTiny(t *testing.T) {
+	if _, _, err := UnitCycle(1); err == nil {
+		t.Fatal("UnitCycle(1) accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func benchInstance(n, b int) (*Game, *graph.Digraph) {
+	g := UniformGame(n, b, SUM)
+	d := graph.RandomOutDigraph(g.Budgets, rand.New(rand.NewSource(1)))
+	return g, d
+}
+
+func BenchmarkDeviatorEval(b *testing.B) {
+	g, d := benchInstance(256, 2)
+	dv := NewDeviator(g, d, 0)
+	s := []int{17, 91}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dv.Eval(s)
+	}
+}
+
+func BenchmarkNewDeviator(b *testing.B) {
+	g, d := benchInstance(256, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewDeviator(g, d, i%g.N())
+	}
+}
+
+func BenchmarkExactBestResponseB2(b *testing.B) {
+	g, d := benchInstance(64, 2) // C(63,2) = 1953 candidates
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.ExactBestResponse(d, i%g.N(), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyBestResponse(b *testing.B) {
+	g, d := benchInstance(128, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.GreedyBestResponse(d, i%g.N())
+	}
+}
+
+func BenchmarkBestSwap(b *testing.B) {
+	g, d := benchInstance(128, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BestSwap(d, i%g.N())
+	}
+}
+
+func BenchmarkVerifyNashUnit(b *testing.B) {
+	// Verify a star-with-satellites equilibrium at n=48, budgets 1.
+	g, d := benchInstance(48, 1)
+	// Drive to equilibrium first so verification does full work.
+	for pass := 0; pass < 100; pass++ {
+		improved := false
+		for u := 0; u < g.N(); u++ {
+			br, err := g.ExactBestResponse(d, u, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if br.Improves() {
+				d.SetOut(u, br.Strategy)
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.VerifyNash(d, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllCosts(b *testing.B) {
+	g, d := benchInstance(256, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AllCosts(d)
+	}
+}
+
+func BenchmarkProfileHash(b *testing.B) {
+	_, d := benchInstance(256, 2)
+	p := ProfileOf(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Hash()
+	}
+}

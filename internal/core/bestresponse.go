@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// Best-response computation. Theorem 2.1 proves finding a best response is
+// NP-hard in both versions (reductions from k-center and k-median), so the
+// exact solver enumerates all C(n-1, b) strategies — exponential in the
+// budget — while greedy and single-swap responders provide the polynomial
+// heuristics used to drive large dynamics runs.
+
+// BestResponse is the outcome of a best-response computation.
+type BestResponse struct {
+	Strategy []int // a cost-minimising strategy (sorted)
+	Cost     int64 // its cost
+	Current  int64 // cost of the strategy currently played in the graph
+	Explored int64 // number of candidate strategies evaluated
+}
+
+// Improves reports whether the found strategy strictly beats the current one.
+func (br BestResponse) Improves() bool { return br.Cost < br.Current }
+
+// StrategySpaceSize returns C(n-1, b), the number of strategies of a
+// player with budget b in an n-player game, saturating at math.MaxInt64.
+func StrategySpaceSize(n, b int) int64 {
+	if b < 0 || b > n-1 {
+		return 0
+	}
+	if b > (n-1)/2 {
+		b = n - 1 - b
+	}
+	res := uint64(1)
+	for i := 1; i <= b; i++ {
+		// res * (n-1-b+i) / i is exactly C(n-1-b+i, i) at every step, so
+		// the division is always integral; the product is carried in 128
+		// bits because it can transiently exceed 64 bits even when the
+		// final coefficient fits.
+		f := uint64(n - 1 - b + i)
+		hi, lo := bits.Mul64(res, f)
+		if hi >= uint64(i) {
+			return math.MaxInt64 // quotient would not fit in 64 bits
+		}
+		q, _ := bits.Div64(hi, lo, uint64(i))
+		if q > math.MaxInt64 {
+			return math.MaxInt64
+		}
+		res = q
+	}
+	return int64(res)
+}
+
+// ExactBestResponse enumerates every strategy of player u in realization d
+// and returns a minimiser. maxCandidates bounds the enumeration (0 means
+// no bound); if the strategy space exceeds it an error is returned, since
+// a truncated enumeration would not be a best response.
+//
+// Ties are broken in favour of the currently played strategy (so a vertex
+// already playing optimally reports its own strategy), then
+// lexicographically by the enumeration order.
+func (g *Game) ExactBestResponse(d *graph.Digraph, u int, maxCandidates int64) (BestResponse, error) {
+	n := g.N()
+	b := g.Budgets[u]
+	space := StrategySpaceSize(n, b)
+	if maxCandidates > 0 && space > maxCandidates {
+		return BestResponse{}, fmt.Errorf("core: strategy space C(%d,%d) = %d exceeds budget %d candidates",
+			n-1, b, space, maxCandidates)
+	}
+	dv := NewDeviator(g, d, u)
+	cur := append([]int(nil), d.Out(u)...)
+	best := BestResponse{Strategy: cur, Current: dv.Eval(cur)}
+	best.Cost = best.Current
+
+	targets := make([]int, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v != u {
+			targets = append(targets, v)
+		}
+	}
+	comb := make([]int, b)
+	strategy := make([]int, b)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == b {
+			for i, idx := range comb {
+				strategy[i] = targets[idx]
+			}
+			best.Explored++
+			if c := dv.Eval(strategy); c < best.Cost {
+				best.Cost = c
+				best.Strategy = append([]int(nil), strategy...)
+			}
+			return
+		}
+		for i := start; i <= len(targets)-(b-k); i++ {
+			comb[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best, nil
+}
+
+// GreedyBestResponse builds a strategy for u by b rounds of marginal-cost
+// minimisation: each round adds the target whose addition yields the
+// lowest cost given the targets chosen so far. This is the classic greedy
+// for the k-median/k-center flavoured subproblem; it is not optimal
+// (Theorem 2.1 forbids that in polynomial time unless P=NP) but is a
+// strong responder for dynamics at scale. Ties break toward lower vertex
+// ids for determinism.
+func (g *Game) GreedyBestResponse(d *graph.Digraph, u int) BestResponse {
+	n := g.N()
+	b := g.Budgets[u]
+	dv := NewDeviator(g, d, u)
+	cur := append([]int(nil), d.Out(u)...)
+	res := BestResponse{Current: dv.Eval(cur)}
+
+	chosen := make([]int, 0, b)
+	inChosen := make([]bool, n)
+	for round := 0; round < b; round++ {
+		bestV, bestC := -1, int64(math.MaxInt64)
+		for v := 0; v < n; v++ {
+			if v == u || inChosen[v] {
+				continue
+			}
+			res.Explored++
+			if c := dv.Eval(append(chosen, v)); c < bestC {
+				bestC = c
+				bestV = v
+			}
+		}
+		chosen = append(chosen, bestV)
+		inChosen[bestV] = true
+	}
+	res.Strategy = chosen
+	res.Cost = dv.Eval(chosen)
+	if res.Cost >= res.Current {
+		// Greedy found nothing better; keep the current strategy so that
+		// greedy dynamics are monotone and terminate at greedy-stable
+		// profiles.
+		res.Strategy = cur
+		res.Cost = res.Current
+	}
+	return res
+}
+
+// BestSwap finds the best single-arc swap for u: replace one owned arc
+// u->v with u->w (w neither u nor an existing target). This mirrors the
+// "swap equilibrium" relaxation of Alon et al. adopted in Section 6's weak
+// equilibria, and is the cheapest responder for dynamics. Returns the
+// strategy after the best improving swap; if no swap improves, Strategy is
+// the current one.
+func (g *Game) BestSwap(d *graph.Digraph, u int) BestResponse {
+	n := g.N()
+	dv := NewDeviator(g, d, u)
+	cur := append([]int(nil), d.Out(u)...)
+	res := BestResponse{Strategy: cur, Current: dv.Eval(cur)}
+	res.Cost = res.Current
+
+	have := make([]bool, n)
+	for _, v := range cur {
+		have[v] = true
+	}
+	trial := make([]int, len(cur))
+	for i := range cur {
+		copy(trial, cur)
+		for w := 0; w < n; w++ {
+			if w == u || have[w] {
+				continue
+			}
+			trial[i] = w
+			res.Explored++
+			if c := dv.Eval(trial); c < res.Cost {
+				res.Cost = c
+				res.Strategy = append([]int(nil), trial...)
+			}
+		}
+	}
+	return res
+}
+
+// Responder computes a (possibly heuristic) response for a player; the
+// dynamics engine is parameterised over this type.
+type Responder func(g *Game, d *graph.Digraph, u int) BestResponse
+
+// ExactResponder enumerates the full strategy space (panics if it exceeds
+// maxCandidates; use in controlled sweeps only).
+func ExactResponder(maxCandidates int64) Responder {
+	return func(g *Game, d *graph.Digraph, u int) BestResponse {
+		br, err := g.ExactBestResponse(d, u, maxCandidates)
+		if err != nil {
+			panic(err)
+		}
+		return br
+	}
+}
+
+// GreedyResponder is the marginal-cost greedy heuristic.
+func GreedyResponder(g *Game, d *graph.Digraph, u int) BestResponse {
+	return g.GreedyBestResponse(d, u)
+}
+
+// SwapResponder performs the best single-arc swap.
+func SwapResponder(g *Game, d *graph.Digraph, u int) BestResponse {
+	return g.BestSwap(d, u)
+}

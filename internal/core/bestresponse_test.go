@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestStrategySpaceSize(t *testing.T) {
+	cases := []struct {
+		n, b int
+		want int64
+	}{
+		{5, 0, 1}, {5, 1, 4}, {5, 2, 6}, {5, 4, 1},
+		{10, 3, 84}, {10, 9, 1}, {3, 5, 0}, {4, -1, 0},
+		{64, 32, 916312070471295267}, // C(63,32)
+	}
+	for _, c := range cases {
+		if got := StrategySpaceSize(c.n, c.b); got != c.want {
+			t.Errorf("C(%d-1,%d) = %d, want %d", c.n, c.b, got, c.want)
+		}
+	}
+	if StrategySpaceSize(200, 100) != math.MaxInt64 {
+		t.Error("expected saturation at MaxInt64")
+	}
+}
+
+func TestExactBestResponsePathEndpoint(t *testing.T) {
+	// Path 0-1-2-3-4: endpoint 0 (budget 1) should rewire to the centre 2
+	// in both versions.
+	d := graph.PathGraph(5)
+	for _, ver := range []Version{SUM, MAX} {
+		g := GameOf(d, ver)
+		br, err := g.ExactBestResponse(d, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !br.Improves() {
+			t.Fatalf("%v: endpoint should improve", ver)
+		}
+		if len(br.Strategy) != 1 || br.Strategy[0] != 2 {
+			t.Fatalf("%v: best strategy = %v, want [2]", ver, br.Strategy)
+		}
+		if br.Explored != 4 {
+			t.Fatalf("%v: explored %d strategies, want 4", ver, br.Explored)
+		}
+	}
+}
+
+func TestExactBestResponseTieKeepsCurrent(t *testing.T) {
+	// Star centre already plays optimally; exact BR must return its own
+	// strategy, not an equal-cost alternative.
+	d := graph.StarGraph(5)
+	g := GameOf(d, SUM)
+	br, err := g.ExactBestResponse(d, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Improves() {
+		t.Fatal("star centre should not improve")
+	}
+	if len(br.Strategy) != 4 {
+		t.Fatalf("strategy size changed: %v", br.Strategy)
+	}
+}
+
+func TestExactBestResponseBudgetZero(t *testing.T) {
+	d := graph.StarGraph(4)
+	g := GameOf(d, SUM)
+	br, err := g.ExactBestResponse(d, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Improves() || len(br.Strategy) != 0 || br.Explored != 1 {
+		t.Fatalf("zero-budget BR wrong: %+v", br)
+	}
+}
+
+func TestExactBestResponseSpaceCap(t *testing.T) {
+	d := graph.CompleteDigraph(12)
+	g := GameOf(d, SUM)
+	// Vertex 0 has budget 11, space C(11,11)=1: fine. Vertex 5 has budget
+	// 6, C(11,6) = 462 > 100.
+	if _, err := g.ExactBestResponse(d, 5, 100); err == nil {
+		t.Fatal("expected space-cap error")
+	}
+	if _, err := g.ExactBestResponse(d, 5, 462); err != nil {
+		t.Fatalf("space exactly at cap should pass: %v", err)
+	}
+}
+
+func TestGreedyNeverWorseThanCurrent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		budgets := make([]int, n)
+		for i := range budgets {
+			budgets[i] = rng.Intn(3)
+			if budgets[i] >= n {
+				budgets[i] = n - 1
+			}
+		}
+		d := graph.RandomOutDigraph(budgets, rng)
+		u := rng.Intn(n)
+		for _, ver := range []Version{SUM, MAX} {
+			g := MustGame(budgets, ver)
+			br := g.GreedyBestResponse(d, u)
+			if br.Cost > br.Current {
+				return false
+			}
+			if len(br.Strategy) != budgets[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactAtLeastAsGoodAsGreedyAndSwap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(7)
+		budgets := make([]int, n)
+		for i := range budgets {
+			budgets[i] = rng.Intn(3)
+			if budgets[i] >= n {
+				budgets[i] = n - 1
+			}
+		}
+		d := graph.RandomOutDigraph(budgets, rng)
+		u := rng.Intn(n)
+		for _, ver := range []Version{SUM, MAX} {
+			g := MustGame(budgets, ver)
+			exact, err := g.ExactBestResponse(d, u, 0)
+			if err != nil {
+				return false
+			}
+			if g.GreedyBestResponse(d, u).Cost < exact.Cost {
+				return false
+			}
+			if g.BestSwap(d, u).Cost < exact.Cost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestSwapImprovesOnPath(t *testing.T) {
+	d := graph.PathGraph(6)
+	g := GameOf(d, SUM)
+	br := g.BestSwap(d, 0)
+	if !br.Improves() {
+		t.Fatal("endpoint swap should improve")
+	}
+	if len(br.Strategy) != 1 {
+		t.Fatalf("swap changed strategy size: %v", br.Strategy)
+	}
+}
+
+func TestBestSwapNoArcs(t *testing.T) {
+	d := graph.StarGraph(4)
+	g := GameOf(d, SUM)
+	br := g.BestSwap(d, 2) // leaf owns nothing
+	if br.Improves() || br.Explored != 0 {
+		t.Fatalf("zero-budget swap wrong: %+v", br)
+	}
+}
+
+func TestRespondersAgreeWithMethods(t *testing.T) {
+	d := graph.PathGraph(5)
+	g := GameOf(d, SUM)
+	// Path 0-1-2-3-4, player 0: attaching to vertex 2 gives distances
+	// 2,1,2,3, total 8, which is optimal.
+	if got := ExactResponder(0)(g, d, 0); got.Cost != 8 {
+		t.Fatalf("exact responder cost = %d, want 8", got.Cost)
+	}
+	if got := GreedyResponder(g, d, 0); got.Cost > 8 {
+		t.Fatalf("greedy responder cost = %d, want <= 8", got.Cost)
+	}
+	if got := SwapResponder(g, d, 0); got.Cost != 8 {
+		t.Fatalf("swap responder cost = %d, want 8", got.Cost)
+	}
+}
+
+func TestExactResponderPanicsOverCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExactResponder should panic over cap")
+		}
+	}()
+	d := graph.CompleteDigraph(12)
+	g := GameOf(d, SUM)
+	ExactResponder(10)(g, d, 5)
+}

@@ -1,0 +1,114 @@
+package core
+
+import "repro/internal/graph"
+
+// Costs of vertices in a realized graph, straight from Section 1.2 of the
+// paper. All costs are int64: with C_inf = n^2 the SUM cost is bounded by
+// n * n^2, which stays well inside int64 for every instance size swept
+// here.
+
+// Cost returns the cost incurred to vertex u in realization d under the
+// game's version.
+func (g *Game) Cost(d *graph.Digraph, u int) int64 {
+	a := d.Underlying()
+	s := graph.NewScratch(d.N())
+	return g.costFromBFS(s.BFS(a, u), componentCount(a))
+}
+
+// AllCosts returns every vertex's cost in one pass (shared component
+// count, one BFS per vertex).
+func (g *Game) AllCosts(d *graph.Digraph) []int64 {
+	n := d.N()
+	a := d.Underlying()
+	_, kappa := graph.Components(a)
+	costs := make([]int64, n)
+	s := graph.NewScratch(n)
+	for u := 0; u < n; u++ {
+		costs[u] = g.costFromBFS(s.BFS(a, u), kappa)
+	}
+	return costs
+}
+
+// SocialCost returns the social cost of the realization: its diameter,
+// or C_inf = n^2 when disconnected (the diameter convention the paper
+// uses when defining the price of anarchy for sub-threshold budgets).
+func (g *Game) SocialCost(d *graph.Digraph) int64 {
+	diam := graph.Diameter(d.Underlying())
+	if diam == graph.InfDiameter {
+		return g.Cinf()
+	}
+	return int64(diam)
+}
+
+// costFromBFS converts one BFS result plus the global component count into
+// the player cost. reached == n means connected from u's side; kappa is
+// the component count of the whole graph.
+func (g *Game) costFromBFS(r graph.BFSResult, kappa int) int64 {
+	n := g.N()
+	cinf := g.Cinf()
+	switch g.Version {
+	case SUM:
+		return r.Sum + int64(n-r.Reached)*cinf
+	case MAX:
+		local := int64(r.Ecc)
+		if kappa > 1 {
+			// Disconnected: every vertex has local diameter n^2.
+			local = cinf
+		}
+		return local + int64(kappa-1)*cinf
+	default:
+		panic("core: unknown version")
+	}
+}
+
+func componentCount(a graph.Und) int {
+	_, c := graph.Components(a)
+	return c
+}
+
+// Deviator evaluates candidate strategies for one player without
+// rebuilding the graph: the fixed part of the adjacency (everything except
+// u's owned arcs) and the component structure of G - u are computed once,
+// after which each candidate strategy costs a single BFS.
+type Deviator struct {
+	game  *Game
+	u     int
+	base  graph.Und // adjacency with u's owned arcs removed
+	in    []int     // owners of arcs into u (edges u keeps regardless)
+	label []int     // component labels of G - u
+	comps int       // component count of G - u
+	seen  []bool    // scratch for CountComponentsTouched
+	s     *graph.Scratch
+}
+
+// NewDeviator prepares deviation evaluation for player u in realization d.
+func NewDeviator(g *Game, d *graph.Digraph, u int) *Deviator {
+	base := d.UnderlyingWithout(u)
+	label, comps := graph.ComponentsExcluding(base, u)
+	return &Deviator{
+		game:  g,
+		u:     u,
+		base:  base,
+		in:    d.In(u),
+		label: label,
+		comps: comps,
+		seen:  make([]bool, comps+1),
+		s:     graph.NewScratch(d.N()),
+	}
+}
+
+// Eval returns the cost player u would incur by playing strategy s
+// (assumed valid: distinct vertices != u; size is the caller's concern
+// since budgets fix it).
+func (dv *Deviator) Eval(strategy []int) int64 {
+	r := dv.s.DeviationBFS(dv.base, dv.u, strategy, dv.in)
+	kappa := 1
+	if r.Reached != dv.game.N() {
+		touched := graph.CountComponentsTouched(dv.label, dv.seen, dv.u, strategy, dv.in)
+		kappa = dv.comps - touched + 1
+	}
+	return dv.game.costFromBFS(r, kappa)
+}
+
+// In returns the owners of arcs into u (fixed edges during deviation).
+func (dv *Deviator) In() []int { return dv.in }

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestVersionString(t *testing.T) {
+	if SUM.String() != "SUM" || MAX.String() != "MAX" {
+		t.Fatal("version names wrong")
+	}
+	if Version(9).String() == "" {
+		t.Fatal("unknown version should still render")
+	}
+}
+
+func TestNewGameValidation(t *testing.T) {
+	if _, err := NewGame([]int{0, 1, 2}, SUM); err != nil {
+		t.Fatalf("valid game rejected: %v", err)
+	}
+	if _, err := NewGame([]int{3, 0, 0}, SUM); err == nil {
+		t.Fatal("budget >= n accepted")
+	}
+	if _, err := NewGame([]int{-1, 0}, MAX); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestGameAccessors(t *testing.T) {
+	g := MustGame([]int{1, 2, 0, 1}, SUM)
+	if g.N() != 4 || g.TotalBudget() != 4 || g.Cinf() != 16 {
+		t.Fatalf("accessors wrong: n=%d total=%d cinf=%d", g.N(), g.TotalBudget(), g.Cinf())
+	}
+	u := UniformGame(5, 2, MAX)
+	for _, b := range u.Budgets {
+		if b != 2 {
+			t.Fatal("UniformGame budgets wrong")
+		}
+	}
+}
+
+func TestCostSumOnPath(t *testing.T) {
+	// Path 0-1-2-3: SUM cost of endpoint = 1+2+3 = 6, of inner = 1+1+2 = 4.
+	d := graph.PathGraph(4)
+	g := GameOf(d, SUM)
+	if c := g.Cost(d, 0); c != 6 {
+		t.Fatalf("cost(0) = %d, want 6", c)
+	}
+	if c := g.Cost(d, 1); c != 4 {
+		t.Fatalf("cost(1) = %d, want 4", c)
+	}
+}
+
+func TestCostMaxOnPath(t *testing.T) {
+	d := graph.PathGraph(5)
+	g := GameOf(d, MAX)
+	if c := g.Cost(d, 0); c != 4 {
+		t.Fatalf("MAX cost(0) = %d, want 4", c)
+	}
+	if c := g.Cost(d, 2); c != 2 {
+		t.Fatalf("MAX cost(2) = %d, want 2", c)
+	}
+}
+
+func TestCostDisconnectedSUM(t *testing.T) {
+	// 4 vertices, one arc 0->1: components {0,1},{2},{3}; n^2 = 16.
+	d := graph.NewDigraph(4)
+	d.AddArc(0, 1)
+	g := GameOf(d, SUM)
+	// cost(0) = dist(0,1) + 2 * Cinf = 1 + 32.
+	if c := g.Cost(d, 0); c != 33 {
+		t.Fatalf("SUM cost(0) = %d, want 33", c)
+	}
+	// cost(2) = 3 unreachable vertices * 16.
+	if c := g.Cost(d, 2); c != 48 {
+		t.Fatalf("SUM cost(2) = %d, want 48", c)
+	}
+}
+
+func TestCostDisconnectedMAX(t *testing.T) {
+	d := graph.NewDigraph(4)
+	d.AddArc(0, 1)
+	g := GameOf(d, MAX)
+	// kappa = 3; local diameter = n^2 = 16 for every vertex;
+	// cost = 16 + 2*16 = 48.
+	for u := 0; u < 4; u++ {
+		if c := g.Cost(d, u); c != 48 {
+			t.Fatalf("MAX cost(%d) = %d, want 48", u, c)
+		}
+	}
+}
+
+func TestAllCostsMatchesCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	budgets := []int{2, 1, 0, 1, 2, 1}
+	d := graph.RandomOutDigraph(budgets, rng)
+	for _, v := range []Version{SUM, MAX} {
+		g := MustGame(budgets, v)
+		all := g.AllCosts(d)
+		for u := range all {
+			if got := g.Cost(d, u); got != all[u] {
+				t.Fatalf("%v: AllCosts[%d] = %d, Cost = %d", v, u, all[u], got)
+			}
+		}
+	}
+}
+
+func TestSocialCost(t *testing.T) {
+	d := graph.PathGraph(5)
+	g := GameOf(d, SUM)
+	if sc := g.SocialCost(d); sc != 4 {
+		t.Fatalf("social cost = %d, want 4", sc)
+	}
+	d2 := graph.NewDigraph(3)
+	g2 := GameOf(d2, SUM)
+	if sc := g2.SocialCost(d2); sc != 9 {
+		t.Fatalf("disconnected social cost = %d, want Cinf=9", sc)
+	}
+}
+
+func TestCheckRealization(t *testing.T) {
+	d := graph.PathGraph(3)
+	g := GameOf(d, SUM)
+	if err := g.CheckRealization(d); err != nil {
+		t.Fatalf("valid realization rejected: %v", err)
+	}
+	d.AddArc(2, 0)
+	if err := g.CheckRealization(d); err == nil {
+		t.Fatal("outdegree mismatch accepted")
+	}
+	if err := g.CheckRealization(graph.NewDigraph(5)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+// Property: Deviator.Eval(S) equals the cost computed on an explicitly
+// rewired graph, across random graphs, players and strategies, both
+// versions. This is the correctness core of everything downstream.
+func TestDeviatorMatchesRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(9)
+		budgets := make([]int, n)
+		for i := range budgets {
+			budgets[i] = rng.Intn(n)
+		}
+		d := graph.RandomOutDigraph(budgets, rng)
+		u := rng.Intn(n)
+		cand := make([]int, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v != u {
+				cand = append(cand, v)
+			}
+		}
+		rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+		newS := cand[:budgets[u]]
+
+		for _, ver := range []Version{SUM, MAX} {
+			g := MustGame(budgets, ver)
+			dv := NewDeviator(g, d, u)
+			got := dv.Eval(newS)
+			h := d.Clone()
+			h.SetOut(u, newS)
+			want := g.Cost(h, u)
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The deviator must also evaluate the *current* strategy to the current cost.
+func TestDeviatorCurrentStrategy(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	budgets := []int{1, 2, 1, 0, 2}
+	d := graph.RandomOutDigraph(budgets, rng)
+	for _, ver := range []Version{SUM, MAX} {
+		g := MustGame(budgets, ver)
+		for u := 0; u < g.N(); u++ {
+			dv := NewDeviator(g, d, u)
+			if got, want := dv.Eval(d.Out(u)), g.Cost(d, u); got != want {
+				t.Fatalf("%v vertex %d: Eval(current) = %d, Cost = %d", ver, u, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestStarIsNashBothVersions(t *testing.T) {
+	// Centre owns all arcs (budget n-1), leaves have budget 0: centre has
+	// local diameter 1 and leaves cannot move, so this is an equilibrium
+	// in both versions (Lemma 2.2).
+	d := graph.StarGraph(6)
+	for _, ver := range []Version{SUM, MAX} {
+		g := GameOf(d, ver)
+		dev, err := g.VerifyNash(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev != nil {
+			t.Fatalf("%v: star reported non-equilibrium: %v", ver, dev)
+		}
+	}
+}
+
+func TestPathIsNotNash(t *testing.T) {
+	d := graph.PathGraph(6)
+	for _, ver := range []Version{SUM, MAX} {
+		g := GameOf(d, ver)
+		dev, err := g.VerifyNash(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev == nil {
+			t.Fatalf("%v: long path reported as equilibrium", ver)
+		}
+		if dev.NewCost >= dev.OldCost {
+			t.Fatalf("%v: witness does not improve: %v", ver, dev)
+		}
+	}
+}
+
+func TestWitnessDeviationIsReal(t *testing.T) {
+	// Applying the witness must reproduce exactly the claimed costs.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(6)
+		budgets := make([]int, n)
+		for i := range budgets {
+			budgets[i] = rng.Intn(2)
+		}
+		d := graph.RandomOutDigraph(budgets, rng)
+		for _, ver := range []Version{SUM, MAX} {
+			g := MustGame(budgets, ver)
+			dev, err := g.VerifyNash(d, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dev == nil {
+				continue
+			}
+			if got := g.Cost(d, dev.Vertex); got != dev.OldCost {
+				t.Fatalf("%v: OldCost %d, actual %d", ver, dev.OldCost, got)
+			}
+			h := d.Clone()
+			h.SetOut(dev.Vertex, dev.NewStrategy)
+			if got := g.Cost(h, dev.Vertex); got != dev.NewCost {
+				t.Fatalf("%v: NewCost %d, actual %d", ver, dev.NewCost, got)
+			}
+		}
+	}
+}
+
+func TestVerifySwapStableWeakerThanNash(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(5)
+		budgets := make([]int, n)
+		for i := range budgets {
+			budgets[i] = rng.Intn(2)
+		}
+		d := graph.RandomOutDigraph(budgets, rng)
+		for _, ver := range []Version{SUM, MAX} {
+			g := MustGame(budgets, ver)
+			nashDev, err := g.VerifyNash(d, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			swapDev, err := g.VerifySwapStable(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Nash => swap-stable: if no Nash deviation exists, no swap
+			// deviation may exist either.
+			if nashDev == nil && swapDev != nil {
+				t.Fatalf("%v: Nash equilibrium with improving swap %v", ver, swapDev)
+			}
+		}
+	}
+}
+
+func TestIsBestResponse(t *testing.T) {
+	d := graph.StarGraph(5)
+	g := GameOf(d, SUM)
+	ok, err := g.IsBestResponse(d, 0, 0)
+	if err != nil || !ok {
+		t.Fatalf("centre best response check: %v %v", ok, err)
+	}
+	p := graph.PathGraph(5)
+	gp := GameOf(p, SUM)
+	ok, err = gp.IsBestResponse(p, 0, 0)
+	if err != nil || ok {
+		t.Fatalf("path endpoint should not be best response: %v %v", ok, err)
+	}
+}
+
+func TestVerifyNashRejectsWrongRealization(t *testing.T) {
+	d := graph.PathGraph(4)
+	g := MustGame([]int{2, 1, 1, 0}, SUM) // vertex 0 owns only 1 arc
+	if _, err := g.VerifyNash(d, 0); err == nil {
+		t.Fatal("realization mismatch not reported")
+	}
+}
+
+func TestVerifyNashSpaceCapPropagates(t *testing.T) {
+	d := graph.CompleteDigraph(12)
+	g := GameOf(d, SUM)
+	if _, err := g.VerifyNash(d, 3); err == nil {
+		t.Fatal("expected space-cap error from some player")
+	}
+}
+
+func TestLemma22(t *testing.T) {
+	star := graph.StarGraph(5)
+	if !Lemma22Satisfied(star, 0) {
+		t.Fatal("star centre has local diameter 1")
+	}
+	if !Lemma22Satisfied(star, 2) {
+		t.Fatal("star leaf has local diameter 2, no brace")
+	}
+	path := graph.PathGraph(5)
+	if Lemma22Satisfied(path, 0) {
+		t.Fatal("path endpoint has local diameter 4")
+	}
+	// A brace disqualifies vertices at local diameter exactly 2, but not
+	// at local diameter 1.
+	braced := graph.NewDigraph(4)
+	braced.AddArc(0, 1)
+	braced.AddArc(1, 0)
+	braced.AddArc(1, 2)
+	braced.AddArc(2, 3)
+	if Lemma22Satisfied(braced, 1) {
+		t.Fatal("vertex 1: local diameter 2 and in a brace, should fail")
+	}
+	tiny := graph.NewDigraph(2)
+	tiny.AddArc(0, 1)
+	tiny.AddArc(1, 0)
+	if !Lemma22Satisfied(tiny, 0) {
+		t.Fatal("2-cycle vertex has local diameter 1, should pass despite brace")
+	}
+}
+
+func TestLemma22Disconnected(t *testing.T) {
+	d := graph.NewDigraph(3)
+	d.AddArc(0, 1)
+	if Lemma22Satisfied(d, 0) {
+		t.Fatal("disconnected graph cannot satisfy Lemma 2.2")
+	}
+}
+
+// Parallel verification must agree with sequential on larger instances.
+func TestVerifyParallelConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	budgets := make([]int, 40)
+	for i := range budgets {
+		budgets[i] = 1
+	}
+	d := graph.RandomOutDigraph(budgets, rng)
+	g := MustGame(budgets, SUM)
+	dev1, err := g.VerifyNash(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential reference: check each vertex directly.
+	found := false
+	for u := 0; u < g.N() && !found; u++ {
+		br, err := g.ExactBestResponse(d, u, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br.Improves() {
+			found = true
+		}
+	}
+	if (dev1 != nil) != found {
+		t.Fatalf("parallel verdict %v, sequential %v", dev1 != nil, found)
+	}
+}

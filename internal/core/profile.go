@@ -1,0 +1,103 @@
+package core
+
+import (
+	"hash/fnv"
+
+	"repro/internal/graph"
+)
+
+// Profile is a strategy profile (S_1,...,S_n); entry i is the sorted
+// strategy set of player i. Profiles are the unit the dynamics engine
+// hashes to detect best-response cycles (Laoutaris et al. showed
+// non-convergence is possible in the directed variant; Section 8 of the
+// paper leaves convergence open for this one).
+type Profile [][]int
+
+// ProfileOf extracts the profile realized by d.
+func ProfileOf(d *graph.Digraph) Profile {
+	p := make(Profile, d.N())
+	for u := 0; u < d.N(); u++ {
+		p[u] = append([]int(nil), d.Out(u)...)
+	}
+	return p
+}
+
+// Realize builds the realization digraph of the profile.
+func (p Profile) Realize() *graph.Digraph {
+	d := graph.NewDigraph(len(p))
+	for u, s := range p {
+		d.SetOut(u, s)
+	}
+	return d
+}
+
+// Clone deep-copies the profile.
+func (p Profile) Clone() Profile {
+	c := make(Profile, len(p))
+	for i, s := range p {
+		c[i] = append([]int(nil), s...)
+	}
+	return c
+}
+
+// Equal reports componentwise equality (strategies are kept sorted).
+func (p Profile) Equal(q Profile) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if len(p[i]) != len(q[i]) {
+			return false
+		}
+		for j := range p[i] {
+			if p[i][j] != q[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Hash returns a 64-bit FNV-1a hash of the canonical encoding of the
+// profile, used for O(1) loop detection in dynamics. Strategies are
+// already canonical (sorted); vertices are separated by sentinels so
+// ({1},{2}) and ({1,2},{}) hash differently.
+func (p Profile) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	put := func(x uint32) {
+		buf[0] = byte(x)
+		buf[1] = byte(x >> 8)
+		buf[2] = byte(x >> 16)
+		buf[3] = byte(x >> 24)
+		h.Write(buf[:])
+	}
+	for _, s := range p {
+		for _, v := range s {
+			put(uint32(v))
+		}
+		put(^uint32(0)) // sentinel between players
+	}
+	return h.Sum64()
+}
+
+// Valid reports whether the profile fits the game's budgets.
+func (p Profile) Valid(g *Game) bool {
+	if len(p) != g.N() {
+		return false
+	}
+	for i, s := range p {
+		if len(s) != g.Budgets[i] {
+			return false
+		}
+		for j, v := range s {
+			if v == i || v < 0 || v >= g.N() {
+				return false
+			}
+			if j > 0 && s[j-1] >= v {
+				return false // not sorted/deduped: not canonical
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestProfileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	budgets := []int{2, 0, 1, 3, 1}
+	d := graph.RandomOutDigraph(budgets, rng)
+	p := ProfileOf(d)
+	if !p.Realize().Equal(d) {
+		t.Fatal("ProfileOf/Realize round trip failed")
+	}
+}
+
+func TestProfileCloneIndependent(t *testing.T) {
+	p := Profile{{1, 2}, {0}, {}}
+	c := p.Clone()
+	c[0][0] = 9
+	if p[0][0] == 9 {
+		t.Fatal("clone shares backing arrays")
+	}
+	if !p.Equal(p.Clone()) {
+		t.Fatal("clone not equal")
+	}
+}
+
+func TestProfileEqual(t *testing.T) {
+	p := Profile{{1}, {0}}
+	if p.Equal(Profile{{1}}) {
+		t.Fatal("length mismatch compares equal")
+	}
+	if p.Equal(Profile{{1, 2}, {0}}) {
+		t.Fatal("strategy length mismatch compares equal")
+	}
+	if p.Equal(Profile{{2}, {0}}) {
+		t.Fatal("different strategies compare equal")
+	}
+	if !p.Equal(Profile{{1}, {0}}) {
+		t.Fatal("equal profiles compare unequal")
+	}
+}
+
+func TestProfileHashSentinels(t *testing.T) {
+	// ({1},{2},{}) vs ({1,2},{},{}) must hash differently.
+	p := Profile{{1}, {2}, {}}
+	q := Profile{{1, 2}, {}, {}}
+	if p.Hash() == q.Hash() {
+		t.Fatal("sentinel-distinguished profiles collide")
+	}
+}
+
+func TestProfileHashEqualityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		budgets := make([]int, n)
+		for i := range budgets {
+			budgets[i] = rng.Intn(n)
+		}
+		d := graph.RandomOutDigraph(budgets, rng)
+		p := ProfileOf(d)
+		q := p.Clone()
+		if p.Hash() != q.Hash() {
+			return false // equal profiles must collide
+		}
+		// A mutated profile should (overwhelmingly) hash differently.
+		for u := 0; u < n; u++ {
+			if len(q[u]) > 0 {
+				old := q[u][0]
+				for v := 0; v < n; v++ {
+					if v != u && v != old && !contains(q[u], v) {
+						q[u][0] = v
+						break
+					}
+				}
+				if q[u][0] != old {
+					break
+				}
+			}
+		}
+		return p.Equal(q) || p.Hash() != q.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestProfileValid(t *testing.T) {
+	g := MustGame([]int{1, 0}, SUM)
+	if !(Profile{{1}, {}}).Valid(g) {
+		t.Fatal("valid profile rejected")
+	}
+	if (Profile{{1}}).Valid(g) {
+		t.Fatal("short profile accepted")
+	}
+	if (Profile{{0}, {}}).Valid(g) {
+		t.Fatal("self-loop accepted")
+	}
+	if (Profile{{}, {}}).Valid(g) {
+		t.Fatal("budget mismatch accepted")
+	}
+	g3 := MustGame([]int{2, 0, 0}, SUM)
+	if (Profile{{2, 1}, {}, {}}).Valid(g3) {
+		t.Fatal("unsorted strategy accepted")
+	}
+	if !(Profile{{1, 2}, {}, {}}).Valid(g3) {
+		t.Fatal("sorted strategy rejected")
+	}
+}

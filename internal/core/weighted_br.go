@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Exact best response in the weighted SUM game of Section 6. The folding
+// argument needs only single-swap (weak equilibrium) stability, but the
+// full best response rounds out the weighted model: it is used by tests
+// to confirm that folding cannot create *any* improving deviation on the
+// graphs the proofs manipulate, a strictly stronger check than
+// WeakDeviation.
+
+// WeightedBestResponse enumerates all C(alive-1, outdeg(u)) strategies of
+// u over alive vertices and returns a minimiser with ties broken toward
+// the current strategy. maxCandidates guards the enumeration (0 = none).
+func (wg *WeightedGraph) WeightedBestResponse(u int, maxCandidates int64) (BestResponse, error) {
+	if !wg.Alive(u) {
+		return BestResponse{}, fmt.Errorf("core: vertex %d is folded away", u)
+	}
+	b := wg.D.OutDegree(u)
+	var targets []int
+	for v := 0; v < wg.D.N(); v++ {
+		if v != u && wg.Alive(v) {
+			targets = append(targets, v)
+		}
+	}
+	space := StrategySpaceSize(len(targets)+1, b)
+	if maxCandidates > 0 && space > maxCandidates {
+		return BestResponse{}, fmt.Errorf("core: weighted strategy space %d exceeds %d", space, maxCandidates)
+	}
+	cur := append([]int(nil), wg.D.Out(u)...)
+	res := BestResponse{Strategy: cur, Current: wg.Cost(u)}
+	res.Cost = res.Current
+
+	comb := make([]int, b)
+	trial := make([]int, b)
+	var rec func(start, at int)
+	rec = func(start, at int) {
+		if at == b {
+			for i, idx := range comb {
+				trial[i] = targets[idx]
+			}
+			wg.D.SetOut(u, trial)
+			res.Explored++
+			if c := wg.Cost(u); c < res.Cost {
+				res.Cost = c
+				res.Strategy = append(res.Strategy[:0:0], trial...)
+			}
+			return
+		}
+		for i := start; i <= len(targets)-(b-at); i++ {
+			comb[at] = i
+			rec(i+1, at+1)
+		}
+	}
+	rec(0, 0)
+	wg.D.SetOut(u, cur) // restore
+	return res, nil
+}
+
+// WeightedNashDeviation searches all alive vertices for an improving
+// full-strategy deviation, returning nil if the weighted graph is a Nash
+// equilibrium of the weighted SUM game restricted to alive vertices.
+func (wg *WeightedGraph) WeightedNashDeviation(maxCandidates int64) (*Deviation, error) {
+	for u := 0; u < wg.D.N(); u++ {
+		if !wg.Alive(u) || wg.D.OutDegree(u) == 0 {
+			continue
+		}
+		br, err := wg.WeightedBestResponse(u, maxCandidates)
+		if err != nil {
+			return nil, err
+		}
+		if br.Improves() {
+			return &Deviation{Vertex: u, NewStrategy: br.Strategy, OldCost: br.Current, NewCost: br.Cost}, nil
+		}
+	}
+	return nil, nil
+}
+
+// UnweightedEquivalent checks that with unit weights and no folds, the
+// weighted best response of u agrees in cost with the unweighted SUM
+// ExactBestResponse — the consistency bridge between the Section 6 model
+// and the main game. It returns both costs.
+func (wg *WeightedGraph) UnweightedEquivalent(u int, d *graph.Digraph) (weighted, plain int64, err error) {
+	br, err := wg.WeightedBestResponse(u, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	g := GameOf(d, SUM)
+	pbr, err := g.ExactBestResponse(d, u, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	return br.Cost, pbr.Cost, nil
+}

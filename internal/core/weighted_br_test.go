@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestWeightedBestResponseMatchesUnweighted(t *testing.T) {
+	// Unit weights, no folds: weighted and plain SUM best responses must
+	// attain the same optimal cost for every player.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(4)
+		budgets := make([]int, n)
+		for i := range budgets {
+			budgets[i] = rng.Intn(3)
+		}
+		d := graph.RandomOutDigraph(budgets, rng)
+		for u := 0; u < n; u++ {
+			if budgets[u] == 0 {
+				continue
+			}
+			wg := NewWeighted(d.Clone())
+			wCost, pCost, err := wg.UnweightedEquivalent(u, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wCost != pCost {
+				t.Fatalf("trial %d vertex %d: weighted BR cost %d, plain %d", trial, u, wCost, pCost)
+			}
+		}
+	}
+}
+
+func TestWeightedBestResponseRestoresGraph(t *testing.T) {
+	d := graph.PathGraph(5)
+	wg := NewWeighted(d)
+	before := d.Clone()
+	if _, err := wg.WeightedBestResponse(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(before) {
+		t.Fatal("WeightedBestResponse left the graph mutated")
+	}
+}
+
+func TestWeightedBestResponseSkipsFoldedTargets(t *testing.T) {
+	d := graph.NewDigraph(4)
+	d.AddArc(0, 1)
+	d.AddArc(0, 2)
+	d.AddArc(0, 3)
+	wg := NewWeighted(d)
+	if err := wg.FoldPoorLeaf(3); err != nil {
+		t.Fatal(err)
+	}
+	br, err := wg.WeightedBestResponse(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range br.Strategy {
+		if !wg.Alive(v) {
+			t.Fatalf("best response targets folded vertex %d", v)
+		}
+	}
+}
+
+func TestWeightedBestResponseFoldedVertexRejected(t *testing.T) {
+	d := graph.StarGraph(4)
+	wg := NewWeighted(d)
+	if err := wg.FoldPoorLeaf(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wg.WeightedBestResponse(2, 0); err == nil {
+		t.Fatal("folded vertex accepted")
+	}
+}
+
+func TestWeightedBestResponseCap(t *testing.T) {
+	d := graph.CompleteDigraph(12)
+	wg := NewWeighted(d)
+	if _, err := wg.WeightedBestResponse(3, 2); err == nil {
+		t.Fatal("cap not enforced")
+	}
+}
+
+func TestWeightedNashAfterFoldingBinaryTreeShape(t *testing.T) {
+	// Build the k=3 perfect binary tree inline; it is a SUM equilibrium.
+	// After folding all leaves, the weighted graph must still admit no
+	// improving deviation (the strong form of Corollary 6.3 on this
+	// instance).
+	n := 15
+	d := graph.NewDigraph(n)
+	for i := 1; 2*i+1 <= n; i++ {
+		d.AddArc(i-1, 2*i-1)
+		d.AddArc(i-1, 2*i)
+	}
+	wg := NewWeighted(d)
+	dev, err := wg.WeightedNashDeviation(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev != nil {
+		t.Fatalf("binary tree refuted in weighted model before folding: %v", dev)
+	}
+	wg.FoldAllPoorLeaves()
+	dev, err = wg.WeightedNashDeviation(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev != nil {
+		t.Fatalf("folded binary tree admits weighted deviation: %v", dev)
+	}
+}

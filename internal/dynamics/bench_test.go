@@ -1,0 +1,64 @@
+package dynamics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func BenchmarkRunUnitExact(b *testing.B) {
+	g := core.UniformGame(32, 1, core.SUM)
+	rng := rand.New(rand.NewSource(1))
+	start := RandomProfile(g, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, start, Options{
+			Responder: core.ExactResponder(0), DetectLoops: true, MaxRounds: 100,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunGreedyBudget3(b *testing.B) {
+	g := core.UniformGame(48, 3, core.SUM)
+	rng := rand.New(rand.NewSource(1))
+	start := RandomProfile(g, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, start, Options{
+			Responder: core.GreedyResponder, DetectLoops: true, MaxRounds: 50,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunSimultaneous(b *testing.B) {
+	g := core.UniformGame(16, 1, core.MAX)
+	rng := rand.New(rand.NewSource(1))
+	start := RandomProfile(g, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSimultaneous(g, start, Options{
+			Responder: core.ExactResponder(0), MaxRounds: 100,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWelfareTrace(b *testing.B) {
+	g := core.UniformGame(24, 1, core.SUM)
+	rng := rand.New(rand.NewSource(1))
+	start := RandomProfile(g, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := WelfareTrace(g, start, Options{
+			Responder: core.ExactResponder(0), MaxRounds: 50,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package dynamics runs (best-)response dynamics for bounded budget
+// network creation games: starting from a profile, players revise their
+// strategies one at a time until a fixed point (a Nash equilibrium when
+// the responder is exact), a detected cycle of profiles, or a round
+// budget is exhausted. Section 8 of the paper leaves convergence of these
+// dynamics open — Laoutaris et al. exhibited loops in the directed
+// variant — so the engine detects loops exactly via profile hashing with
+// full-profile confirmation, and the harness reports convergence
+// statistics as an empirical answer.
+package dynamics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Scheduler yields the order in which players move in one round.
+type Scheduler interface {
+	// Order fills dst with a permutation of 0..n-1 for the given round.
+	Order(dst []int, round int)
+	Name() string
+}
+
+// RoundRobin moves players in index order every round.
+type RoundRobin struct{}
+
+// Order fills dst with the identity permutation.
+func (RoundRobin) Order(dst []int, round int) {
+	for i := range dst {
+		dst[i] = i
+	}
+}
+
+// Name identifies the scheduler in reports.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// RandomOrder shuffles the player order independently each round.
+type RandomOrder struct{ Rng *rand.Rand }
+
+// Order fills dst with a fresh random permutation.
+func (s RandomOrder) Order(dst []int, round int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	s.Rng.Shuffle(len(dst), func(i, j int) { dst[i], dst[j] = dst[j], dst[i] })
+}
+
+// Name identifies the scheduler in reports.
+func (s RandomOrder) Name() string { return "random-order" }
+
+// Options configure a dynamics run.
+type Options struct {
+	Responder core.Responder // required
+	Scheduler Scheduler      // defaults to RoundRobin
+	MaxRounds int            // defaults to 1000
+	// RecordTrajectory stores the social cost (diameter) after every
+	// round in Result.Trajectory.
+	RecordTrajectory bool
+	// DetectLoops tracks visited profiles and stops when one repeats.
+	// Hash hits are confirmed against the stored profile, so a reported
+	// loop is exact, never a collision artefact.
+	DetectLoops bool
+}
+
+// Result summarises a dynamics run.
+type Result struct {
+	Converged  bool // a full round passed with no strategy change
+	Loop       bool // an earlier profile recurred (only if DetectLoops)
+	LoopLength int  // rounds between the repeats, when Loop
+	Rounds     int  // full rounds executed
+	Moves      int  // strategy changes applied
+	Final      *graph.Digraph
+	Trajectory []int64 // social cost after each round (if recorded)
+}
+
+// Run executes response dynamics for game g from the initial realization
+// start (which is not modified). If the responder is exact, a converged
+// final graph is a Nash equilibrium of g.
+func Run(g *core.Game, start *graph.Digraph, opts Options) (Result, error) {
+	if err := g.CheckRealization(start); err != nil {
+		return Result{}, err
+	}
+	if opts.Responder == nil {
+		return Result{}, fmt.Errorf("dynamics: Options.Responder is required")
+	}
+	if opts.Scheduler == nil {
+		opts.Scheduler = RoundRobin{}
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 1000
+	}
+	d := start.Clone()
+	n := g.N()
+	order := make([]int, n)
+	res := Result{}
+	var seen map[uint64][]seenProfile
+	if opts.DetectLoops {
+		seen = make(map[uint64][]seenProfile)
+		recordProfile(seen, core.ProfileOf(d), 0)
+	}
+	for round := 1; round <= opts.MaxRounds; round++ {
+		opts.Scheduler.Order(order, round)
+		changed := false
+		for _, u := range order {
+			if g.Budgets[u] == 0 {
+				continue
+			}
+			br := opts.Responder(g, d, u)
+			if br.Improves() {
+				d.SetOut(u, br.Strategy)
+				res.Moves++
+				changed = true
+			}
+		}
+		res.Rounds = round
+		if opts.RecordTrajectory {
+			res.Trajectory = append(res.Trajectory, g.SocialCost(d))
+		}
+		if !changed {
+			res.Converged = true
+			break
+		}
+		if opts.DetectLoops {
+			p := core.ProfileOf(d)
+			if prev, ok := lookupProfile(seen, p); ok {
+				res.Loop = true
+				res.LoopLength = round - prev
+				break
+			}
+			recordProfile(seen, p, round)
+		}
+	}
+	res.Final = d
+	return res, nil
+}
+
+type seenProfile struct {
+	p     core.Profile
+	round int
+}
+
+func recordProfile(seen map[uint64][]seenProfile, p core.Profile, round int) {
+	h := p.Hash()
+	seen[h] = append(seen[h], seenProfile{p: p, round: round})
+}
+
+func lookupProfile(seen map[uint64][]seenProfile, p core.Profile) (round int, ok bool) {
+	for _, sp := range seen[p.Hash()] {
+		if sp.p.Equal(p) {
+			return sp.round, true
+		}
+	}
+	return 0, false
+}
+
+// RandomProfile realizes a uniformly random valid profile of g.
+func RandomProfile(g *core.Game, rng *rand.Rand) *graph.Digraph {
+	return graph.RandomOutDigraph(g.Budgets, rng)
+}
+
+// RunFromRandom is a convenience wrapper: random initial profile, then Run.
+func RunFromRandom(g *core.Game, rng *rand.Rand, opts Options) (Result, error) {
+	return Run(g, RandomProfile(g, rng), opts)
+}

@@ -1,0 +1,22 @@
+package dynamics_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/graph"
+)
+
+// Best-response dynamics from a bad start reach a verified equilibrium.
+func ExampleRun() {
+	start := graph.PathGraph(6)
+	g := core.GameOf(start, core.SUM)
+	res, _ := dynamics.Run(g, start, dynamics.Options{
+		Responder:   core.ExactResponder(0),
+		DetectLoops: true,
+	})
+	dev, _ := g.VerifyNash(res.Final, 0)
+	fmt.Println(res.Converged, dev == nil, g.SocialCost(start), "->", g.SocialCost(res.Final))
+	// Output: true true 5 -> 3
+}

@@ -1,0 +1,47 @@
+package enumerate
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func BenchmarkAllUnit4(b *testing.B) {
+	g := core.UniformGame(4, 1, core.SUM)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := All(g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllUnit5(b *testing.B) {
+	g := core.UniformGame(5, 1, core.MAX)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := All(g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkImprovementGraphUnit4(b *testing.B) {
+	g := core.UniformGame(4, 1, core.SUM)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BestResponseImprovementGraph(g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkImprovementGraphUnit5(b *testing.B) {
+	g := core.UniformGame(5, 1, core.SUM)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BestResponseImprovementGraph(g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package enumerate exhaustively explores the profile space of small
+// bounded budget network creation games: it lists every strategy profile,
+// identifies all pure Nash equilibria, and computes the *exact* price of
+// anarchy and price of stability (the paper's two headline quantities)
+// rather than the constructive bounds used at scale. It also powers
+// exact exploration of the Section 8 open problem about uniform budgets
+// B > 1.
+//
+// The profile space has size prod_i C(n-1, b_i), so this is strictly a
+// small-n tool; Space reports the size and callers must set an explicit
+// cap.
+package enumerate
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Space returns the number of strategy profiles of the game, saturating
+// at math.MaxInt64.
+func Space(g *core.Game) int64 {
+	total := int64(1)
+	for _, b := range g.Budgets {
+		s := core.StrategySpaceSize(g.N(), b)
+		hi, lo := bits.Mul64(uint64(total), uint64(s))
+		if hi != 0 || lo > math.MaxInt64 {
+			return math.MaxInt64
+		}
+		total = int64(lo)
+	}
+	return total
+}
+
+// Result of an exhaustive equilibrium enumeration.
+type Result struct {
+	Profiles      int64 // profiles examined
+	Equilibria    int64 // pure Nash equilibria found
+	MinDiameter   int64 // over all realizations (the PoA/PoS denominator)
+	MinEqDiameter int64 // over equilibria (PoS numerator); -1 if none
+	MaxEqDiameter int64 // over equilibria (PoA numerator); -1 if none
+	// BestEquilibrium and WorstEquilibrium realize the extremes.
+	BestEquilibrium  *graph.Digraph
+	WorstEquilibrium *graph.Digraph
+	PoA              float64 // MaxEqDiameter / MinDiameter; NaN if no equilibria
+	PoS              float64 // MinEqDiameter / MinDiameter; NaN if no equilibria
+}
+
+// All enumerates every profile of g (erroring if the space exceeds cap)
+// and returns the exact equilibrium landscape. Social cost is the
+// diameter, with disconnected realizations costed at C_inf = n^2 exactly
+// as the paper's price-of-anarchy definition for sub-threshold budgets.
+func All(g *core.Game, cap int64) (Result, error) {
+	space := Space(g)
+	if cap > 0 && space > cap {
+		return Result{}, fmt.Errorf("enumerate: profile space %d exceeds cap %d", space, cap)
+	}
+	n := g.N()
+	res := Result{
+		MinDiameter:   math.MaxInt64,
+		MinEqDiameter: -1,
+		MaxEqDiameter: -1,
+	}
+	d := graph.NewDigraph(n)
+	strategies := make([][]int, n)
+	// Per-player strategy iterators: combination indices into the target
+	// lists.
+	var iterate func(player int) error
+	iterate = func(player int) error {
+		if player == n {
+			res.Profiles++
+			sc := g.SocialCost(d)
+			if sc < res.MinDiameter {
+				res.MinDiameter = sc
+			}
+			eq, err := isEquilibrium(g, d)
+			if err != nil {
+				return err
+			}
+			if eq {
+				res.Equilibria++
+				if res.MinEqDiameter < 0 || sc < res.MinEqDiameter {
+					res.MinEqDiameter = sc
+					res.BestEquilibrium = d.Clone()
+				}
+				if sc > res.MaxEqDiameter {
+					res.MaxEqDiameter = sc
+					res.WorstEquilibrium = d.Clone()
+				}
+			}
+			return nil
+		}
+		b := g.Budgets[player]
+		targets := make([]int, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v != player {
+				targets = append(targets, v)
+			}
+		}
+		comb := make([]int, b)
+		strategy := make([]int, b)
+		var rec func(start, at int) error
+		rec = func(start, at int) error {
+			if at == b {
+				for i, idx := range comb {
+					strategy[i] = targets[idx]
+				}
+				d.SetOut(player, strategy)
+				strategies[player] = strategy
+				return iterate(player + 1)
+			}
+			for i := start; i <= len(targets)-(b-at); i++ {
+				comb[at] = i
+				if err := rec(i+1, at+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return rec(0, 0)
+	}
+	if err := iterate(0); err != nil {
+		return Result{}, err
+	}
+	if res.Equilibria > 0 {
+		res.PoA = float64(res.MaxEqDiameter) / float64(res.MinDiameter)
+		res.PoS = float64(res.MinEqDiameter) / float64(res.MinDiameter)
+	} else {
+		res.PoA = math.NaN()
+		res.PoS = math.NaN()
+	}
+	return res, nil
+}
+
+// isEquilibrium checks every player by exact enumeration, sequentially
+// (the profile loop above is itself the parallelised layer in callers).
+func isEquilibrium(g *core.Game, d *graph.Digraph) (bool, error) {
+	for u := 0; u < g.N(); u++ {
+		if g.Budgets[u] == 0 {
+			continue
+		}
+		br, err := g.ExactBestResponse(d, u, 0)
+		if err != nil {
+			return false, err
+		}
+		if br.Improves() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// UniformSummary is one row of the Section 8 uniform-budget exploration.
+type UniformSummary struct {
+	N, B          int
+	Space         int64
+	Equilibria    int64
+	MinDiameter   int64
+	MinEqDiameter int64
+	MaxEqDiameter int64
+	PoA           float64
+}
+
+// Uniform computes the exact equilibrium landscape of the uniform game
+// (B,...,B)-BG for each requested B, in the given version.
+func Uniform(n int, bs []int, version core.Version, cap int64) ([]UniformSummary, error) {
+	var out []UniformSummary
+	for _, b := range bs {
+		g := core.UniformGame(n, b, version)
+		res, err := All(g, cap)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, UniformSummary{
+			N: n, B: b,
+			Space:         res.Profiles,
+			Equilibria:    res.Equilibria,
+			MinDiameter:   res.MinDiameter,
+			MinEqDiameter: res.MinEqDiameter,
+			MaxEqDiameter: res.MaxEqDiameter,
+			PoA:           res.PoA,
+		})
+	}
+	return out, nil
+}

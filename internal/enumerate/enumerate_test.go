@@ -1,0 +1,161 @@
+package enumerate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/graph"
+)
+
+func TestSpace(t *testing.T) {
+	// (1,1,1)-BG: each player picks 1 of 2 targets -> 8 profiles.
+	g := core.UniformGame(3, 1, core.SUM)
+	if s := Space(g); s != 8 {
+		t.Fatalf("space = %d, want 8", s)
+	}
+	// Budget-0 players contribute factor 1.
+	g2 := core.MustGame([]int{0, 1, 0}, core.SUM)
+	if s := Space(g2); s != 2 {
+		t.Fatalf("space = %d, want 2", s)
+	}
+	// Saturation.
+	g3 := core.UniformGame(30, 14, core.SUM)
+	if Space(g3) != math.MaxInt64 {
+		t.Fatal("expected saturation")
+	}
+}
+
+func TestAllTriangleUnit(t *testing.T) {
+	// (1,1,1)-BG: every profile realizes either a triangle-ish path or a
+	// brace + pendant. Exhaustive check of all 8 profiles; the min
+	// diameter is 1 (two mutual arcs impossible to beat... the triangle
+	// 0->1,1->2,2->0 has diameter 1). Every profile with a connected
+	// underlying graph of 3 vertices and 3 arcs: diameters 1 or 2.
+	g := core.UniformGame(3, 1, core.SUM)
+	res, err := All(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profiles != 8 {
+		t.Fatalf("profiles = %d, want 8", res.Profiles)
+	}
+	if res.Equilibria == 0 {
+		t.Fatal("the unit triangle game must have equilibria (Theorem 2.3)")
+	}
+	if res.MinDiameter != 1 {
+		t.Fatalf("min diameter = %d, want 1", res.MinDiameter)
+	}
+	if res.PoA < 1 || math.IsNaN(res.PoA) {
+		t.Fatalf("PoA = %f", res.PoA)
+	}
+	if res.PoS > res.PoA {
+		t.Fatal("PoS must not exceed PoA")
+	}
+}
+
+func TestAllAgainstVerifyNash(t *testing.T) {
+	// Cross-validation: every equilibrium found by All must pass
+	// VerifyNash, and dynamics fixed points must appear among them.
+	g := core.MustGame([]int{1, 1, 1, 0}, core.MAX)
+	res, err := All(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equilibria == 0 {
+		t.Fatal("no equilibria found")
+	}
+	for _, eq := range []*graph.Digraph{res.BestEquilibrium, res.WorstEquilibrium} {
+		dev, err := g.VerifyNash(eq, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev != nil {
+			t.Fatalf("enumerated equilibrium refuted by VerifyNash: %v", dev)
+		}
+	}
+	// A converged dynamics run must land on a diameter within the
+	// enumerated equilibrium range.
+	rng := rand.New(rand.NewSource(3))
+	out, err := dynamics.RunFromRandom(g, rng, dynamics.Options{
+		Responder: core.ExactResponder(0), DetectLoops: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Converged {
+		sc := g.SocialCost(out.Final)
+		if sc < res.MinEqDiameter || sc > res.MaxEqDiameter {
+			t.Fatalf("dynamics equilibrium diameter %d outside enumerated range [%d,%d]",
+				sc, res.MinEqDiameter, res.MaxEqDiameter)
+		}
+	}
+}
+
+func TestAllCapEnforced(t *testing.T) {
+	g := core.UniformGame(6, 2, core.SUM)
+	if _, err := All(g, 10); err == nil {
+		t.Fatal("cap not enforced")
+	}
+}
+
+func TestAllZeroBudgets(t *testing.T) {
+	g := core.MustGame([]int{0, 0, 0}, core.SUM)
+	res, err := All(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profiles != 1 || res.Equilibria != 1 {
+		t.Fatalf("empty game enumeration wrong: %+v", res)
+	}
+	if res.MinDiameter != 9 {
+		t.Fatalf("disconnected social cost = %d, want n^2 = 9", res.MinDiameter)
+	}
+	if res.PoA != 1 {
+		t.Fatalf("sub-threshold PoA = %f, want 1 (paper Section 1.2)", res.PoA)
+	}
+}
+
+func TestUniformSweep(t *testing.T) {
+	// Section 8 open problem, exact at n=4: uniform budgets B = 1, 2.
+	rows, err := Uniform(4, []int{1, 2}, core.SUM, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Equilibria == 0 {
+			t.Fatalf("uniform (%d,%d) game has no equilibria, contradicting Theorem 2.3", r.N, r.B)
+		}
+		if r.PoA < 1 {
+			t.Fatalf("PoA = %f < 1", r.PoA)
+		}
+	}
+	// With B=2 at n=4 the complete-ish graphs dominate: min diameter 1.
+	if rows[1].MinDiameter != 1 {
+		t.Fatalf("B=2 min diameter = %d, want 1", rows[1].MinDiameter)
+	}
+}
+
+func TestUniformEquilibriaRespectSection4Bounds(t *testing.T) {
+	// Exact confirmation of Theorem 4.1/4.2 at n=5: every unit-budget
+	// equilibrium diameter is below the proven caps.
+	for _, ver := range []core.Version{core.SUM, core.MAX} {
+		rows, err := Uniform(5, []int{1}, ver, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rows[0]
+		capDiam := int64(5) // SUM: diameter < 5
+		if ver == core.MAX {
+			capDiam = 8 // MAX: diameter < 8
+		}
+		if r.MaxEqDiameter >= capDiam {
+			t.Fatalf("%v: worst unit equilibrium diameter %d >= %d", ver, r.MaxEqDiameter, capDiam)
+		}
+	}
+}

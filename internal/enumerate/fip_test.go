@@ -1,0 +1,109 @@
+package enumerate
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestFIPUnitTriangle(t *testing.T) {
+	// (1,1,1)-BG SUM: 8 profiles. The improvement-graph analysis must
+	// agree with All() on the equilibrium count.
+	g := core.UniformGame(3, 1, core.SUM)
+	fip, err := BestResponseImprovementGraph(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := All(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fip.Profiles != all.Profiles {
+		t.Fatalf("profiles %d != %d", fip.Profiles, all.Profiles)
+	}
+	if fip.Equilibria != all.Equilibria {
+		t.Fatalf("sinks %d != equilibria %d", fip.Equilibria, all.Equilibria)
+	}
+	if !fip.HasFIP {
+		err := VerifyCycleWitness(g, fip.CycleWitness)
+		if err != nil {
+			t.Fatalf("cycle witness invalid: %v", err)
+		}
+	} else if fip.LongestPath < 1 {
+		t.Fatalf("acyclic improvement graph with no improving move at all? %+v", fip)
+	}
+}
+
+func TestFIPAnalysisSmallGames(t *testing.T) {
+	// Exact Section 8 evidence battery: record FIP verdicts for the
+	// games the dynamics experiments sample statistically. Any reported
+	// cycle must replay correctly; any FIP verdict means guaranteed
+	// convergence for every scheduler at this size.
+	cases := []struct {
+		budgets []int
+		version core.Version
+	}{
+		{[]int{1, 1, 1}, core.SUM},
+		{[]int{1, 1, 1}, core.MAX},
+		{[]int{1, 1, 1, 1}, core.SUM},
+		{[]int{1, 1, 1, 1}, core.MAX},
+		{[]int{2, 1, 0, 0}, core.SUM},
+		{[]int{2, 1, 1, 0}, core.MAX},
+	}
+	for _, c := range cases {
+		g := core.MustGame(c.budgets, c.version)
+		fip, err := BestResponseImprovementGraph(g, 100_000)
+		if err != nil {
+			t.Fatalf("%v %v: %v", c.budgets, c.version, err)
+		}
+		if fip.Equilibria == 0 {
+			t.Fatalf("%v %v: no sinks, contradicting Theorem 2.3", c.budgets, c.version)
+		}
+		if !fip.HasFIP {
+			if err := VerifyCycleWitness(g, fip.CycleWitness); err != nil {
+				t.Fatalf("%v %v: invalid cycle witness: %v", c.budgets, c.version, err)
+			}
+		} else if fip.Profiles > 1 && fip.LongestPath == 0 && fip.Moves > 0 {
+			t.Fatalf("%v %v: inconsistent longest path", c.budgets, c.version)
+		}
+	}
+}
+
+func TestFIPCapEnforced(t *testing.T) {
+	g := core.UniformGame(6, 2, core.SUM)
+	if _, err := BestResponseImprovementGraph(g, 100); err == nil {
+		t.Fatal("cap not enforced")
+	}
+}
+
+func TestVerifyCycleWitnessRejectsBadCycles(t *testing.T) {
+	g := core.UniformGame(3, 1, core.SUM)
+	if err := VerifyCycleWitness(g, nil); err == nil {
+		t.Fatal("empty cycle accepted")
+	}
+	p := core.Profile{{1}, {0}, {0}}
+	if err := VerifyCycleWitness(g, []core.Profile{p, p.Clone()}); err == nil {
+		t.Fatal("no-op cycle accepted")
+	}
+	// Two players change in one step.
+	q := core.Profile{{2}, {2}, {0}}
+	if err := VerifyCycleWitness(g, []core.Profile{p, q}); err == nil {
+		t.Fatal("two-player step accepted")
+	}
+}
+
+func TestSinksAreExactlyNashEquilibria(t *testing.T) {
+	// Structural cross-check on a slightly larger instance.
+	g := core.MustGame([]int{1, 1, 1, 1, 0}, core.SUM)
+	fip, err := BestResponseImprovementGraph(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := All(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fip.Equilibria != all.Equilibria {
+		t.Fatalf("sinks %d, equilibria %d", fip.Equilibria, all.Equilibria)
+	}
+}

@@ -1,0 +1,70 @@
+package enumerate
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Direct tests of internals that real games cannot reach (every small
+// instance turned out to have the FIP, so the cycle-extraction path
+// never fires in the public API tests).
+
+func TestExtractCycleSynthetic(t *testing.T) {
+	// Profiles 0 -> 1 -> 2 -> 0 plus a tail 3 -> 0. After Kahn's
+	// elimination only the cycle {0,1,2} has positive indegree.
+	profiles := []core.Profile{
+		{{1}}, {{2}}, {{3}}, {{4}},
+	}
+	adj := [][]int32{{1}, {2}, {0}, {0}}
+	indeg := []int32{1, 1, 1, 0} // vertex 3 eliminated (indeg 0 after Kahn)
+	cyc := extractCycle(profiles, adj, indeg)
+	if len(cyc) != 3 {
+		t.Fatalf("cycle length = %d, want 3", len(cyc))
+	}
+}
+
+func TestExtractCycleNoResidual(t *testing.T) {
+	profiles := []core.Profile{{{1}}}
+	if cyc := extractCycle(profiles, [][]int32{nil}, []int32{0}); cyc != nil {
+		t.Fatalf("expected nil for fully eliminated graph, got %v", cyc)
+	}
+}
+
+func TestNoPotentialErrorMessage(t *testing.T) {
+	e := &NoPotentialError{Cycle: make([]core.Profile, 4)}
+	if e.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestForEachStrategyCount(t *testing.T) {
+	count := 0
+	forEachStrategy(6, 2, 3, func(s []int) {
+		count++
+		for _, v := range s {
+			if v == 2 {
+				t.Fatal("strategy contains the player itself")
+			}
+		}
+	})
+	if count != 10 { // C(5,3)
+		t.Fatalf("enumerated %d strategies, want 10", count)
+	}
+}
+
+func TestAllProfilesIndexConsistency(t *testing.T) {
+	g := core.MustGame([]int{1, 1, 0}, core.SUM)
+	profiles, index, err := allProfiles(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 4 {
+		t.Fatalf("profiles = %d, want 4", len(profiles))
+	}
+	for i, p := range profiles {
+		if got := index[p.Hash()]; got != i {
+			t.Fatalf("index[%d-th profile] = %d", i, got)
+		}
+	}
+}

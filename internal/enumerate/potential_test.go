@@ -1,0 +1,104 @@
+package enumerate
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestOrdinalPotentialExistsForSmallGames(t *testing.T) {
+	for _, c := range []struct {
+		budgets []int
+		version core.Version
+	}{
+		{[]int{1, 1, 1}, core.SUM},
+		{[]int{1, 1, 1, 1}, core.SUM},
+		{[]int{1, 1, 1, 1}, core.MAX},
+		{[]int{2, 1, 1, 0}, core.MAX},
+	} {
+		g := core.MustGame(c.budgets, c.version)
+		pt, err := OrdinalPotential(g, 0)
+		if err != nil {
+			t.Fatalf("%v %v: %v", c.budgets, c.version, err)
+		}
+		if pt.MaxRank < 1 {
+			t.Fatalf("%v %v: degenerate potential (max rank %d)", c.budgets, c.version, pt.MaxRank)
+		}
+	}
+}
+
+func TestPotentialStrictlyDecreasesAlongBestResponses(t *testing.T) {
+	// The defining property, checked move-by-move: from any non-Nash
+	// profile, applying a best response strictly decreases the rank.
+	g := core.UniformGame(4, 1, core.SUM)
+	pt, err := OrdinalPotential(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, _, err := allProfiles(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, p := range profiles {
+		d := p.Realize()
+		rp, err := pt.Rank(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < g.N(); u++ {
+			br, err := g.ExactBestResponse(d, u, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !br.Improves() {
+				continue
+			}
+			q := p.Clone()
+			q[u] = br.Strategy
+			// Canonicalise (BestResponse strategies are sorted already).
+			rq, err := pt.Rank(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rq >= rp {
+				t.Fatalf("potential not decreasing: %d -> %d", rp, rq)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no improving moves checked")
+	}
+}
+
+func TestPotentialEquilibriaHaveRankZero(t *testing.T) {
+	g := core.UniformGame(4, 1, core.MAX)
+	pt, err := OrdinalPotential(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := All(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := pt.Rank(core.ProfileOf(res.BestEquilibrium))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Fatalf("equilibrium rank = %d, want 0", r)
+	}
+}
+
+func TestPotentialUnknownProfile(t *testing.T) {
+	g := core.UniformGame(3, 1, core.SUM)
+	pt, err := OrdinalPotential(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A profile from a different game (wrong budgets).
+	if _, err := pt.Rank(core.Profile{{1, 2}, {0}, {0}}); err == nil {
+		t.Fatal("foreign profile accepted")
+	}
+}

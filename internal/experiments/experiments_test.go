@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestTable1TreesMAXQuick(t *testing.T) {
+	tb, err := Table1TreesMAX(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[5] != "yes" {
+			t.Fatalf("spider row not verified: %v", row)
+		}
+		if row[2] != row[3] {
+			t.Fatalf("measured diameter %s != paper 2k %s", row[2], row[3])
+		}
+	}
+}
+
+func TestTable1TreesSUMQuick(t *testing.T) {
+	tb, err := Table1TreesSUM(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[4] != "yes" {
+			t.Fatalf("binary tree row not verified: %v", row)
+		}
+		if row[6] != "yes" {
+			t.Fatalf("inequality (1) violated on an equilibrium: %v", row)
+		}
+	}
+}
+
+func TestTable1UnitQuick(t *testing.T) {
+	for _, ver := range []core.Version{core.SUM, core.MAX} {
+		tb, results, err := Table1Unit(ver, Quick, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			t.Fatal("empty unit table")
+		}
+		anyConverged := false
+		for _, r := range results {
+			if r.AuditFails > 0 {
+				t.Fatalf("%v n=%d: %d equilibria violate the Section 4 structure", ver, r.N, r.AuditFails)
+			}
+			if r.Converged > 0 {
+				anyConverged = true
+				if ver == core.SUM && r.MaxCycle > 5 {
+					t.Fatalf("SUM equilibrium cycle length %d > 5", r.MaxCycle)
+				}
+				if ver == core.MAX && r.MaxCycle > 7 {
+					t.Fatalf("MAX equilibrium cycle length %d > 7", r.MaxCycle)
+				}
+				if r.MaxDiam > 8 {
+					t.Fatalf("unit equilibrium diameter %d not O(1)", r.MaxDiam)
+				}
+			}
+		}
+		if !anyConverged {
+			t.Fatalf("%v: no unit-budget run converged", ver)
+		}
+	}
+}
+
+func TestTable1PositiveMAXQuick(t *testing.T) {
+	tb, err := Table1PositiveMAX(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[5] != "yes" {
+			t.Fatalf("shift-graph row not verified: %v", row)
+		}
+	}
+}
+
+func TestTable1GeneralSUMQuick(t *testing.T) {
+	tb, ns, diams, err := Table1GeneralSUM(Quick, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tb.Rows))
+	}
+	if len(ns) != len(diams) {
+		t.Fatal("series misaligned")
+	}
+	// Every converged diameter must respect Theorem 6.9's bound shape —
+	// diameters here are tiny; just check they are positive and finite.
+	for _, d := range diams {
+		if d < 1 || d > 1000 {
+			t.Fatalf("suspicious equilibrium diameter %f", d)
+		}
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	tb, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rendered strings.Builder
+	if err := tb.Render(&rendered); err != nil {
+		t.Fatal(err)
+	}
+	out := rendered.String()
+	for _, needle := range []string{"v22", "v19", "diameter"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("figure 1 output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	tb, err := Figure2(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 5 {
+		t.Fatalf("figure 2 rows = %d", len(tb.Rows))
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	tb, err := Figure3(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path has 2k+1 = 7 vertices -> 7 a(i) rows + 2 summary rows.
+	if len(tb.Rows) != 9 {
+		t.Fatalf("figure 3 rows = %d, want 9", len(tb.Rows))
+	}
+}
+
+func TestExistenceQuick(t *testing.T) {
+	tb, err := Existence(Quick, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[3] != "yes" || row[4] != "yes" {
+			t.Fatalf("existence row failed verification: %v", row)
+		}
+	}
+}
+
+func TestReductionQuick(t *testing.T) {
+	tb, err := Reduction(Quick, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[6] != "yes" {
+			t.Fatalf("reduction mismatch: %v", row)
+		}
+	}
+}
+
+func TestConnectivityQuick(t *testing.T) {
+	tb, err := Connectivity(Quick, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tb.Rows))
+	}
+}
+
+func TestDynamicsStatsQuick(t *testing.T) {
+	tb, err := DynamicsStats(Quick, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 versions x 2 schedulers x 2 sizes.
+	if len(tb.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(tb.Rows))
+	}
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/internal/basic"
+	"repro/internal/construct"
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/enumerate"
+	"repro/internal/graph"
+	"repro/internal/sweep"
+)
+
+// ExactPoA enumerates the full profile space of small games and reports
+// the exact price of anarchy and price of stability — the quantities
+// Table 1 bounds asymptotically, here computed with no slack.
+func ExactPoA(effort Effort) (*sweep.Table, error) {
+	type inst struct {
+		name    string
+		budgets []int
+		version core.Version
+	}
+	insts := []inst{
+		{"(1,1,1) SUM", []int{1, 1, 1}, core.SUM},
+		{"(1,1,1,1) SUM", []int{1, 1, 1, 1}, core.SUM},
+		{"(1,1,1,1) MAX", []int{1, 1, 1, 1}, core.MAX},
+		{"(2,1,0,0) SUM", []int{2, 1, 0, 0}, core.SUM},
+	}
+	if effort == Full {
+		insts = append(insts,
+			inst{"(1,1,1,1,1) SUM", []int{1, 1, 1, 1, 1}, core.SUM},
+			inst{"(1,1,1,1,1) MAX", []int{1, 1, 1, 1, 1}, core.MAX},
+			inst{"(2,2,1,0,0) SUM", []int{2, 2, 1, 0, 0}, core.SUM},
+			inst{"(2,2,1,0,0) MAX", []int{2, 2, 1, 0, 0}, core.MAX},
+			inst{"(2,1,1,1,0) MAX", []int{2, 1, 1, 1, 0}, core.MAX},
+		)
+	}
+	type row struct {
+		name string
+		res  enumerate.Result
+		err  error
+	}
+	rows := sweep.Parallel(insts, func(in inst) row {
+		g := core.MustGame(in.budgets, in.version)
+		res, err := enumerate.All(g, 2_000_000)
+		return row{name: in.name, res: res, err: err}
+	})
+	t := sweep.NewTable("Exact equilibrium landscape (exhaustive profile enumeration)",
+		"instance", "profiles", "equilibria", "opt-diam", "best-eq", "worst-eq", "PoS", "PoA")
+	for _, r := range rows {
+		if r.err != nil {
+			return nil, r.err
+		}
+		t.Addf(r.name, r.res.Profiles, r.res.Equilibria, r.res.MinDiameter,
+			r.res.MinEqDiameter, r.res.MaxEqDiameter, r.res.PoS, r.res.PoA)
+	}
+	return t, nil
+}
+
+// UniformBudget explores the Section 8 open problem — equilibria of
+// uniform-budget games with B > 1 — exactly where the profile space
+// permits, and via dynamics beyond.
+func UniformBudget(effort Effort, seed int64) (*sweep.Table, error) {
+	t := sweep.NewTable("Section 8 open problem: uniform budgets B > 1 (exact where feasible)",
+		"version", "n", "B", "method", "equilibria", "opt-diam", "worst-eq-diam", "PoA")
+	for _, ver := range []core.Version{core.SUM, core.MAX} {
+		// Exact tier.
+		exactNs := []struct{ n, b int }{{4, 1}, {4, 2}}
+		if effort == Full {
+			exactNs = append(exactNs, struct{ n, b int }{5, 1}, struct{ n, b int }{5, 2})
+		}
+		for _, p := range exactNs {
+			rows, err := enumerate.Uniform(p.n, []int{p.b}, ver, 5_000_000)
+			if err != nil {
+				return nil, err
+			}
+			r := rows[0]
+			t.Addf(ver.String(), r.N, r.B, "exact", r.Equilibria, r.MinDiameter,
+				r.MaxEqDiameter, r.PoA)
+		}
+		// Dynamics tier: larger n, B in 2..4.
+		dynNs := []struct{ n, b int }{{12, 2}}
+		if effort == Full {
+			dynNs = []struct{ n, b int }{{12, 2}, {16, 2}, {16, 3}, {24, 3}, {24, 4}}
+		}
+		for _, p := range dynNs {
+			rng := rand.New(rand.NewSource(seed + int64(p.n*13+p.b)))
+			g := core.UniformGame(p.n, p.b, ver)
+			worst := int64(-1)
+			count := 0
+			for trial := 0; trial < 6; trial++ {
+				out, err := dynamics.RunFromRandom(g, rng, dynamics.Options{
+					Responder:   core.GreedyResponder,
+					DetectLoops: true,
+					MaxRounds:   300,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if !out.Converged {
+					continue
+				}
+				count++
+				if sc := g.SocialCost(out.Final); sc > worst {
+					worst = sc
+				}
+			}
+			opt, err := analysis.OptDiameterUpperBound(g.Budgets)
+			if err != nil {
+				return nil, err
+			}
+			poa := math.NaN()
+			if worst >= 0 {
+				poa = float64(worst) / float64(opt)
+			}
+			t.Addf(ver.String(), p.n, p.b, fmt.Sprintf("dynamics(%d eq)", count),
+				"-", opt, worst, poa)
+		}
+	}
+	return t, nil
+}
+
+// BaselineContrast reproduces the Section 1.1 comparison with basic
+// network creation games (Alon et al.): the ownership structure of the
+// bounded-budget game is what lets the spider survive as a MAX
+// equilibrium; without ownership, swap dynamics collapse trees to
+// diameter <= 3.
+func BaselineContrast(effort Effort, seed int64) (*sweep.Table, error) {
+	ks := []int{3, 5}
+	if effort == Full {
+		ks = []int{3, 5, 8, 12}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := sweep.NewTable("Baseline: bounded-budget (ownership) vs basic (swap) network creation, MAX version",
+		"k", "n", "spider-diam", "BG-nash", "basic-equilibrium", "basic-dyn-diam")
+	for _, k := range ks {
+		d, budgets, err := construct.Spider(k)
+		if err != nil {
+			return nil, err
+		}
+		g := core.MustGame(budgets, core.MAX)
+		dev, err := g.VerifyNash(d, 0)
+		if err != nil {
+			return nil, err
+		}
+		bg := basic.Game{Version: core.MAX}
+		basicEq := bg.IsSwapEquilibrium(d.Underlying()) == nil
+		res := bg.SwapDynamics(d.Underlying(), rng, 500)
+		finalDiam := graph.Diameter(res.Final)
+		t.Addf(k, d.N(), graph.Diameter(d.Underlying()), yesNo(dev == nil),
+			yesNo(basicEq), finalDiam)
+	}
+	return t, nil
+}
+
+// WeakMachinery runs the Section 6 audits on SUM equilibria: tree-ball
+// radii (Theorem 6.1), rich-leaf distances (Lemma 6.4) and the folding
+// experiment (Corollary 6.3).
+func WeakMachinery(effort Effort, seed int64) (*sweep.Table, error) {
+	ns := []int{8, 12}
+	if effort == Full {
+		ns = []int{8, 12, 16, 24, 32}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := sweep.NewTable("Section 6 machinery on SUM equilibria",
+		"n", "source", "tree-ball-radius", "2log2(n)+4", "rich-leaf-dist", "folds", "diam-shrink", "weak-preserved")
+	audit := func(label string, d *graph.Digraph, n int) error {
+		radius := analysis.MaxTreeBallRadius(d)
+		wg := core.NewWeighted(d.Clone())
+		leafAudit := analysis.AuditRichLeaves(wg)
+		report, err := analysis.FoldExperiment(wg)
+		if err != nil {
+			return err
+		}
+		t.Addf(n, label, radius, 2*int(math.Log2(float64(n)))+4,
+			leafAudit.MaxPairDist, report.Folds, report.DiameterShrink,
+			yesNo(!report.WeakBefore || report.WeakAfter))
+		return nil
+	}
+	for _, n := range ns {
+		g := core.UniformGame(n, 1, core.SUM)
+		out, err := dynamics.RunFromRandom(g, rng, dynamics.Options{
+			Responder: core.ExactResponder(0), DetectLoops: true, MaxRounds: 1000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if out.Converged {
+			if err := audit("unit-dynamics", out.Final, n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// The binary tree, the canonical SUM equilibrium with many poor
+	// leaves to fold.
+	for _, k := range []int{3, 4} {
+		d, _, err := construct.PerfectBinaryTree(k)
+		if err != nil {
+			return nil, err
+		}
+		if err := audit(fmt.Sprintf("binary-tree k=%d", k), d, d.N()); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExactPoAQuick(t *testing.T) {
+	tb, err := ExactPoA(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[2] == "0" {
+			t.Fatalf("instance %s found no equilibria, contradicting Theorem 2.3", row[0])
+		}
+	}
+}
+
+func TestUniformBudgetQuick(t *testing.T) {
+	tb, err := UniformBudget(Quick, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 versions x (2 exact + 1 dynamics).
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[3] == "exact" && row[4] == "0" {
+			t.Fatalf("uniform game without equilibria: %v", row)
+		}
+	}
+}
+
+func TestBaselineContrastQuick(t *testing.T) {
+	tb, err := BaselineContrast(Quick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[3] != "yes" {
+			t.Fatalf("spider must be a BG equilibrium: %v", row)
+		}
+		if row[4] != "no" {
+			t.Fatalf("spider must NOT be a basic swap equilibrium: %v", row)
+		}
+		// Basic dynamics collapse the tree to diameter <= 3.
+		if !(row[5] == "1" || row[5] == "2" || row[5] == "3") {
+			t.Fatalf("basic dynamics left diameter %s > 3: %v", row[5], row)
+		}
+	}
+}
+
+func TestWeakMachineryQuick(t *testing.T) {
+	tb, err := WeakMachinery(Quick, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 2 {
+		t.Fatalf("rows = %d, want >= 2", len(tb.Rows))
+	}
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[7] != "yes" {
+			t.Fatalf("Corollary 6.3 weak-equilibrium preservation failed:\n%s", sb.String())
+		}
+	}
+}
+
+func TestSimultaneousContrastQuick(t *testing.T) {
+	tb, err := SimultaneousContrast(Quick, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 versions x 2 sizes.
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		// Every trial must end with a verdict in one of the columns.
+		if row[3] == "0" && row[4] == "0" {
+			t.Fatalf("sequential dynamics produced no verdicts: %v", row)
+		}
+	}
+}
+
+func TestFIPQuick(t *testing.T) {
+	tb, err := FIP(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[4] == "0" {
+			t.Fatalf("no equilibria found: %v", row)
+		}
+	}
+}
+
+func TestDirectedContrastQuick(t *testing.T) {
+	tb, err := DirectedContrast(Quick, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[3] == "0" && row[4] == "0" {
+			t.Fatalf("bidirectional dynamics produced no verdicts: %v", row)
+		}
+	}
+}
+
+func TestRobustnessQuick(t *testing.T) {
+	tb, err := Robustness(Quick, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[2] == "0" {
+			t.Fatalf("family %s never converged", row[0])
+		}
+	}
+}
+
+func TestTreeDynamicsQuick(t *testing.T) {
+	tb, err := TreeDynamics(Quick, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		// Every converged SUM equilibrium that is a tree must satisfy
+		// inequality (1).
+		if row[0] == "SUM" && row[3] != row[4] {
+			t.Fatalf("SUM tree equilibria violating inequality (1): %v", row)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/internal/center"
+	"repro/internal/construct"
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/graph"
+	"repro/internal/sweep"
+)
+
+// Existence sweeps Theorem 2.3 over random budget vectors: the
+// construction must always verify as a Nash equilibrium of both versions,
+// with diameter <= 4 whenever the total budget reaches n-1 (the price of
+// stability evidence).
+func Existence(effort Effort, seed int64) (*sweep.Table, error) {
+	trials := 10
+	maxN := 8
+	if effort == Full {
+		trials = 40
+		maxN = 12
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type point struct {
+		budgets []int
+	}
+	var points []point
+	for i := 0; i < trials; i++ {
+		n := 3 + rng.Intn(maxN-2)
+		budgets := make([]int, n)
+		for j := range budgets {
+			budgets[j] = rng.Intn(4)
+			if budgets[j] >= n {
+				budgets[j] = n - 1
+			}
+		}
+		points = append(points, point{budgets})
+	}
+	type row struct {
+		budgets  []int
+		sigma    int
+		diam     int64
+		sumOK    bool
+		maxOK    bool
+		connCase bool
+		err      error
+	}
+	rows := sweep.Parallel(points, func(p point) row {
+		d, err := construct.Existence(p.budgets)
+		if err != nil {
+			return row{err: err}
+		}
+		r := row{budgets: p.budgets}
+		for _, b := range p.budgets {
+			r.sigma += b
+		}
+		r.connCase = r.sigma >= len(p.budgets)-1
+		gSum := core.MustGame(p.budgets, core.SUM)
+		gMax := core.MustGame(p.budgets, core.MAX)
+		devS, err := gSum.VerifyNash(d, 0)
+		if err != nil {
+			return row{err: err}
+		}
+		devM, err := gMax.VerifyNash(d, 0)
+		if err != nil {
+			return row{err: err}
+		}
+		r.sumOK = devS == nil
+		r.maxOK = devM == nil
+		r.diam = gSum.SocialCost(d)
+		return r
+	})
+	t := sweep.NewTable("Theorem 2.3: constructed equilibria for random budget vectors (PoS = O(1))",
+		"budgets", "sigma", "diameter", "SUM-nash", "MAX-nash")
+	for _, r := range rows {
+		if r.err != nil {
+			return nil, r.err
+		}
+		diam := fmt.Sprintf("%d", r.diam)
+		if !r.connCase {
+			diam = "n^2 (disconnected)"
+		}
+		t.Addf(fmt.Sprintf("%v", r.budgets), r.sigma, diam, yesNo(r.sumOK), yesNo(r.maxOK))
+	}
+	return t, nil
+}
+
+// Reduction cross-checks Theorem 2.1: optimal k-center / k-median values
+// computed directly must equal the fresh player's best-response cost
+// (shifted by the reduction's offset) on random connected graphs.
+func Reduction(effort Effort, seed int64) (*sweep.Table, error) {
+	trials := 8
+	maxN := 8
+	if effort == Full {
+		trials = 25
+		maxN = 11
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := sweep.NewTable("Theorem 2.1: best response == k-center (MAX) / k-median (SUM)",
+		"n", "k", "kcenter", "via-BR", "kmedian", "via-BR", "match")
+	for i := 0; i < trials; i++ {
+		n := 4 + rng.Intn(maxN-3)
+		h := graph.RandomTree(n, rng)
+		for e := 0; e < rng.Intn(3); e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !h.Underlying().HasEdge(u, v) {
+				h.AddArc(u, v)
+			}
+		}
+		k := 1 + rng.Intn(3)
+		if k > n {
+			k = n
+		}
+		dc, err := center.KCenterExact(h.Underlying(), k)
+		if err != nil {
+			return nil, err
+		}
+		gc, err := center.KCenterViaBestResponse(h, k, 0)
+		if err != nil {
+			return nil, err
+		}
+		dm, err := center.KMedianExact(h.Underlying(), k)
+		if err != nil {
+			return nil, err
+		}
+		gm, err := center.KMedianViaBestResponse(h, k, 0)
+		if err != nil {
+			return nil, err
+		}
+		match := dc.Value == gc.Value && dm.Value == gm.Value
+		t.Addf(n, k, dc.Value, gc.Value, dm.Value, gm.Value, yesNo(match))
+		if !match {
+			return t, fmt.Errorf("reduction mismatch at n=%d k=%d", n, k)
+		}
+	}
+	return t, nil
+}
+
+// Connectivity checks the Theorem 7.2 dichotomy on SUM equilibria reached
+// by dynamics in uniform-budget games: diameter < 4 or k-connected.
+func Connectivity(effort Effort, seed int64) (*sweep.Table, error) {
+	type point struct{ n, k int }
+	points := []point{{6, 2}, {8, 2}, {8, 3}}
+	if effort == Full {
+		points = []point{{6, 2}, {8, 2}, {10, 2}, {8, 3}, {10, 3}, {12, 3}, {12, 4}}
+	}
+	trials := 4
+	type row struct {
+		n, k      int
+		converged int
+		satisfied int
+		kconn     int
+		smallDiam int
+		err       error
+	}
+	rows := sweep.Parallel(points, func(p point) row {
+		rng := rand.New(rand.NewSource(seed + int64(p.n*31+p.k)))
+		g := core.UniformGame(p.n, p.k, core.SUM)
+		r := row{n: p.n, k: p.k}
+		for trial := 0; trial < trials; trial++ {
+			responder := core.Responder(core.GreedyResponder)
+			if core.StrategySpaceSize(p.n, p.k) <= 3000 {
+				responder = core.ExactResponder(0)
+			}
+			out, err := dynamics.RunFromRandom(g, rng, dynamics.Options{
+				Responder:   responder,
+				DetectLoops: true,
+				MaxRounds:   300,
+			})
+			if err != nil {
+				return row{err: err}
+			}
+			if !out.Converged {
+				continue
+			}
+			// The dichotomy is a theorem about exact equilibria; for
+			// greedy fixed points it is measured, not asserted.
+			r.converged++
+			audit := analysis.AuditConnectivity(out.Final, p.k)
+			if audit.Satisfied {
+				r.satisfied++
+			}
+			if audit.KConn {
+				r.kconn++
+			}
+			if audit.Diameter >= 0 && audit.Diameter < 4 {
+				r.smallDiam++
+			}
+		}
+		return r
+	})
+	t := sweep.NewTable("Theorem 7.2: SUM equilibria with budgets >= k are k-connected or have diameter < 4",
+		"n", "k", "converged", "dichotomy-holds", "k-connected", "diam<4")
+	for _, r := range rows {
+		if r.err != nil {
+			return nil, r.err
+		}
+		t.Addf(r.n, r.k, r.converged, r.satisfied, r.kconn, r.smallDiam)
+	}
+	return t, nil
+}
+
+// DynamicsStats addresses the Section 8 open question empirically:
+// convergence/loop rates of best-response dynamics across versions and
+// schedulers.
+func DynamicsStats(effort Effort, seed int64) (*sweep.Table, error) {
+	ns := []int{6, 8}
+	trials := 10
+	if effort == Full {
+		ns = []int{6, 8, 10, 12, 16}
+		trials = 30
+	}
+	t := sweep.NewTable("Section 8: does best-response dynamics converge? (empirical)",
+		"version", "scheduler", "n", "trials", "converged", "loops", "timeouts", "avg-rounds")
+	for _, ver := range []core.Version{core.SUM, core.MAX} {
+		for _, schedName := range []string{"round-robin", "random-order"} {
+			for _, n := range ns {
+				rng := rand.New(rand.NewSource(seed + int64(n)))
+				g := core.UniformGame(n, 1, ver)
+				var converged, loops, timeouts, totalRounds int
+				for trial := 0; trial < trials; trial++ {
+					var sched dynamics.Scheduler = dynamics.RoundRobin{}
+					if schedName == "random-order" {
+						sched = dynamics.RandomOrder{Rng: rng}
+					}
+					out, err := dynamics.RunFromRandom(g, rng, dynamics.Options{
+						Responder:   core.ExactResponder(0),
+						Scheduler:   sched,
+						DetectLoops: true,
+						MaxRounds:   1500,
+					})
+					if err != nil {
+						return nil, err
+					}
+					totalRounds += out.Rounds
+					switch {
+					case out.Converged:
+						converged++
+					case out.Loop:
+						loops++
+					default:
+						timeouts++
+					}
+				}
+				t.Addf(ver.String(), schedName, n, trials, converged, loops, timeouts,
+					float64(totalRounds)/float64(trials))
+			}
+		}
+	}
+	return t, nil
+}

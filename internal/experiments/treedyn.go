@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+// TreeDynamics probes the Trees row of Table 1 beyond the two canonical
+// constructions: random Tree-BG budget vectors (total exactly n-1) are
+// driven to equilibrium by exact best-response dynamics. Every converged
+// SUM profile must be a tree (Lemma 3.1 + edge count), satisfy Theorem
+// 3.3's inequality (1) along its longest path, and have diameter within
+// the O(log n) regime; MAX equilibria are reported for contrast (they
+// may legally be much deeper — the spider shows Theta(n) is possible).
+func TreeDynamics(effort Effort, seed int64) (*sweep.Table, error) {
+	ns := []int{8, 12}
+	trials := 5
+	if effort == Full {
+		ns = []int{8, 12, 16, 24, 32}
+		trials = 12
+	}
+	type cell struct {
+		ver core.Version
+		n   int
+	}
+	var points []cell
+	for _, ver := range []core.Version{core.SUM, core.MAX} {
+		for _, n := range ns {
+			points = append(points, cell{ver: ver, n: n})
+		}
+	}
+	type row struct {
+		ver        core.Version
+		n          int
+		converged  int
+		trees      int
+		ineqOK     int
+		diams      []int64
+		logBound   float64
+		worstRatio float64
+		err        error
+	}
+	rows := sweep.Parallel(points, func(c cell) row {
+		rng := rand.New(rand.NewSource(seed + int64(c.n)*17 + int64(c.ver)))
+		r := row{ver: c.ver, n: c.n, logBound: 2*math.Log2(float64(c.n)) + 2}
+		for trial := 0; trial < trials; trial++ {
+			budgets := randomTreeBudgets(c.n, rng)
+			g := core.MustGame(budgets, c.ver)
+			out, err := dynamics.RunFromRandom(g, rng, dynamics.Options{
+				Responder:   core.ExactResponder(0),
+				DetectLoops: true,
+				MaxRounds:   1500,
+			})
+			if err != nil {
+				return row{err: err}
+			}
+			if !out.Converged {
+				continue
+			}
+			r.converged++
+			a := out.Final.Underlying()
+			diam := graph.Diameter(a)
+			r.diams = append(r.diams, int64(diam))
+			isTree := graph.IsConnected(a) && a.EdgeCount() == c.n-1 && len(out.Final.Braces()) == 0
+			if isTree {
+				r.trees++
+				audit, err := analysis.AuditTreeSumPath(out.Final)
+				if err == nil && audit.InequalityOK {
+					r.ineqOK++
+				}
+			}
+			if ratio := float64(diam) / r.logBound; ratio > r.worstRatio {
+				r.worstRatio = ratio
+			}
+		}
+		return r
+	})
+	t := sweep.NewTable("Tree-BG dynamics: random budget vectors with total n-1",
+		"version", "n", "converged", "trees", "ineq(1)-holds", "diameter", "2log2(n)+2", "worst/bound")
+	for _, r := range rows {
+		if r.err != nil {
+			return nil, r.err
+		}
+		t.Addf(r.ver.String(), r.n, r.converged, r.trees, r.ineqOK,
+			stats.Summarize(r.diams).MeanStd(), r.logBound, r.worstRatio)
+	}
+	return t, nil
+}
+
+// randomTreeBudgets splits n-1 budget units over n players uniformly at
+// random (each unit assigned to a random player, capped at n-1).
+func randomTreeBudgets(n int, rng *rand.Rand) []int {
+	budgets := make([]int, n)
+	for i := 0; i < n-1; i++ {
+		for {
+			v := rng.Intn(n)
+			if budgets[v] < n-1 {
+				budgets[v]++
+				break
+			}
+		}
+	}
+	return budgets
+}

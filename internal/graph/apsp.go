@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// InfDiameter is returned by Diameter for disconnected or empty graphs.
+const InfDiameter int32 = -1
+
+// AllPairs computes all-pairs shortest path distances over the undirected
+// adjacency a by running one BFS per source on a worker pool sized by
+// GOMAXPROCS. Entry [u][v] is Unreached (-1) if v is not reachable from u.
+// The result uses n^2 int32 cells; callers sweeping large n should prefer
+// Diameter or per-source BFS.
+func AllPairs(a Und) [][]int32 {
+	n := len(a)
+	dist := make([][]int32, n)
+	parallelSources(n, func(s *Scratch, src int) {
+		s.BFS(a, src)
+		row := make([]int32, n)
+		for v := 0; v < n; v++ {
+			row[v] = s.Dist(v)
+		}
+		dist[src] = row
+	})
+	return dist
+}
+
+// Diameter returns the largest finite pairwise distance in a, or
+// InfDiameter if the graph is disconnected or empty. It runs parallel
+// BFS without materialising the distance matrix.
+func Diameter(a Und) int32 {
+	n := len(a)
+	if n == 0 {
+		return InfDiameter
+	}
+	eccs, connected := Eccentricities(a)
+	if !connected {
+		return InfDiameter
+	}
+	d := int32(0)
+	for _, e := range eccs {
+		if e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// Eccentricities returns every vertex's eccentricity (max distance within
+// its reached set) and whether the whole graph is connected.
+func Eccentricities(a Und) (eccs []int32, connected bool) {
+	n := len(a)
+	eccs = make([]int32, n)
+	reached := make([]int, n)
+	parallelSources(n, func(s *Scratch, src int) {
+		r := s.BFS(a, src)
+		eccs[src] = r.Ecc
+		reached[src] = r.Reached
+	})
+	connected = n > 0
+	for _, r := range reached {
+		if r != n {
+			connected = false
+			break
+		}
+	}
+	return eccs, connected
+}
+
+// TotalDistances returns for every source the sum of distances to all
+// reachable vertices, plus a connectivity flag. This is the SUM-version
+// cost without the disconnection penalty.
+func TotalDistances(a Und) (sums []int64, connected bool) {
+	n := len(a)
+	sums = make([]int64, n)
+	reached := make([]int, n)
+	parallelSources(n, func(s *Scratch, src int) {
+		r := s.BFS(a, src)
+		sums[src] = r.Sum
+		reached[src] = r.Reached
+	})
+	connected = n > 0
+	for _, r := range reached {
+		if r != n {
+			connected = false
+			break
+		}
+	}
+	return sums, connected
+}
+
+// parallelSources invokes fn once per source vertex on a pool of workers,
+// each with a private Scratch. For tiny graphs it runs sequentially to
+// avoid goroutine overhead.
+func parallelSources(n int, fn func(s *Scratch, src int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if n < 64 || workers <= 1 {
+		s := NewScratch(n)
+		for src := 0; src < n; src++ {
+			fn(s, src)
+		}
+		return
+	}
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(n) {
+			return -1
+		}
+		v := int(next)
+		next++
+		return v
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			s := NewScratch(n)
+			for {
+				src := take()
+				if src < 0 {
+					return
+				}
+				fn(s, src)
+			}
+		}()
+	}
+	wg.Wait()
+}

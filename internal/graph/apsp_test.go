@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllPairsPath(t *testing.T) {
+	g := PathGraph(6)
+	d := AllPairs(g.Underlying())
+	for u := 0; u < 6; u++ {
+		for v := 0; v < 6; v++ {
+			want := u - v
+			if want < 0 {
+				want = -want
+			}
+			if d[u][v] != int32(want) {
+				t.Fatalf("d[%d][%d] = %d, want %d", u, v, d[u][v], want)
+			}
+		}
+	}
+}
+
+func TestAllPairsSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		budgets := make([]int, n)
+		for i := range budgets {
+			budgets[i] = rng.Intn(3)
+			if budgets[i] >= n {
+				budgets[i] = n - 1
+			}
+		}
+		g := RandomOutDigraph(budgets, rng)
+		d := AllPairs(g.Underlying())
+		for u := 0; u < n; u++ {
+			if d[u][u] != 0 {
+				return false
+			}
+			for v := 0; v < n; v++ {
+				if d[u][v] != d[v][u] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllPairsTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	budgets := make([]int, 20)
+	for i := range budgets {
+		budgets[i] = 1 + rng.Intn(2)
+	}
+	g := RandomOutDigraph(budgets, rng)
+	d := AllPairs(g.Underlying())
+	n := g.N()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			for w := 0; w < n; w++ {
+				if d[u][v] < 0 || d[v][w] < 0 || d[u][w] < 0 {
+					continue
+				}
+				if d[u][w] > d[u][v]+d[v][w] {
+					t.Fatalf("triangle inequality violated at %d,%d,%d", u, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		g    *Digraph
+		want int32
+	}{
+		{PathGraph(10), 9},
+		{CycleGraph(8), 4},
+		{CycleGraph(9), 4},
+		{StarGraph(7), 2},
+		{GridGraph(3, 4), 5},
+		{CompleteDigraph(5), 1},
+	}
+	for i, c := range cases {
+		if got := Diameter(c.g.Underlying()); got != c.want {
+			t.Errorf("case %d: Diameter = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestDiameterDisconnected(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddArc(0, 1)
+	if Diameter(g.Underlying()) != InfDiameter {
+		t.Fatal("disconnected graph should have InfDiameter")
+	}
+	if Diameter(Und{}) != InfDiameter {
+		t.Fatal("empty graph should have InfDiameter")
+	}
+	if Diameter(NewDigraph(1).Underlying()) != 0 {
+		t.Fatal("single vertex should have diameter 0")
+	}
+}
+
+func TestEccentricitiesAgreeWithAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	budgets := make([]int, 30)
+	for i := range budgets {
+		budgets[i] = 1
+	}
+	g := RandomOutDigraph(budgets, rng)
+	a := g.Underlying()
+	eccs, _ := Eccentricities(a)
+	d := AllPairs(a)
+	for u := range eccs {
+		var m int32
+		for v := range d[u] {
+			if d[u][v] > m {
+				m = d[u][v]
+			}
+		}
+		if eccs[u] != m {
+			t.Fatalf("ecc[%d] = %d, APSP max %d", u, eccs[u], m)
+		}
+	}
+}
+
+func TestTotalDistances(t *testing.T) {
+	g := StarGraph(5)
+	sums, conn := TotalDistances(g.Underlying())
+	if !conn {
+		t.Fatal("star should be connected")
+	}
+	if sums[0] != 4 {
+		t.Fatalf("centre sum = %d, want 4", sums[0])
+	}
+	for v := 1; v < 5; v++ {
+		if sums[v] != 1+2*3 {
+			t.Fatalf("leaf %d sum = %d, want 7", v, sums[v])
+		}
+	}
+}
+
+// Exercise the parallel path (n >= 64).
+func TestParallelAPSPLargePath(t *testing.T) {
+	n := 200
+	g := PathGraph(n)
+	a := g.Underlying()
+	if got := Diameter(a); got != int32(n-1) {
+		t.Fatalf("Diameter = %d, want %d", got, n-1)
+	}
+	sums, conn := TotalDistances(a)
+	if !conn {
+		t.Fatal("path should be connected")
+	}
+	// Endpoint sum = 0+1+...+(n-1).
+	want := int64(n*(n-1)) / 2
+	if sums[0] != want {
+		t.Fatalf("endpoint total distance = %d, want %d", sums[0], want)
+	}
+}

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n int) *Digraph {
+	rng := rand.New(rand.NewSource(1))
+	budgets := make([]int, n)
+	for i := range budgets {
+		budgets[i] = 2
+	}
+	return RandomOutDigraph(budgets, rng)
+}
+
+func BenchmarkBFS(b *testing.B) {
+	a := benchGraph(1024).Underlying()
+	s := NewScratch(len(a))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BFS(a, i%len(a))
+	}
+}
+
+func BenchmarkDeviationBFS(b *testing.B) {
+	g := benchGraph(1024)
+	base := g.UnderlyingWithout(0)
+	in := g.In(0)
+	s := NewScratch(g.N())
+	strategy := []int{100, 200}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.DeviationBFS(base, 0, strategy, in)
+	}
+}
+
+func BenchmarkUnderlying(b *testing.B) {
+	g := benchGraph(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Underlying()
+	}
+}
+
+func BenchmarkDiameter(b *testing.B) {
+	a := benchGraph(512).Underlying()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Diameter(a)
+	}
+}
+
+func BenchmarkAllPairs(b *testing.B) {
+	a := benchGraph(256).Underlying()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AllPairs(a)
+	}
+}
+
+func BenchmarkComponents(b *testing.B) {
+	a := benchGraph(1024).Underlying()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Components(a)
+	}
+}
+
+func BenchmarkVertexConnectivity(b *testing.B) {
+	// 3-cube-of-cliques style: cycle with chords, n=64.
+	d := CycleGraph(64)
+	for v := 0; v < 64; v += 4 {
+		d.AddArc(v, (v+32)%64)
+	}
+	a := d.Underlying()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VertexConnectivity(a)
+	}
+}
+
+func BenchmarkBridges(b *testing.B) {
+	a := benchGraph(1024).Underlying()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Bridges(a)
+	}
+}

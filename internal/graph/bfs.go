@@ -1,0 +1,136 @@
+package graph
+
+// Unreached marks vertices not reached by a BFS.
+const Unreached int32 = -1
+
+// Scratch holds reusable BFS buffers so that the inner loops of cost
+// evaluation and all-pairs computation allocate nothing. A Scratch is not
+// safe for concurrent use; parallel workers each own one.
+type Scratch struct {
+	dist  []int32
+	queue []int
+	stamp []int64 // generation marks, avoids O(n) clearing per BFS
+	gen   int64
+}
+
+// NewScratch returns scratch buffers for graphs with n vertices.
+func NewScratch(n int) *Scratch {
+	return &Scratch{
+		dist:  make([]int32, n),
+		queue: make([]int, 0, n),
+		stamp: make([]int64, n),
+	}
+}
+
+func (s *Scratch) reset() {
+	s.gen++
+	s.queue = s.queue[:0]
+}
+
+// seen reports whether v was visited in the current BFS and marks it.
+func (s *Scratch) visit(v int, d int32) {
+	s.stamp[v] = s.gen
+	s.dist[v] = d
+	s.queue = append(s.queue, v)
+}
+
+func (s *Scratch) visited(v int) bool { return s.stamp[v] == s.gen }
+
+// Dist returns the distance to v from the source of the most recent BFS,
+// or Unreached if v was not reached.
+func (s *Scratch) Dist(v int) int32 {
+	if !s.visited(v) {
+		return Unreached
+	}
+	return s.dist[v]
+}
+
+// BFSResult aggregates the quantities the game needs from one BFS.
+type BFSResult struct {
+	Ecc     int32 // eccentricity within the reached set (0 for isolated src)
+	Sum     int64 // sum of distances to reached vertices (src contributes 0)
+	Reached int   // number of reached vertices, including the source
+}
+
+// BFS runs a breadth-first search over adjacency a from src using scratch
+// s, leaving per-vertex distances readable via s.Dist.
+func (s *Scratch) BFS(a Und, src int) BFSResult {
+	s.reset()
+	s.visit(src, 0)
+	return s.run(a)
+}
+
+// run drains the queue; s.queue must already contain the frontier seeds.
+func (s *Scratch) run(a Und) BFSResult {
+	res := BFSResult{}
+	for head := 0; head < len(s.queue); head++ {
+		u := s.queue[head]
+		du := s.dist[u]
+		if du > res.Ecc {
+			res.Ecc = du
+		}
+		res.Sum += int64(du)
+		for _, v := range a[u] {
+			if !s.visited(v) {
+				s.visit(v, du+1)
+			}
+		}
+	}
+	res.Reached = len(s.queue)
+	return res
+}
+
+// DeviationBFS runs a BFS from vertex u in the graph obtained from base
+// (the adjacency with all of u's owned arcs removed, see
+// Digraph.UnderlyingWithout) by giving u the neighbourhood nbrs. nbrs must
+// be the union of u's chosen strategy S and the owners of arcs into u;
+// duplicates are tolerated. Distances to all other vertices are exactly
+// those in the deviated graph because a shortest path from u never needs
+// to revisit u.
+func (s *Scratch) DeviationBFS(base Und, u int, nbrs ...[]int) BFSResult {
+	s.reset()
+	s.visit(u, 0)
+	for _, group := range nbrs {
+		for _, v := range group {
+			if v != u && !s.visited(v) {
+				s.visit(v, 1)
+			}
+		}
+	}
+	return s.run(base)
+}
+
+// DistancesToSetScratch runs a multi-source BFS from set using scratch s;
+// per-vertex distances are then readable via s.Dist (Unreached for other
+// components). The scratch is returned for call chaining in hot loops.
+func DistancesToSetScratch(a Und, s *Scratch, set []int) *Scratch {
+	s.reset()
+	for _, v := range set {
+		if !s.visited(v) {
+			s.visit(v, 0)
+		}
+	}
+	s.run(a)
+	return s
+}
+
+// BFSDist returns a freshly allocated distance vector from src
+// (Unreached = -1 for unreachable vertices). Convenience wrapper for
+// callers outside hot loops.
+func BFSDist(a Und, src int) []int32 {
+	s := NewScratch(len(a))
+	s.BFS(a, src)
+	d := make([]int32, len(a))
+	for v := range d {
+		d[v] = s.Dist(v)
+	}
+	return d
+}
+
+// Eccentricity returns the maximum finite distance from src, and whether
+// src reaches every vertex.
+func Eccentricity(a Und, src int) (ecc int32, connected bool) {
+	s := NewScratch(len(a))
+	r := s.BFS(a, src)
+	return r.Ecc, r.Reached == len(a)
+}

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := PathGraph(5)
+	a := g.Underlying()
+	d := BFSDist(a, 0)
+	for v := 0; v < 5; v++ {
+		if d[v] != int32(v) {
+			t.Fatalf("dist(0,%d) = %d, want %d", v, d[v], v)
+		}
+	}
+	d = BFSDist(a, 2)
+	want := []int32{2, 1, 0, 1, 2}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Fatalf("dist(2,%d) = %d, want %d", v, d[v], want[v])
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddArc(0, 1)
+	g.AddArc(2, 3)
+	a := g.Underlying()
+	d := BFSDist(a, 0)
+	if d[1] != 1 || d[2] != Unreached || d[3] != Unreached {
+		t.Fatalf("disconnected BFS wrong: %v", d)
+	}
+	s := NewScratch(4)
+	r := s.BFS(a, 0)
+	if r.Reached != 2 || r.Ecc != 1 || r.Sum != 1 {
+		t.Fatalf("BFSResult = %+v, want Reached=2 Ecc=1 Sum=1", r)
+	}
+}
+
+func TestBFSResultOnStar(t *testing.T) {
+	g := StarGraph(6)
+	a := g.Underlying()
+	s := NewScratch(6)
+	centre := s.BFS(a, 0)
+	if centre.Ecc != 1 || centre.Sum != 5 || centre.Reached != 6 {
+		t.Fatalf("centre BFS = %+v", centre)
+	}
+	leaf := s.BFS(a, 3)
+	if leaf.Ecc != 2 || leaf.Sum != 1+2*4 || leaf.Reached != 6 {
+		t.Fatalf("leaf BFS = %+v", leaf)
+	}
+}
+
+func TestScratchReuseAcrossGenerations(t *testing.T) {
+	g := PathGraph(6)
+	a := g.Underlying()
+	s := NewScratch(6)
+	s.BFS(a, 0)
+	if s.Dist(5) != 5 {
+		t.Fatalf("first BFS dist(5) = %d", s.Dist(5))
+	}
+	s.BFS(a, 5)
+	if s.Dist(0) != 5 || s.Dist(5) != 0 {
+		t.Fatalf("stale distances after reuse: d0=%d d5=%d", s.Dist(0), s.Dist(5))
+	}
+}
+
+func TestDeviationBFSMatchesExplicitRewire(t *testing.T) {
+	// Player u's deviation distances computed via DeviationBFS must match
+	// distances in the explicitly rewired graph.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		budgets := make([]int, n)
+		for i := range budgets {
+			budgets[i] = rng.Intn(n)
+		}
+		g := RandomOutDigraph(budgets, rng)
+		u := rng.Intn(n)
+		// Random new strategy of the same size.
+		b := budgets[u]
+		cand := make([]int, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v != u {
+				cand = append(cand, v)
+			}
+		}
+		rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+		newS := cand[:b]
+
+		base := g.UnderlyingWithout(u)
+		s := NewScratch(n)
+		r := s.DeviationBFS(base, u, newS, g.In(u))
+
+		h := g.Clone()
+		h.SetOut(u, newS)
+		want := BFSDist(h.Underlying(), u)
+		for v := 0; v < n; v++ {
+			if s.Dist(v) != want[v] {
+				return false
+			}
+		}
+		// Aggregates agree too.
+		var sum int64
+		var ecc int32
+		reach := 0
+		for v := 0; v < n; v++ {
+			if want[v] >= 0 {
+				reach++
+				sum += int64(want[v])
+				if want[v] > ecc {
+					ecc = want[v]
+				}
+			}
+		}
+		return r.Sum == sum && r.Ecc == ecc && r.Reached == reach
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEccentricityHelper(t *testing.T) {
+	g := PathGraph(7)
+	ecc, conn := Eccentricity(g.Underlying(), 0)
+	if ecc != 6 || !conn {
+		t.Fatalf("Eccentricity = %d conn=%v, want 6 true", ecc, conn)
+	}
+	g2 := NewDigraph(3)
+	g2.AddArc(0, 1)
+	ecc, conn = Eccentricity(g2.Underlying(), 0)
+	if ecc != 1 || conn {
+		t.Fatalf("disconnected Eccentricity = %d conn=%v", ecc, conn)
+	}
+}

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComponentsBasic(t *testing.T) {
+	g := NewDigraph(6)
+	g.AddArc(0, 1)
+	g.AddArc(2, 3)
+	g.AddArc(3, 4)
+	label, count := Components(g.Underlying())
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if label[0] != label[1] || label[2] != label[3] || label[3] != label[4] {
+		t.Fatalf("labels wrong: %v", label)
+	}
+	if label[0] == label[2] || label[5] == label[0] || label[5] == label[2] {
+		t.Fatalf("distinct components share labels: %v", label)
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !IsConnected(PathGraph(5).Underlying()) {
+		t.Fatal("path should be connected")
+	}
+	if !IsConnected(NewDigraph(1).Underlying()) {
+		t.Fatal("single vertex is connected")
+	}
+	if !IsConnected(NewDigraph(0).Underlying()) {
+		t.Fatal("empty graph is connected by convention")
+	}
+	g := NewDigraph(3)
+	g.AddArc(0, 1)
+	if IsConnected(g.Underlying()) {
+		t.Fatal("graph with isolated vertex reported connected")
+	}
+}
+
+func TestComponentsExcluding(t *testing.T) {
+	// Path 0-1-2-3-4; removing 2 yields components {0,1} and {3,4}.
+	g := PathGraph(5)
+	label, count := ComponentsExcluding(g.Underlying(), 2)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if label[2] != -1 {
+		t.Fatalf("excluded vertex labelled %d", label[2])
+	}
+	if label[0] != label[1] || label[3] != label[4] || label[0] == label[3] {
+		t.Fatalf("labels wrong: %v", label)
+	}
+}
+
+// Property: the deviation component formula count - touched + 1 agrees
+// with recomputing components on the rewired graph.
+func TestDeviationComponentFormula(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		budgets := make([]int, n)
+		for i := range budgets {
+			budgets[i] = rng.Intn(2)
+		}
+		g := RandomOutDigraph(budgets, rng)
+		u := rng.Intn(n)
+		b := rng.Intn(n - 1)
+		cand := make([]int, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v != u {
+				cand = append(cand, v)
+			}
+		}
+		rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+		newS := cand[:b]
+
+		label, count := ComponentsExcluding(g.UnderlyingWithout(u), u)
+		seen := make([]bool, count+1)
+		touched := CountComponentsTouched(label, seen, u, newS, g.In(u))
+		predicted := count - touched + 1
+
+		h := g.Clone()
+		h.SetOut(u, newS)
+		_, actual := Components(h.Underlying())
+		return predicted == actual
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountComponentsTouchedCleansBuffer(t *testing.T) {
+	g := PathGraph(5)
+	label, count := ComponentsExcluding(g.Underlying(), 2)
+	seen := make([]bool, count)
+	_ = CountComponentsTouched(label, seen, 2, []int{0, 4})
+	for i, s := range seen {
+		if s {
+			t.Fatalf("seen[%d] left dirty", i)
+		}
+	}
+	// Repeats and the skip vertex are ignored.
+	d := CountComponentsTouched(label, seen, 2, []int{0, 1, 0}, []int{2})
+	if d != 1 {
+		t.Fatalf("touched = %d, want 1", d)
+	}
+}

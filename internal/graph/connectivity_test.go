@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVertexConnectivityCanonical(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Digraph
+		want int
+	}{
+		{"path", PathGraph(6), 1},
+		{"cycle", CycleGraph(7), 2},
+		{"star", StarGraph(5), 1},
+		{"complete", CompleteDigraph(6), 5},
+		{"single", NewDigraph(1), 0},
+		{"two-isolated", NewDigraph(2), 0},
+	}
+	for _, c := range cases {
+		if got := VertexConnectivity(c.g.Underlying()); got != c.want {
+			t.Errorf("%s: kappa = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestVertexConnectivityDisconnected(t *testing.T) {
+	g := NewDigraph(5)
+	g.AddArc(0, 1)
+	g.AddArc(2, 3)
+	if VertexConnectivity(g.Underlying()) != 0 {
+		t.Fatal("disconnected graph should have kappa 0")
+	}
+}
+
+func TestVertexConnectivityCutVertex(t *testing.T) {
+	// Two triangles sharing vertex 2: kappa = 1.
+	g := FromUndirected(5, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}})
+	if got := VertexConnectivity(g.Underlying()); got != 1 {
+		t.Fatalf("kappa = %d, want 1", got)
+	}
+}
+
+func TestVertexConnectivityHypercube(t *testing.T) {
+	// 3-cube Q3 is 3-connected.
+	var edges [][2]int
+	for u := 0; u < 8; u++ {
+		for b := 0; b < 3; b++ {
+			v := u ^ (1 << b)
+			if v > u {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+	}
+	a := FromUndirected(8, edges).Underlying()
+	if got := VertexConnectivity(a); got != 3 {
+		t.Fatalf("kappa(Q3) = %d, want 3", got)
+	}
+	if !IsKConnected(a, 3) || IsKConnected(a, 4) {
+		t.Fatal("IsKConnected thresholds wrong on Q3")
+	}
+}
+
+func TestIsKConnectedEdgeCases(t *testing.T) {
+	a := CompleteDigraph(4).Underlying()
+	if !IsKConnected(a, 0) {
+		t.Fatal("0-connectivity should always hold")
+	}
+	if !IsKConnected(a, 3) {
+		t.Fatal("K4 is 3-connected")
+	}
+	if IsKConnected(a, 4) {
+		t.Fatal("K4 is not 4-connected (n <= k)")
+	}
+	if IsKConnected(PathGraph(4).Underlying(), 2) {
+		t.Fatal("path is not 2-connected")
+	}
+}
+
+func TestLocalVertexConnectivityLimit(t *testing.T) {
+	a := CycleGraph(8).Underlying()
+	// 0 and 4 are non-adjacent; two disjoint paths around the cycle.
+	if got := LocalVertexConnectivity(a, 0, 4, -1); got != 2 {
+		t.Fatalf("local connectivity = %d, want 2", got)
+	}
+	if got := LocalVertexConnectivity(a, 0, 4, 1); got != 1 {
+		t.Fatalf("capped local connectivity = %d, want 1", got)
+	}
+}
+
+// Randomised cross-check: kappa <= min degree, and deleting any
+// (kappa-1)-subset keeps the graph connected on small random graphs.
+func TestVertexConnectivityAgainstDeletion(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(5)
+		budgets := make([]int, n)
+		for i := range budgets {
+			budgets[i] = 1 + rng.Intn(2)
+		}
+		g := RandomOutDigraph(budgets, rng)
+		a := g.Underlying()
+		if !IsConnected(a) {
+			continue
+		}
+		k := VertexConnectivity(a)
+		if k > a.MinDegree() {
+			t.Fatalf("kappa %d exceeds min degree %d", k, a.MinDegree())
+		}
+		// Brute force: find the smallest separating vertex set by
+		// enumerating subsets up to size k (must find none of size < k
+		// unless graph is complete).
+		if k >= 1 && n <= 9 {
+			if minCut := bruteForceMinVertexCut(a); minCut != k {
+				t.Fatalf("trial %d: kappa = %d, brute force = %d\n%v", trial, k, minCut, g)
+			}
+		}
+	}
+}
+
+// bruteForceMinVertexCut enumerates all vertex subsets in increasing size
+// and returns the size of the smallest whose deletion disconnects the
+// graph (or leaves <= 1 vertex semantics: skip those), n-1 for complete.
+func bruteForceMinVertexCut(a Und) int {
+	n := len(a)
+	for size := 0; size < n-1; size++ {
+		del := make([]bool, n)
+		if tryCutsOfSize(a, del, 0, size, n) {
+			return size
+		}
+	}
+	return n - 1
+}
+
+func tryCutsOfSize(a Und, del []bool, start, remaining, n int) bool {
+	if remaining == 0 {
+		return isDisconnectedAfterDeletion(a, del)
+	}
+	for v := start; v < n; v++ {
+		del[v] = true
+		if tryCutsOfSize(a, del, v+1, remaining-1, n) {
+			del[v] = false
+			return true
+		}
+		del[v] = false
+	}
+	return false
+}
+
+func isDisconnectedAfterDeletion(a Und, del []bool) bool {
+	n := len(a)
+	var first = -1
+	alive := 0
+	for v := 0; v < n; v++ {
+		if !del[v] {
+			alive++
+			if first < 0 {
+				first = v
+			}
+		}
+	}
+	if alive <= 1 {
+		return false
+	}
+	seen := make([]bool, n)
+	queue := []int{first}
+	seen[first] = true
+	count := 1
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range a[u] {
+			if !del[v] && !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count != alive
+}

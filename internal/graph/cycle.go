@@ -1,0 +1,127 @@
+package graph
+
+// Unicyclic-structure utilities. Equilibria of (1,...,1)-BG are connected
+// graphs with n arcs whose underlying graph contains exactly one cycle
+// (Theorems 4.1 and 4.2); a brace counts as a cycle of length 2. These
+// helpers locate that cycle and measure how far every vertex sits from it.
+
+// UniqueDirectedCycle finds the unique directed cycle of a digraph in
+// which every vertex has outdegree exactly 1 (a functional graph with one
+// connected underlying component has exactly one directed cycle per
+// component; callers pass connected graphs). It returns the cycle as a
+// vertex sequence v_0 -> v_1 -> ... -> v_{k-1} -> v_0, or nil if some
+// vertex has outdegree != 1. A brace yields a 2-cycle.
+func UniqueDirectedCycle(g *Digraph) []int {
+	n := g.N()
+	for u := 0; u < n; u++ {
+		if g.OutDegree(u) != 1 {
+			return nil
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	// Walk from vertex 0 until a repeat; the tail of the walk from the
+	// first repeated vertex is the cycle of 0's component. For connected
+	// underlying graphs this is the unique cycle.
+	state := make([]int8, n) // 0 unseen, 1 on walk, 2 done
+	u := 0
+	var walk []int
+	for state[u] == 0 {
+		state[u] = 1
+		walk = append(walk, u)
+		u = g.Out(u)[0]
+	}
+	if state[u] != 1 {
+		return nil // re-entered a finished region: impossible from a cold start
+	}
+	for i, w := range walk {
+		if w == u {
+			return append([]int(nil), walk[i:]...)
+		}
+	}
+	return nil
+}
+
+// CycleInUnicyclic finds the unique cycle of a connected undirected graph
+// with exactly n edges (counting a brace as 2 parallel edges, i.e. the
+// caller certifies the graph is unicyclic). braces lists vertex pairs that
+// form 2-cycles; if any brace exists, that brace is the unique cycle. For
+// simple unicyclic graphs the cycle is found by iteratively peeling
+// degree-1 vertices. Returns nil if no cycle remains after peeling (a
+// tree was passed).
+func CycleInUnicyclic(a Und, braces [][2]int) []int {
+	if len(braces) > 0 {
+		return []int{braces[0][0], braces[0][1]}
+	}
+	n := len(a)
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	queue := make([]int, 0, n)
+	for v := range a {
+		deg[v] = len(a[v])
+		if deg[v] == 1 {
+			queue = append(queue, v)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		removed[v] = true
+		for _, w := range a[v] {
+			if removed[w] {
+				continue
+			}
+			deg[w]--
+			if deg[w] == 1 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	// Remaining vertices form the cycle; order them by walking.
+	start := -1
+	for v := range a {
+		if !removed[v] && len(a[v]) > 0 {
+			start = v
+			break
+		}
+	}
+	if start < 0 {
+		return nil
+	}
+	cycle := []int{start}
+	prev, cur := -1, start
+	for {
+		next := -1
+		for _, w := range a[cur] {
+			if !removed[w] && w != prev {
+				next = w
+				break
+			}
+		}
+		if next == -1 || next == start {
+			break
+		}
+		cycle = append(cycle, next)
+		prev, cur = cur, next
+	}
+	return cycle
+}
+
+// DistancesToSet returns, for every vertex, its distance to the nearest
+// vertex of set (multi-source BFS); Unreached for vertices in other
+// components.
+func DistancesToSet(a Und, set []int) []int32 {
+	s := NewScratch(len(a))
+	s.reset()
+	for _, v := range set {
+		if !s.visited(v) {
+			s.visit(v, 0)
+		}
+	}
+	s.run(a)
+	d := make([]int32, len(a))
+	for v := range d {
+		d[v] = s.Dist(v)
+	}
+	return d
+}

@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUniqueDirectedCycleOnCycleGraph(t *testing.T) {
+	g := CycleGraph(6)
+	c := UniqueDirectedCycle(g)
+	if len(c) != 6 {
+		t.Fatalf("cycle length = %d, want 6", len(c))
+	}
+	for i, u := range c {
+		v := c[(i+1)%len(c)]
+		if !g.HasArc(u, v) {
+			t.Fatalf("cycle edge %d->%d missing", u, v)
+		}
+	}
+}
+
+func TestUniqueDirectedCycleWithTail(t *testing.T) {
+	// 3-cycle 0->1->2->0 with tail 3->0, 4->3: every outdegree is 1.
+	g := NewDigraph(5)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.AddArc(2, 0)
+	g.AddArc(3, 0)
+	g.AddArc(4, 3)
+	c := UniqueDirectedCycle(g)
+	if len(c) != 3 {
+		t.Fatalf("cycle = %v, want length 3", c)
+	}
+	onCycle := map[int]bool{}
+	for _, v := range c {
+		onCycle[v] = true
+	}
+	if !onCycle[0] || !onCycle[1] || !onCycle[2] || onCycle[3] || onCycle[4] {
+		t.Fatalf("wrong cycle vertices: %v", c)
+	}
+}
+
+func TestUniqueDirectedCycleBrace(t *testing.T) {
+	g := NewDigraph(2)
+	g.AddArc(0, 1)
+	g.AddArc(1, 0)
+	c := UniqueDirectedCycle(g)
+	if len(c) != 2 {
+		t.Fatalf("brace cycle = %v, want length 2", c)
+	}
+}
+
+func TestUniqueDirectedCycleRejectsWrongOutdegree(t *testing.T) {
+	g := NewDigraph(3)
+	g.AddArc(0, 1) // vertex 1,2 have outdegree 0
+	if UniqueDirectedCycle(g) != nil {
+		t.Fatal("should reject outdegree != 1")
+	}
+}
+
+func TestCycleInUnicyclic(t *testing.T) {
+	// 4-cycle with pendant vertices.
+	g := NewDigraph(7)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.AddArc(2, 3)
+	g.AddArc(3, 0)
+	g.AddArc(4, 0)
+	g.AddArc(5, 2)
+	g.AddArc(6, 5)
+	c := CycleInUnicyclic(g.Underlying(), g.Braces())
+	if len(c) != 4 {
+		t.Fatalf("cycle = %v, want length 4", c)
+	}
+	a := g.Underlying()
+	for i, u := range c {
+		if !a.HasEdge(u, c[(i+1)%len(c)]) {
+			t.Fatalf("cycle not closed at %d", i)
+		}
+	}
+}
+
+func TestCycleInUnicyclicBraceFirst(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddArc(0, 1)
+	g.AddArc(1, 0)
+	g.AddArc(2, 0)
+	g.AddArc(3, 2)
+	c := CycleInUnicyclic(g.Underlying(), g.Braces())
+	if len(c) != 2 || !((c[0] == 0 && c[1] == 1) || (c[0] == 1 && c[1] == 0)) {
+		t.Fatalf("brace cycle = %v", c)
+	}
+}
+
+func TestCycleInUnicyclicTreeReturnsNil(t *testing.T) {
+	g := RandomTree(10, rand.New(rand.NewSource(2)))
+	if c := CycleInUnicyclic(g.Underlying(), g.Braces()); c != nil {
+		t.Fatalf("tree produced cycle %v", c)
+	}
+}
+
+func TestDistancesToSet(t *testing.T) {
+	g := PathGraph(7)
+	d := DistancesToSet(g.Underlying(), []int{0, 6})
+	want := []int32{0, 1, 2, 3, 2, 1, 0}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Fatalf("d[%d] = %d, want %d", v, d[v], want[v])
+		}
+	}
+}
+
+func TestDistancesToSetUnreached(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddArc(0, 1)
+	d := DistancesToSet(g.Underlying(), []int{0})
+	if d[2] != Unreached || d[3] != Unreached {
+		t.Fatalf("expected unreached markers: %v", d)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if got := CycleGraph(5).ArcCount(); got != 5 {
+		t.Fatalf("cycle arcs = %d", got)
+	}
+	if got := StarGraph(9).ArcCount(); got != 8 {
+		t.Fatalf("star arcs = %d", got)
+	}
+	if got := GridGraph(3, 3).ArcCount(); got != 12 {
+		t.Fatalf("grid arcs = %d", got)
+	}
+	tr := RandomTree(12, rand.New(rand.NewSource(1)))
+	if tr.ArcCount() != 11 || !IsConnected(tr.Underlying()) {
+		t.Fatal("random tree malformed")
+	}
+	rng := rand.New(rand.NewSource(4))
+	g := RandomOutDigraph([]int{3, 0, 2, 1, 1}, rng)
+	for u, want := range []int{3, 0, 2, 1, 1} {
+		if g.OutDegree(u) != want {
+			t.Fatalf("vertex %d outdegree %d, want %d", u, g.OutDegree(u), want)
+		}
+	}
+}
+
+func TestRandomOutDigraphBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("budget >= n should panic")
+		}
+	}()
+	RandomOutDigraph([]int{3, 0, 0}, rand.New(rand.NewSource(1)))
+}
+
+func TestCycleGraphTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CycleGraph(1) should panic")
+		}
+	}()
+	CycleGraph(1)
+}

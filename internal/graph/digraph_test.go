@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddRemoveArc(t *testing.T) {
+	g := NewDigraph(4)
+	if !g.AddArc(0, 1) {
+		t.Fatal("AddArc(0,1) should report new")
+	}
+	if g.AddArc(0, 1) {
+		t.Fatal("duplicate AddArc should report false")
+	}
+	if !g.HasArc(0, 1) || g.HasArc(1, 0) {
+		t.Fatal("arc direction mishandled")
+	}
+	if g.ArcCount() != 1 {
+		t.Fatalf("ArcCount = %d, want 1", g.ArcCount())
+	}
+	if !g.RemoveArc(0, 1) {
+		t.Fatal("RemoveArc should report true")
+	}
+	if g.RemoveArc(0, 1) {
+		t.Fatal("second RemoveArc should report false")
+	}
+	if g.ArcCount() != 0 {
+		t.Fatalf("ArcCount = %d after removal, want 0", g.ArcCount())
+	}
+}
+
+func TestOutListsSorted(t *testing.T) {
+	g := NewDigraph(6)
+	for _, v := range []int{5, 2, 4, 1, 3} {
+		g.AddArc(0, v)
+	}
+	out := g.Out(0)
+	for i := 1; i < len(out); i++ {
+		if out[i-1] >= out[i] {
+			t.Fatalf("out list not strictly sorted: %v", out)
+		}
+	}
+}
+
+func TestSetOutDedup(t *testing.T) {
+	g := NewDigraph(5)
+	g.SetOut(2, []int{4, 1, 4, 3, 1})
+	want := []int{1, 3, 4}
+	got := g.Out(2)
+	if len(got) != len(want) {
+		t.Fatalf("SetOut kept duplicates: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SetOut = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddArc(1,1) should panic")
+		}
+	}()
+	NewDigraph(3).AddArc(1, 1)
+}
+
+func TestSetOutSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetOut with self-loop should panic")
+		}
+	}()
+	NewDigraph(3).SetOut(1, []int{0, 1})
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddArc out of range should panic")
+		}
+	}()
+	NewDigraph(3).AddArc(0, 3)
+}
+
+func TestInAndInLists(t *testing.T) {
+	g := NewDigraph(5)
+	g.AddArc(1, 0)
+	g.AddArc(3, 0)
+	g.AddArc(2, 4)
+	in0 := g.In(0)
+	if len(in0) != 2 || in0[0] != 1 || in0[1] != 3 {
+		t.Fatalf("In(0) = %v, want [1 3]", in0)
+	}
+	lists := g.InLists()
+	if len(lists[0]) != 2 || len(lists[4]) != 1 || lists[4][0] != 2 {
+		t.Fatalf("InLists wrong: %v", lists)
+	}
+	if lists[1] != nil || lists[2] != nil || lists[3] != nil {
+		t.Fatalf("InLists nonempty where it should be empty: %v", lists)
+	}
+}
+
+func TestBraces(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddArc(0, 1)
+	g.AddArc(1, 0)
+	g.AddArc(2, 3)
+	if !g.IsBrace(0, 1) || !g.IsBrace(1, 0) {
+		t.Fatal("brace {0,1} not detected")
+	}
+	if g.IsBrace(2, 3) {
+		t.Fatal("single arc misreported as brace")
+	}
+	bs := g.Braces()
+	if len(bs) != 1 || bs[0] != [2]int{0, 1} {
+		t.Fatalf("Braces = %v, want [[0 1]]", bs)
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := RandomOutDigraph([]int{2, 1, 3, 0, 2}, rng)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.AddArc(3, 0)
+	if g.Equal(c) {
+		t.Fatal("mutating clone affected equality check")
+	}
+	if g.HasArc(3, 0) {
+		t.Fatal("mutating clone mutated original")
+	}
+}
+
+func TestEqualDifferentN(t *testing.T) {
+	if NewDigraph(3).Equal(NewDigraph(4)) {
+		t.Fatal("graphs of different order compare equal")
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	g := NewDigraph(3)
+	g.AddArc(0, 2)
+	if s := g.String(); s == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+// Property: for random graphs, u appears in InLists()[v] iff HasArc(u,v).
+func TestInListsMatchesHasArc(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		budgets := make([]int, n)
+		for i := range budgets {
+			budgets[i] = rng.Intn(n)
+		}
+		g := RandomOutDigraph(budgets, rng)
+		in := g.InLists()
+		present := make(map[[2]int]bool)
+		for v, owners := range in {
+			for _, u := range owners {
+				present[[2]int{u, v}] = true
+			}
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u == v {
+					continue
+				}
+				if g.HasArc(u, v) != present[[2]int{u, v}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

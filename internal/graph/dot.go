@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DOT export for visual inspection of equilibria (Graphviz). Arcs render
+// with their ownership direction; braces render as a single double-headed
+// edge so the underlying multigraph structure is visible.
+
+// DOTOptions control rendering.
+type DOTOptions struct {
+	Name string // graph name; default "G"
+	// Labels assigns display labels per vertex; nil uses "v<i>".
+	Labels []string
+	// Highlight marks a vertex set (e.g. the unique cycle) with a
+	// distinct style.
+	Highlight []int
+}
+
+// WriteDOT renders the digraph in Graphviz dot syntax.
+func (g *Digraph) WriteDOT(w io.Writer, opts DOTOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", name)
+	b.WriteString("  node [shape=circle];\n")
+	hi := make(map[int]bool, len(opts.Highlight))
+	for _, v := range opts.Highlight {
+		hi[v] = true
+	}
+	for v := 0; v < g.n; v++ {
+		label := fmt.Sprintf("v%d", v)
+		if opts.Labels != nil && v < len(opts.Labels) {
+			label = opts.Labels[v]
+		}
+		attrs := fmt.Sprintf("label=%q", label)
+		if hi[v] {
+			attrs += ", style=filled, fillcolor=lightblue"
+		}
+		fmt.Fprintf(&b, "  %d [%s];\n", v, attrs)
+	}
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.out[u] {
+			if g.HasArc(v, u) {
+				if u < v { // render each brace once
+					fmt.Fprintf(&b, "  %d -> %d [dir=both, color=red];\n", u, v)
+				}
+				continue
+			}
+			fmt.Fprintf(&b, "  %d -> %d;\n", u, v)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

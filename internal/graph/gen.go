@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Deterministic generators for workloads. Every random generator takes an
+// explicit *rand.Rand so experiments are reproducible from a seed.
+
+// PathGraph returns the directed path 0 -> 1 -> ... -> n-1 (each vertex i
+// owns the arc to i+1).
+func PathGraph(n int) *Digraph {
+	g := NewDigraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddArc(i, i+1)
+	}
+	return g
+}
+
+// CycleGraph returns the directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+// n must be at least 2 (a 2-cycle is a brace).
+func CycleGraph(n int) *Digraph {
+	if n < 2 {
+		panic("graph: cycle needs >= 2 vertices")
+	}
+	g := NewDigraph(n)
+	for i := 0; i < n; i++ {
+		g.AddArc(i, (i+1)%n)
+	}
+	return g
+}
+
+// StarGraph returns the star in which the centre (vertex 0) owns arcs to
+// every other vertex.
+func StarGraph(n int) *Digraph {
+	g := NewDigraph(n)
+	for i := 1; i < n; i++ {
+		g.AddArc(0, i)
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labelled tree on n vertices via a
+// random Prüfer-like attachment: vertex i (i >= 1) owns an arc to a
+// uniformly random earlier vertex. This yields a random recursive tree,
+// which is sufficient workload diversity for dynamics starting points.
+func RandomTree(n int, rng *rand.Rand) *Digraph {
+	g := NewDigraph(n)
+	for i := 1; i < n; i++ {
+		g.AddArc(i, rng.Intn(i))
+	}
+	return g
+}
+
+// RandomOutDigraph returns a digraph in which vertex i owns arcs to
+// budgets[i] distinct targets chosen uniformly without replacement.
+// budgets[i] must be < n.
+func RandomOutDigraph(budgets []int, rng *rand.Rand) *Digraph {
+	n := len(budgets)
+	g := NewDigraph(n)
+	perm := make([]int, 0, n-1)
+	for u, b := range budgets {
+		if b >= n {
+			panic(fmt.Sprintf("graph: budget %d of vertex %d exceeds n-1=%d", b, u, n-1))
+		}
+		perm = perm[:0]
+		for v := 0; v < n; v++ {
+			if v != u {
+				perm = append(perm, v)
+			}
+		}
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		g.SetOut(u, perm[:b])
+	}
+	return g
+}
+
+// GridGraph returns the rows x cols grid; each vertex owns arcs to its
+// right and down neighbours. Useful as a non-equilibrium baseline whose
+// diameter is rows+cols-2.
+func GridGraph(rows, cols int) *Digraph {
+	g := NewDigraph(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddArc(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddArc(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// CompleteDigraph returns the digraph where every vertex owns arcs to all
+// higher-numbered vertices (underlying graph K_n without braces).
+func CompleteDigraph(n int) *Digraph {
+	g := NewDigraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddArc(u, v)
+		}
+	}
+	return g
+}
+
+// FromUndirected orients an undirected edge list into a Digraph, assigning
+// each edge {u,v} to be owned by min(u,v). Edges must not repeat.
+func FromUndirected(n int, edges [][2]int) *Digraph {
+	g := NewDigraph(n)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		g.AddArc(u, v)
+	}
+	return g
+}

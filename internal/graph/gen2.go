@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Richer workload generators: realistic initial overlays for dynamics
+// robustness experiments. All are deterministic given the *rand.Rand.
+
+// PreferentialAttachment grows a digraph in which each arriving vertex
+// owns m arcs to earlier vertices chosen proportionally to current
+// degree plus one (Barabási–Albert flavoured). Vertices 0..m-1 form a
+// seed path. Budgets are m for arriving vertices (and < m for the seed).
+func PreferentialAttachment(n, m int, rng *rand.Rand) (*Digraph, error) {
+	if m < 1 || m >= n {
+		return nil, fmt.Errorf("graph: preferential attachment needs 1 <= m < n, got m=%d n=%d", m, n)
+	}
+	d := NewDigraph(n)
+	deg := make([]int, n)
+	// Seed: path on the first m+1 vertices.
+	for i := 0; i < m; i++ {
+		d.AddArc(i, i+1)
+		deg[i]++
+		deg[i+1]++
+	}
+	totalDeg := 2 * m
+	for v := m + 1; v < n; v++ {
+		chosen := map[int]bool{}
+		for len(chosen) < m {
+			// Degree-proportional pick with +1 smoothing.
+			r := rng.Intn(totalDeg + v)
+			target := -1
+			acc := 0
+			for u := 0; u < v; u++ {
+				acc += deg[u] + 1
+				if r < acc {
+					target = u
+					break
+				}
+			}
+			if target < 0 || chosen[target] {
+				continue
+			}
+			chosen[target] = true
+		}
+		for u := range chosen {
+			d.AddArc(v, u)
+			deg[v]++
+			deg[u]++
+			totalDeg += 2
+		}
+	}
+	return d, nil
+}
+
+// SmallWorld builds a Watts–Strogatz flavoured digraph: a ring lattice
+// where every vertex owns arcs to its k/2 clockwise neighbours, each arc
+// rewired to a uniform random non-neighbour with probability p.
+// k must be even, 2 <= k < n.
+func SmallWorld(n, k int, p float64, rng *rand.Rand) (*Digraph, error) {
+	if k%2 != 0 || k < 2 || k >= n {
+		return nil, fmt.Errorf("graph: small world needs even 2 <= k < n, got k=%d n=%d", k, n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: rewire probability %f out of [0,1]", p)
+	}
+	d := NewDigraph(n)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			target := (v + j) % n
+			if rng.Float64() < p {
+				// Rewire to a random vertex, avoiding self-loops and
+				// duplicates (falling back to the lattice target if the
+				// vertex is saturated).
+				for attempts := 0; attempts < 4*n; attempts++ {
+					w := rng.Intn(n)
+					if w != v && !d.HasArc(v, w) {
+						target = w
+						break
+					}
+				}
+			}
+			if target != v && !d.HasArc(v, target) {
+				d.AddArc(v, target)
+			}
+		}
+	}
+	return d, nil
+}
+
+// BudgetsOf extracts the outdegree vector of a digraph, the budget
+// vector of the game it realizes.
+func BudgetsOf(d *Digraph) []int {
+	budgets := make([]int, d.N())
+	for v := range budgets {
+		budgets[v] = d.OutDegree(v)
+	}
+	return budgets
+}

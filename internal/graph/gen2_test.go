@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPreferentialAttachment(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d, err := PreferentialAttachment(50, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 50 {
+		t.Fatalf("n = %d", d.N())
+	}
+	// Arriving vertices own exactly m arcs.
+	for v := 3; v < 50; v++ {
+		if d.OutDegree(v) != 2 {
+			t.Fatalf("vertex %d outdegree %d, want 2", v, d.OutDegree(v))
+		}
+	}
+	if !IsConnected(d.Underlying()) {
+		t.Fatal("preferential attachment graph disconnected")
+	}
+	// Degree skew: the max degree should exceed the arrival budget by a
+	// fair margin (hubs emerge).
+	if d.Underlying().MaxDegree() < 5 {
+		t.Fatalf("max degree %d suspiciously small", d.Underlying().MaxDegree())
+	}
+}
+
+func TestPreferentialAttachmentValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := PreferentialAttachment(5, 0, rng); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := PreferentialAttachment(5, 5, rng); err == nil {
+		t.Fatal("m=n accepted")
+	}
+}
+
+func TestSmallWorldLattice(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, err := SmallWorld(20, 4, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p=0: pure ring lattice; every vertex owns exactly k/2 = 2 arcs.
+	for v := 0; v < 20; v++ {
+		if d.OutDegree(v) != 2 {
+			t.Fatalf("vertex %d outdegree %d, want 2", v, d.OutDegree(v))
+		}
+		if !d.HasArc(v, (v+1)%20) || !d.HasArc(v, (v+2)%20) {
+			t.Fatalf("vertex %d missing lattice arcs", v)
+		}
+	}
+	// Lattice diameter of C20 with chords to distance 2: 5.
+	if diam := Diameter(d.Underlying()); diam != 5 {
+		t.Fatalf("lattice diameter = %d, want 5", diam)
+	}
+}
+
+func TestSmallWorldRewiringShrinksDiameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	lattice, err := SmallWorld(100, 4, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewired, err := SmallWorld(100, 4, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl := Diameter(lattice.Underlying())
+	dr := Diameter(rewired.Underlying())
+	if dr < 0 {
+		t.Skip("rewired graph disconnected for this seed")
+	}
+	if dr >= dl {
+		t.Fatalf("rewiring did not shrink diameter: %d -> %d", dl, dr)
+	}
+}
+
+func TestSmallWorldValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SmallWorld(10, 3, 0, rng); err == nil {
+		t.Fatal("odd k accepted")
+	}
+	if _, err := SmallWorld(4, 4, 0, rng); err == nil {
+		t.Fatal("k=n accepted")
+	}
+	if _, err := SmallWorld(10, 2, 1.5, rng); err == nil {
+		t.Fatal("p>1 accepted")
+	}
+}
+
+func TestBudgetsOf(t *testing.T) {
+	d := StarGraph(4)
+	b := BudgetsOf(d)
+	if b[0] != 3 || b[1] != 0 {
+		t.Fatalf("budgets = %v", b)
+	}
+}

@@ -1,0 +1,149 @@
+package graph
+
+// Structural decompositions used by the equilibrium analyses: bridges
+// and articulation points (every edge of a tree equilibrium is a bridge;
+// Theorem 7.2's k-connected equilibria have neither), and degree
+// histograms for the sweep reports.
+
+// Bridges returns the bridge edges of the undirected graph as (u,v)
+// pairs with u < v, via Tarjan's low-link on an iterative DFS.
+func Bridges(a Und) [][2]int {
+	n := len(a)
+	disc := make([]int, n)
+	low := make([]int, n)
+	parent := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	var bridges [][2]int
+	timer := 0
+	type frame struct {
+		v, idx int
+	}
+	for root := 0; root < n; root++ {
+		if disc[root] >= 0 {
+			continue
+		}
+		stack := []frame{{v: root}}
+		disc[root] = timer
+		low[root] = timer
+		timer++
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			v := top.v
+			if top.idx < len(a[v]) {
+				w := a[v][top.idx]
+				top.idx++
+				if w == parent[v] {
+					continue
+				}
+				if disc[w] >= 0 {
+					if disc[w] < low[v] {
+						low[v] = disc[w]
+					}
+					continue
+				}
+				parent[w] = v
+				disc[w] = timer
+				low[w] = timer
+				timer++
+				stack = append(stack, frame{v: w})
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if p := parent[v]; p >= 0 {
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				if low[v] > disc[p] {
+					u, w := p, v
+					if u > w {
+						u, w = w, u
+					}
+					bridges = append(bridges, [2]int{u, w})
+				}
+			}
+		}
+	}
+	return bridges
+}
+
+// ArticulationPoints returns the cut vertices of the undirected graph.
+func ArticulationPoints(a Und) []int {
+	n := len(a)
+	disc := make([]int, n)
+	low := make([]int, n)
+	parent := make([]int, n)
+	childCount := make([]int, n)
+	isCut := make([]bool, n)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	timer := 0
+	type frame struct {
+		v, idx int
+	}
+	for root := 0; root < n; root++ {
+		if disc[root] >= 0 {
+			continue
+		}
+		stack := []frame{{v: root}}
+		disc[root] = timer
+		low[root] = timer
+		timer++
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			v := top.v
+			if top.idx < len(a[v]) {
+				w := a[v][top.idx]
+				top.idx++
+				if w == parent[v] {
+					continue
+				}
+				if disc[w] >= 0 {
+					if disc[w] < low[v] {
+						low[v] = disc[w]
+					}
+					continue
+				}
+				parent[w] = v
+				childCount[v]++
+				disc[w] = timer
+				low[w] = timer
+				timer++
+				stack = append(stack, frame{v: w})
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if p := parent[v]; p >= 0 {
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				if parent[p] >= 0 && low[v] >= disc[p] {
+					isCut[p] = true
+				}
+			}
+		}
+		if childCount[root] >= 2 {
+			isCut[root] = true
+		}
+	}
+	var cuts []int
+	for v, c := range isCut {
+		if c {
+			cuts = append(cuts, v)
+		}
+	}
+	return cuts
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with degree d.
+func DegreeHistogram(a Und) []int {
+	counts := make([]int, a.MaxDegree()+1)
+	for _, nb := range a {
+		counts[len(nb)]++
+	}
+	return counts
+}

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBridgesOnTree(t *testing.T) {
+	// Every edge of a tree is a bridge.
+	d := RandomTree(10, rand.New(rand.NewSource(2)))
+	a := d.Underlying()
+	bridges := Bridges(a)
+	if len(bridges) != a.EdgeCount() {
+		t.Fatalf("tree has %d bridges, want %d", len(bridges), a.EdgeCount())
+	}
+}
+
+func TestBridgesOnCycle(t *testing.T) {
+	if got := Bridges(CycleGraph(6).Underlying()); len(got) != 0 {
+		t.Fatalf("cycle has %d bridges, want 0", len(got))
+	}
+}
+
+func TestBridgesLollipop(t *testing.T) {
+	// Triangle 0-1-2 plus path 2-3-4: bridges are {2,3} and {3,4}.
+	d := FromUndirected(5, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}})
+	bridges := Bridges(d.Underlying())
+	sort.Slice(bridges, func(i, j int) bool { return bridges[i][0] < bridges[j][0] })
+	if len(bridges) != 2 || bridges[0] != [2]int{2, 3} || bridges[1] != [2]int{3, 4} {
+		t.Fatalf("bridges = %v", bridges)
+	}
+}
+
+func TestArticulationPoints(t *testing.T) {
+	// Same lollipop: cut vertices 2 and 3.
+	d := FromUndirected(5, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}})
+	cuts := ArticulationPoints(d.Underlying())
+	if len(cuts) != 2 || cuts[0] != 2 || cuts[1] != 3 {
+		t.Fatalf("articulation points = %v, want [2 3]", cuts)
+	}
+	if got := ArticulationPoints(CycleGraph(5).Underlying()); len(got) != 0 {
+		t.Fatalf("cycle has cut vertices %v", got)
+	}
+	if got := ArticulationPoints(StarGraph(5).Underlying()); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("star cut vertices = %v, want [0]", got)
+	}
+}
+
+// Property: v is an articulation point iff deleting it increases the
+// component count; {u,v} is a bridge iff deleting the edge does.
+func TestStructureAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		d := RandomTree(n, rng)
+		for e := 0; e < rng.Intn(4); e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !d.Underlying().HasEdge(u, v) {
+				d.AddArc(u, v)
+			}
+		}
+		a := d.Underlying()
+		_, base := Components(a)
+
+		cutSet := map[int]bool{}
+		for _, v := range ArticulationPoints(a) {
+			cutSet[v] = true
+		}
+		for v := 0; v < n; v++ {
+			_, after := ComponentsExcluding(a, v)
+			// Deleting v removes it; compare against base adjusted for
+			// isolated-vertex bookkeeping: v was in one component, so
+			// the remainder splits iff after > base - (1 if v was
+			// isolated... v isolated means degree 0).
+			want := after > base-boolToInt(a.Degree(v) == 0)
+			if a.Degree(v) == 0 {
+				want = false
+			}
+			if cutSet[v] != want {
+				return false
+			}
+		}
+		bridgeSet := map[[2]int]bool{}
+		for _, e := range Bridges(a) {
+			bridgeSet[e] = true
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range a[u] {
+				if v < u {
+					continue
+				}
+				// Remove edge {u,v} and recount.
+				b := a.Clone()
+				b[u] = removeVal(b[u], v)
+				b[v] = removeVal(b[v], u)
+				_, after := Components(b)
+				if bridgeSet[[2]int{u, v}] != (after > base) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func removeVal(s []int, v int) []int {
+	out := s[:0:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := DegreeHistogram(StarGraph(5).Underlying())
+	if h[1] != 4 || h[4] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	d := NewDigraph(3)
+	d.AddArc(0, 1)
+	d.AddArc(1, 0)
+	d.AddArc(1, 2)
+	var sb strings.Builder
+	if err := d.WriteDOT(&sb, DOTOptions{Name: "demo", Highlight: []int{2}}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "digraph demo {") {
+		t.Fatal("missing header")
+	}
+	if !strings.Contains(out, "dir=both") {
+		t.Fatal("brace not rendered double-headed")
+	}
+	if strings.Count(out, "->") != 2 { // brace renders once + 1 plain arc
+		t.Fatalf("unexpected edge lines:\n%s", out)
+	}
+	if !strings.Contains(out, "fillcolor=lightblue") {
+		t.Fatal("highlight missing")
+	}
+}
+
+func TestWriteDOTLabels(t *testing.T) {
+	d := PathGraph(2)
+	var sb strings.Builder
+	if err := d.WriteDOT(&sb, DOTOptions{Labels: []string{"alpha", "beta"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"alpha"`) || !strings.Contains(sb.String(), `"beta"`) {
+		t.Fatalf("labels missing:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,76 @@
+// Package stats provides the small summary-statistics kit the experiment
+// tables report: mean, standard deviation, min/max and percentiles over
+// int64 samples (costs, diameters, rounds).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary aggregates a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Std    float64 // population standard deviation
+	Min    int64
+	Max    int64
+	Median float64
+}
+
+// Summarize computes the summary of xs; the zero Summary for empty input.
+func Summarize(xs []int64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += float64(x)
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := float64(x) - s.Mean
+		sq += d * d
+	}
+	s.Std = math.Sqrt(sq / float64(len(xs)))
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) by linear
+// interpolation on the sorted copy of xs. NaN for empty input.
+func Percentile(xs []int64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]int64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return float64(sorted[0])
+	}
+	if p >= 100 {
+		return float64(sorted[len(sorted)-1])
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return float64(sorted[lo])
+	}
+	frac := rank - float64(lo)
+	return float64(sorted[lo])*(1-frac) + float64(sorted[hi])*frac
+}
+
+// MeanStd renders "m ± s" with two decimals, the table cell format.
+func (s Summary) MeanStd() string {
+	return fmt.Sprintf("%.2f ± %.2f", s.Mean, s.Std)
+}

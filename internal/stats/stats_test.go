@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]int64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Count != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Fatalf("std = %f, want 2", s.Std)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("median = %f, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]int64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Median != 7 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestPercentileEndpoints(t *testing.T) {
+	xs := []int64{3, 1, 2}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 3 {
+		t.Fatal("endpoint percentiles wrong")
+	}
+	if Percentile(xs, 50) != 2 {
+		t.Fatalf("median = %f", Percentile(xs, 50))
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []int64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}
+
+func TestMeanStdFormat(t *testing.T) {
+	s := Summarize([]int64{1, 3})
+	if got := s.MeanStd(); !strings.Contains(got, "2.00") || !strings.Contains(got, "1.00") {
+		t.Fatalf("MeanStd = %q", got)
+	}
+}
+
+// Property: Min <= Median <= Max and Mean within [Min, Max].
+func TestSummaryInvariants(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]int64, len(raw))
+		for i, v := range raw {
+			xs[i] = int64(v)
+		}
+		s := Summarize(xs)
+		return float64(s.Min) <= s.Median && s.Median <= float64(s.Max) &&
+			float64(s.Min) <= s.Mean && s.Mean <= float64(s.Max) && s.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package sweep is the parallel experiment harness: it fans parameter
+// points out to a worker pool, collects results in input order, and
+// renders aligned text tables (the repro's stand-in for the paper's
+// Table 1 and figure series) plus CSV for downstream plotting.
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel maps fn over points on min(GOMAXPROCS, len(points)) workers
+// and returns results in input order. fn must be safe for concurrent
+// invocation on distinct points.
+func Parallel[T, R any](points []T, fn func(T) R) []R {
+	n := len(points)
+	results := make([]R, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, p := range points {
+			results[i] = fn(p)
+		}
+		return results
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				results[i] = fn(points[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// Table is an ordered set of rows under named columns.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column names.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends one row; the cell count must match the column count.
+func (t *Table) Add(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("sweep: row has %d cells, table has %d columns", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends one row of formatted values (each value rendered with %v).
+func (t *Table) Addf(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.3f", x)
+		default:
+			cells[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.Add(cells...)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values (no quoting: cells in
+// this repo never contain commas).
+func (t *Table) CSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,95 @@
+package sweep
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelOrderPreserved(t *testing.T) {
+	points := make([]int, 500)
+	for i := range points {
+		points[i] = i
+	}
+	results := Parallel(points, func(x int) int { return x * x })
+	for i, r := range results {
+		if r != i*i {
+			t.Fatalf("results[%d] = %d, want %d", i, r, i*i)
+		}
+	}
+}
+
+func TestParallelEachPointOnce(t *testing.T) {
+	var calls int64
+	points := make([]int, 300)
+	Parallel(points, func(int) int {
+		atomic.AddInt64(&calls, 1)
+		return 0
+	})
+	if calls != 300 {
+		t.Fatalf("fn called %d times, want 300", calls)
+	}
+}
+
+func TestParallelEmptyAndSingle(t *testing.T) {
+	if got := Parallel(nil, func(int) int { return 1 }); len(got) != 0 {
+		t.Fatal("empty input should give empty output")
+	}
+	got := Parallel([]int{7}, func(x int) int { return x + 1 })
+	if len(got) != 1 || got[0] != 8 {
+		t.Fatalf("single point result = %v", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "n", "diameter")
+	tb.Add("16", "4")
+	tb.Add("1024", "10")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "diameter") || !strings.Contains(out, "1024") {
+		t.Fatalf("cells missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAddfFormatsFloats(t *testing.T) {
+	tb := NewTable("", "x", "ratio")
+	tb.Addf(3, 1.23456)
+	if tb.Rows[0][1] != "1.235" {
+		t.Fatalf("float cell = %q, want 1.235", tb.Rows[0][1])
+	}
+	if tb.Rows[0][0] != "3" {
+		t.Fatalf("int cell = %q", tb.Rows[0][0])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.Add("1", "2")
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "a,b\n1,2\n" {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}
+
+func TestTableMismatchedRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row accepted")
+		}
+	}()
+	NewTable("t", "a", "b").Add("only-one")
+}
