@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -343,6 +344,36 @@ func chordRing(n int) graph.Und {
 		d.AddArc(v, (v+n/2)%n)
 	}
 	return d.Underlying()
+}
+
+// BenchmarkGreedyDynamicsRound measures one full greedy-response round
+// (every player responds once) across the perf-trajectory sizes:
+// "Baseline" is the pre-cache configuration (BFS per candidate,
+// sequential round), "Fast" the distance-cache engine with parallel
+// within-round evaluation.
+func BenchmarkGreedyDynamicsRound(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		g := core.UniformGame(n, 2, core.SUM)
+		start := dynamics.RandomProfile(g, rand.New(rand.NewSource(1)))
+		round := func(b *testing.B, parallel bool) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dynamics.Run(g, start, dynamics.Options{
+					Responder: core.GreedyResponder, MaxRounds: 1, Parallel: parallel,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.Run(fmt.Sprintf("Baseline/n=%d", n), func(b *testing.B) {
+			old := core.DefaultCacheBudget
+			core.DefaultCacheBudget = 0
+			defer func() { core.DefaultCacheBudget = old }()
+			round(b, false)
+		})
+		b.Run(fmt.Sprintf("Fast/n=%d", n), func(b *testing.B) {
+			round(b, true)
+		})
+	}
 }
 
 // BenchmarkVerifySpider measures exact parallel Nash verification on a

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -20,6 +22,102 @@ func BenchmarkDeviatorEval(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dv.Eval(s)
+	}
+}
+
+// --- Distance-cache before/after series (ISSUE 1) ---------------------
+//
+// Each pair benchmarks the same operation over the BFS fallback ("BFS")
+// and the distance-cache engine ("Cached") across the sweep sizes the
+// perf trajectory tracks. withCacheBudget (distcache_test.go) pins
+// DefaultCacheBudget for one sub-benchmark; benchmarks run sequentially,
+// so mutating the package knob is safe.
+
+var cacheBenchSizes = []int{32, 128, 512}
+
+func BenchmarkDeviatorEvalSweep(b *testing.B) {
+	for _, n := range cacheBenchSizes {
+		g, d := benchInstance(n, 2)
+		s := []int{n / 8, n / 2}
+		b.Run(fmt.Sprintf("BFS/n=%d", n), func(b *testing.B) {
+			dv := NewDeviator(g, d, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dv.Eval(s)
+			}
+		})
+		b.Run(fmt.Sprintf("Cached/n=%d", n), func(b *testing.B) {
+			dv := NewDeviator(g, d, 0)
+			dv.EnsureCache(1 << 40)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dv.Eval(s)
+			}
+		})
+	}
+}
+
+func BenchmarkGreedyBestResponseSweep(b *testing.B) {
+	for _, n := range append(cacheBenchSizes, 256) {
+		g, d := benchInstance(n, 3)
+		b.Run(fmt.Sprintf("BFS/n=%d", n), func(b *testing.B) {
+			withCacheBudget(0, func() {
+				for i := 0; i < b.N; i++ {
+					g.GreedyBestResponse(d, i%n)
+				}
+			})
+		})
+		b.Run(fmt.Sprintf("Cached/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.GreedyBestResponse(d, i%n)
+			}
+		})
+	}
+}
+
+func BenchmarkBestSwapSweep(b *testing.B) {
+	for _, n := range cacheBenchSizes {
+		g, d := benchInstance(n, 3)
+		b.Run(fmt.Sprintf("BFS/n=%d", n), func(b *testing.B) {
+			withCacheBudget(0, func() {
+				for i := 0; i < b.N; i++ {
+					g.BestSwap(d, i%n)
+				}
+			})
+		})
+		b.Run(fmt.Sprintf("Cached/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.BestSwap(d, i%n)
+			}
+		})
+	}
+}
+
+// BenchmarkExactBestResponseSweep uses budget 2 so the space C(n-1, 2)
+// stays enumerable at n = 512 (130816 candidates): "Seq" forces the
+// single-threaded enumeration, "Par" the sharded worker pool.
+func BenchmarkExactBestResponseSweep(b *testing.B) {
+	for _, n := range cacheBenchSizes {
+		g, d := benchInstance(n, 2)
+		b.Run(fmt.Sprintf("BFSSeq/n=%d", n), func(b *testing.B) {
+			withCacheBudget(0, func() {
+				old := exactParallelMinSpace
+				exactParallelMinSpace = math.MaxInt64
+				defer func() { exactParallelMinSpace = old }()
+				for i := 0; i < b.N; i++ {
+					if _, err := g.ExactBestResponse(d, i%n, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+		b.Run(fmt.Sprintf("CachedPar/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := g.ExactBestResponse(d, i%n, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

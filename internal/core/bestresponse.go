@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math"
 	"math/bits"
 
@@ -12,7 +11,10 @@ import (
 // NP-hard in both versions (reductions from k-center and k-median), so the
 // exact solver enumerates all C(n-1, b) strategies — exponential in the
 // budget — while greedy and single-swap responders provide the polynomial
-// heuristics used to drive large dynamics runs.
+// heuristics used to drive large dynamics runs. All three responders run
+// on the distance-cache deviation engine (distcache.go) when it fits
+// DefaultCacheBudget, and fall back to per-candidate BFS otherwise; both
+// paths produce identical results.
 
 // BestResponse is the outcome of a best-response computation.
 type BestResponse struct {
@@ -54,57 +56,6 @@ func StrategySpaceSize(n, b int) int64 {
 	return int64(res)
 }
 
-// ExactBestResponse enumerates every strategy of player u in realization d
-// and returns a minimiser. maxCandidates bounds the enumeration (0 means
-// no bound); if the strategy space exceeds it an error is returned, since
-// a truncated enumeration would not be a best response.
-//
-// Ties are broken in favour of the currently played strategy (so a vertex
-// already playing optimally reports its own strategy), then
-// lexicographically by the enumeration order.
-func (g *Game) ExactBestResponse(d *graph.Digraph, u int, maxCandidates int64) (BestResponse, error) {
-	n := g.N()
-	b := g.Budgets[u]
-	space := StrategySpaceSize(n, b)
-	if maxCandidates > 0 && space > maxCandidates {
-		return BestResponse{}, fmt.Errorf("core: strategy space C(%d,%d) = %d exceeds budget %d candidates",
-			n-1, b, space, maxCandidates)
-	}
-	dv := NewDeviator(g, d, u)
-	cur := append([]int(nil), d.Out(u)...)
-	best := BestResponse{Strategy: cur, Current: dv.Eval(cur)}
-	best.Cost = best.Current
-
-	targets := make([]int, 0, n-1)
-	for v := 0; v < n; v++ {
-		if v != u {
-			targets = append(targets, v)
-		}
-	}
-	comb := make([]int, b)
-	strategy := make([]int, b)
-	var rec func(start, k int)
-	rec = func(start, k int) {
-		if k == b {
-			for i, idx := range comb {
-				strategy[i] = targets[idx]
-			}
-			best.Explored++
-			if c := dv.Eval(strategy); c < best.Cost {
-				best.Cost = c
-				best.Strategy = append([]int(nil), strategy...)
-			}
-			return
-		}
-		for i := start; i <= len(targets)-(b-k); i++ {
-			comb[k] = i
-			rec(i+1, k+1)
-		}
-	}
-	rec(0, 0)
-	return best, nil
-}
-
 // GreedyBestResponse builds a strategy for u by b rounds of marginal-cost
 // minimisation: each round adds the target whose addition yields the
 // lowest cost given the targets chosen so far. This is the classic greedy
@@ -112,29 +63,24 @@ func (g *Game) ExactBestResponse(d *graph.Digraph, u int, maxCandidates int64) (
 // (Theorem 2.1 forbids that in polynomial time unless P=NP) but is a
 // strong responder for dynamics at scale. Ties break toward lower vertex
 // ids for determinism.
+//
+// With the distance cache the greedy is incremental: a running min-vector
+// over the chosen anchors makes each candidate's marginal cost one fused
+// O(n) min+sum pass, so a full greedy run costs the parallel cache fill
+// plus O(n·b·n) merges instead of O(n·b) BFS traversals.
 func (g *Game) GreedyBestResponse(d *graph.Digraph, u int) BestResponse {
-	n := g.N()
-	b := g.Budgets[u]
 	dv := NewDeviator(g, d, u)
+	defer dv.release()
+	dv.EnsureCache(DefaultCacheBudget)
 	cur := append([]int(nil), d.Out(u)...)
 	res := BestResponse{Current: dv.Eval(cur)}
 
-	chosen := make([]int, 0, b)
-	inChosen := make([]bool, n)
-	for round := 0; round < b; round++ {
-		bestV, bestC := -1, int64(math.MaxInt64)
-		for v := 0; v < n; v++ {
-			if v == u || inChosen[v] {
-				continue
-			}
-			res.Explored++
-			if c := dv.Eval(append(chosen, v)); c < bestC {
-				bestC = c
-				bestV = v
-			}
-		}
-		chosen = append(chosen, bestV)
-		inChosen[bestV] = true
+	b := g.Budgets[u]
+	var chosen []int
+	if dv.HasCache() {
+		chosen = greedyCached(dv, b, &res)
+	} else {
+		chosen = greedyBFS(dv, b, &res)
 	}
 	res.Strategy = chosen
 	res.Cost = dv.Eval(chosen)
@@ -148,15 +94,83 @@ func (g *Game) GreedyBestResponse(d *graph.Digraph, u int) BestResponse {
 	return res
 }
 
+// greedyCached runs the marginal-cost rounds on the distance cache,
+// keeping the running min-vector of the chosen anchor set.
+func greedyCached(dv *Deviator, b int, res *BestResponse) []int {
+	n := dv.game.N()
+	vec := getInt32(n)
+	defer putInt32(vec)
+	copy(vec, dv.inMin)
+	reach := dv.newTouched()
+	chosen := make([]int, 0, b)
+	inChosen := make([]bool, n)
+	for round := 0; round < b; round++ {
+		bestV, bestC := -1, int64(math.MaxInt64)
+		for v := 0; v < n; v++ {
+			if v == dv.u || inChosen[v] {
+				continue
+			}
+			res.Explored++
+			if c := dv.costOf(dv.aggregate(vec, v), reach.with(v)); c < bestC {
+				bestC = c
+				bestV = v
+			}
+		}
+		if bestV < 0 {
+			// Degenerate budget (b >= n-1): every target is already
+			// chosen, so the full target set is the strategy.
+			break
+		}
+		chosen = append(chosen, bestV)
+		inChosen[bestV] = true
+		reach.mark(bestV)
+		dv.mergeRow(vec, bestV)
+	}
+	return chosen
+}
+
+// greedyBFS is the cache-less fallback: one BFS per candidate.
+func greedyBFS(dv *Deviator, b int, res *BestResponse) []int {
+	n := dv.game.N()
+	chosen := make([]int, 0, b)
+	inChosen := make([]bool, n)
+	for round := 0; round < b; round++ {
+		bestV, bestC := -1, int64(math.MaxInt64)
+		for v := 0; v < n; v++ {
+			if v == dv.u || inChosen[v] {
+				continue
+			}
+			res.Explored++
+			if c := dv.Eval(append(chosen, v)); c < bestC {
+				bestC = c
+				bestV = v
+			}
+		}
+		if bestV < 0 {
+			// Degenerate budget (b >= n-1): every target is already
+			// chosen, so the full target set is the strategy.
+			break
+		}
+		chosen = append(chosen, bestV)
+		inChosen[bestV] = true
+	}
+	return chosen
+}
+
 // BestSwap finds the best single-arc swap for u: replace one owned arc
 // u->v with u->w (w neither u nor an existing target). This mirrors the
 // "swap equilibrium" relaxation of Alon et al. adopted in Section 6's weak
 // equilibria, and is the cheapest responder for dynamics. Returns the
 // strategy after the best improving swap; if no swap improves, Strategy is
 // the current one.
+//
+// With the distance cache each arc slot builds a leave-one-out min-vector
+// once, after which every replacement target costs one O(n) pass.
 func (g *Game) BestSwap(d *graph.Digraph, u int) BestResponse {
 	n := g.N()
 	dv := NewDeviator(g, d, u)
+	defer dv.release()
+	dv.EnsureCache(DefaultCacheBudget)
 	cur := append([]int(nil), d.Out(u)...)
 	res := BestResponse{Strategy: cur, Current: dv.Eval(cur)}
 	res.Cost = res.Current
@@ -166,6 +180,37 @@ func (g *Game) BestSwap(d *graph.Digraph, u int) BestResponse {
 		have[v] = true
 	}
 	trial := make([]int, len(cur))
+	if dv.HasCache() {
+		vec := getInt32(n)
+		defer putInt32(vec)
+		reach := dv.newTouched()
+		for i := range cur {
+			copy(trial, cur)
+			// Leave-one-out anchors: in(u) and every kept arc.
+			copy(vec, dv.inMin)
+			if i > 0 {
+				reach.reset()
+			}
+			for j, v := range cur {
+				if j != i {
+					dv.mergeRow(vec, v)
+					reach.mark(v)
+				}
+			}
+			for w := 0; w < n; w++ {
+				if w == u || have[w] {
+					continue
+				}
+				trial[i] = w
+				res.Explored++
+				if c := dv.costOf(dv.aggregate(vec, w), reach.with(w)); c < res.Cost {
+					res.Cost = c
+					res.Strategy = append([]int(nil), trial...)
+				}
+			}
+		}
+		return res
+	}
 	for i := range cur {
 		copy(trial, cur)
 		for w := 0; w < n; w++ {
@@ -184,7 +229,9 @@ func (g *Game) BestSwap(d *graph.Digraph, u int) BestResponse {
 }
 
 // Responder computes a (possibly heuristic) response for a player; the
-// dynamics engine is parameterised over this type.
+// dynamics engine is parameterised over this type. The built-in responders
+// are safe for concurrent invocation on distinct players against a fixed
+// graph, which is what dynamics.Options.Parallel relies on.
 type Responder func(g *Game, d *graph.Digraph, u int) BestResponse
 
 // ExactResponder enumerates the full strategy space (panics if it exceeds

@@ -9,6 +9,17 @@
 // computation, and parallel Nash / swap-equilibrium verification. It is
 // the paper's primary contribution; the graph substrate lives in
 // internal/graph.
+//
+// Best-response evaluation runs on the distance-cache deviation engine
+// (distcache.go): a Deviator for player u can materialise the full
+// dist_{G-u} matrix (flat n×n int32, filled by word-parallel batched BFS
+// on a worker pool), after which every candidate strategy is an O(n)
+// min-merge over cached rows instead of a BFS, and the greedy, swap and
+// exact responders get incremental forms. The cache respects
+// DefaultCacheBudget (4·n·(n+1) bytes needed) and falls back to exact
+// BFS evaluation beyond it, so memory stays bounded on large sweeps.
+// Deviators are single-goroutine; parallel responders clone them per
+// worker around the shared immutable cache.
 package core
 
 import (

@@ -69,7 +69,11 @@ func componentCount(a graph.Und) int {
 // Deviator evaluates candidate strategies for one player without
 // rebuilding the graph: the fixed part of the adjacency (everything except
 // u's owned arcs) and the component structure of G - u are computed once,
-// after which each candidate strategy costs a single BFS.
+// after which each candidate strategy costs a single BFS — or, once
+// EnsureCache has built the distance cache (see distcache.go), a single
+// O(n) min-merge over precomputed G-u distance rows. A Deviator is not
+// safe for concurrent use; the parallel responders give each worker a
+// clone sharing the immutable cache.
 type Deviator struct {
 	game  *Game
 	u     int
@@ -79,6 +83,10 @@ type Deviator struct {
 	comps int       // component count of G - u
 	seen  []bool    // scratch for CountComponentsTouched
 	s     *graph.Scratch
+
+	// Distance cache (nil until EnsureCache succeeds; see distcache.go).
+	rows  []int32 // flat n×n: rows[v*n+w] = dist_{G-u}(v, w), InfDist if unreachable
+	inMin []int32 // per-vertex min over the rows of in(u) (InfDist when in(u) is empty)
 }
 
 // NewDeviator prepares deviation evaluation for player u in realization d.
@@ -99,8 +107,13 @@ func NewDeviator(g *Game, d *graph.Digraph, u int) *Deviator {
 
 // Eval returns the cost player u would incur by playing strategy s
 // (assumed valid: distinct vertices != u; size is the caller's concern
-// since budgets fix it).
+// since budgets fix it). With an active distance cache this is an O(n)
+// min-merge over cached rows; otherwise one BFS. The two paths return
+// bit-identical costs.
 func (dv *Deviator) Eval(strategy []int) int64 {
+	if dv.rows != nil {
+		return dv.evalCached(strategy)
+	}
 	r := dv.s.DeviationBFS(dv.base, dv.u, strategy, dv.in)
 	kappa := 1
 	if r.Reached != dv.game.N() {

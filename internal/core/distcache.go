@@ -1,0 +1,332 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Distance-cache deviation engine.
+//
+// Evaluating a candidate strategy S of player u needs the distances from u
+// in the deviated graph. A shortest path from u never revisits u, so with
+// D(v, w) = dist_{G-u}(v, w) — distances with u deleted, which do not
+// depend on S — every deviated distance is a min-merge over cached rows:
+//
+//	dist(u, w) = 1 + min over v in S ∪ in(u) of D(v, w).
+//
+// EnsureCache materialises D as a flat n×n int32 matrix, filled by
+// parallel BFS over a CSR copy of G-u (one row per potential anchor), and
+// folds the fixed in(u) anchors into a single inMin row. Each Eval then
+// costs one fused O(|S|·n) min+sum pass instead of an O(n+m) BFS, and the
+// responders in bestresponse.go get incremental forms whose marginal
+// evaluations are a single O(n) pass.
+//
+// Memory model: the cache needs 4·n·(n+1) bytes. EnsureCache refuses
+// budgets that the matrix would exceed and leaves the Deviator on the
+// exact BFS fallback path, so sweeps over large n keep working; matrices
+// are recycled through a sync.Pool to keep dynamics rounds allocation-flat.
+//
+// Concurrency contract: a Deviator is single-goroutine; clone() hands a
+// worker its own scratch state while sharing the immutable rows/inMin
+// matrices, which is how the parallel exact responder shards enumeration.
+
+// DefaultCacheBudget caps the distance-cache size (in bytes) built by the
+// best-response heuristics: 256 MiB, i.e. the full matrix up to n ≈ 8192.
+// Set it lower (or to 0, disabling caching) to bound memory on sweeps that
+// run many responders concurrently.
+var DefaultCacheBudget int64 = 256 << 20
+
+// int32Pool recycles distance matrices (and the smaller min-vectors)
+// across Deviator lifetimes; see release().
+var int32Pool sync.Pool
+
+func getInt32(size int) []int32 {
+	if v := int32Pool.Get(); v != nil {
+		if s := v.([]int32); cap(s) >= size {
+			return s[:size]
+		}
+	}
+	return make([]int32, size)
+}
+
+func putInt32(s []int32) {
+	if cap(s) > 0 {
+		int32Pool.Put(s[:0])
+	}
+}
+
+// EnsureCache builds the distance cache if 4·n·(n+1) bytes fit within
+// budgetBytes, reporting whether the cache is active afterwards. It is
+// idempotent and not safe for concurrent use. Without the cache every
+// Eval falls back to a per-candidate BFS (bit-identical costs, just
+// slower).
+func (dv *Deviator) EnsureCache(budgetBytes int64) bool {
+	if dv.rows != nil {
+		return true
+	}
+	n := dv.game.N()
+	if need := 4 * int64(n) * int64(n+1); budgetBytes <= 0 || need > budgetBytes {
+		return false
+	}
+	csr := graph.NewCSRExcluding(dv.base, dv.u)
+	rows := getInt32(n * n)
+	csr.DistanceRowsInto(rows)
+	inMin := getInt32(n)
+	for i := range inMin {
+		inMin[i] = graph.InfDist
+	}
+	for _, v := range dv.in {
+		row := rows[v*n : (v+1)*n]
+		for w, r := range row {
+			if r < inMin[w] {
+				inMin[w] = r
+			}
+		}
+	}
+	dv.rows, dv.inMin = rows, inMin
+	return true
+}
+
+// HasCache reports whether the distance cache is active.
+func (dv *Deviator) HasCache() bool { return dv.rows != nil }
+
+// release returns the cache matrices to the pool. Callers that own the
+// Deviator (the responders) release on exit; any clones sharing the
+// matrices must be done first.
+func (dv *Deviator) release() {
+	if dv.rows != nil {
+		putInt32(dv.rows)
+		dv.rows = nil
+	}
+	if dv.inMin != nil {
+		putInt32(dv.inMin)
+		dv.inMin = nil
+	}
+}
+
+// clone returns a Deviator with private mutable scratch state sharing the
+// immutable base graph, component labels and distance cache, for use by
+// one worker goroutine of the parallel exact responder.
+func (dv *Deviator) clone() *Deviator {
+	return &Deviator{
+		game:  dv.game,
+		u:     dv.u,
+		base:  dv.base,
+		in:    dv.in,
+		label: dv.label,
+		comps: dv.comps,
+		seen:  make([]bool, dv.comps+1),
+		s:     graph.NewScratch(dv.game.N()),
+		rows:  dv.rows,
+		inMin: dv.inMin,
+	}
+}
+
+// aggregate computes the BFS-equivalent aggregates of the deviation whose
+// anchor min-vector is vec, min-merged on the fly with the cached row of
+// anchor extra (extra < 0 evaluates vec alone). vec[w] must hold min over
+// anchors of D(anchor, w); the source u contributes reached=1 and distance
+// 0, and vec[u] is always InfDist because no G-u row reaches u.
+//
+// The pass is specialised per cost version — SUM never reads the
+// eccentricity and MAX never reads the distance sum, so each kernel
+// carries only the accumulator its costFromBFS consumes.
+func (dv *Deviator) aggregate(vec []int32, extra int) graph.BFSResult {
+	var row []int32
+	if extra >= 0 {
+		row = dv.rows[extra*len(vec) : (extra+1)*len(vec)]
+	}
+	switch dv.game.Version {
+	case SUM:
+		return sumKernel(vec, row)
+	case MAX:
+		return maxKernel(vec, row)
+	default:
+		panic("core: unknown version")
+	}
+}
+
+// sumKernel is the fused min+sum pass of the SUM cost: distance sum and
+// reached count of min(vec, row) (row may be nil).
+func sumKernel(vec, row []int32) graph.BFSResult {
+	var sum int64
+	reached := 1
+	if row != nil {
+		for w, m := range vec {
+			if r := row[w]; r < m {
+				m = r
+			}
+			if m < graph.InfDist {
+				sum += int64(m) + 1
+				reached++
+			}
+		}
+	} else {
+		for _, m := range vec {
+			if m < graph.InfDist {
+				sum += int64(m) + 1
+				reached++
+			}
+		}
+	}
+	return graph.BFSResult{Sum: sum, Reached: reached}
+}
+
+// maxKernel is the fused min+max pass of the MAX cost: eccentricity and
+// reached count of min(vec, row) (row may be nil).
+func maxKernel(vec, row []int32) graph.BFSResult {
+	var ecc int32
+	reached := 1
+	if row != nil {
+		for w, m := range vec {
+			if r := row[w]; r < m {
+				m = r
+			}
+			if m < graph.InfDist {
+				if m > ecc {
+					ecc = m
+				}
+				reached++
+			}
+		}
+	} else {
+		for _, m := range vec {
+			if m < graph.InfDist {
+				if m > ecc {
+					ecc = m
+				}
+				reached++
+			}
+		}
+	}
+	ecc++ // distances are m+1; reached > 1 guarantees a positive ecc
+	if reached == 1 {
+		ecc = 0 // isolated source: eccentricity 0 within the reached set
+	}
+	return graph.BFSResult{Ecc: ecc, Reached: reached}
+}
+
+// mergeRow folds anchor v's cached distance row into the running
+// min-vector vec (the incremental step of the greedy responder).
+func (dv *Deviator) mergeRow(vec []int32, v int) {
+	row := dv.rows[v*len(vec) : (v+1)*len(vec)]
+	for w, r := range row {
+		if r < vec[w] {
+			vec[w] = r
+		}
+	}
+}
+
+// touched tracks which G-u components the growing anchor set reaches —
+// the incremental form of CountComponentsTouched that the cached
+// responders share. The count must stay bit-identical to what Eval
+// computes for the same anchors, since it feeds the kappa rule.
+type touched struct {
+	dv    *Deviator
+	seen  []bool
+	count int
+}
+
+// newTouched returns a tracker seeded with the fixed in(u) anchors.
+func (dv *Deviator) newTouched() *touched {
+	t := &touched{dv: dv, seen: make([]bool, dv.comps+1)}
+	t.reset()
+	return t
+}
+
+// reset re-seeds the tracker with in(u) only.
+func (t *touched) reset() {
+	for i := range t.seen {
+		t.seen[i] = false
+	}
+	t.count = 0
+	for _, v := range t.dv.in {
+		t.mark(v)
+	}
+}
+
+// mark records anchor v's component, returning its label if newly touched
+// and -1 otherwise (the return value feeds unmark for backtracking).
+func (t *touched) mark(v int) int {
+	if l := t.dv.label[v]; l >= 0 && !t.seen[l] {
+		t.seen[l] = true
+		t.count++
+		return l
+	}
+	return -1
+}
+
+// unmark undoes a mark that returned label l; a -1 is a no-op.
+func (t *touched) unmark(l int) {
+	if l >= 0 {
+		t.seen[l] = false
+		t.count--
+	}
+}
+
+// with returns the touched count if anchor v were added.
+func (t *touched) with(v int) int {
+	if l := t.dv.label[v]; l >= 0 && !t.seen[l] {
+		return t.count + 1
+	}
+	return t.count
+}
+
+// costOf converts BFS aggregates plus the number of G-u components touched
+// by the anchor set into the player cost, mirroring Eval's kappa rule.
+func (dv *Deviator) costOf(r graph.BFSResult, touched int) int64 {
+	kappa := 1
+	if r.Reached != dv.game.N() {
+		kappa = dv.comps - touched + 1
+	}
+	return dv.game.costFromBFS(r, kappa)
+}
+
+// evalCached is Eval over the distance cache: one fused min+aggregate pass
+// over inMin and the strategy's rows.
+func (dv *Deviator) evalCached(strategy []int) int64 {
+	n := dv.game.N()
+	for _, v := range strategy {
+		if v == dv.u {
+			// Tolerated like the BFS path tolerates it: u is the source,
+			// not an anchor. Filter into a scratch copy (rare).
+			filtered := make([]int, 0, len(strategy))
+			for _, w := range strategy {
+				if w != dv.u {
+					filtered = append(filtered, w)
+				}
+			}
+			strategy = filtered
+			break
+		}
+	}
+	var sum int64
+	var ecc int32
+	reached := 1
+	rows, inMin := dv.rows, dv.inMin
+	for w := 0; w < n; w++ {
+		m := inMin[w]
+		for _, v := range strategy {
+			if r := rows[v*n+w]; r < m {
+				m = r
+			}
+		}
+		if m >= graph.InfDist {
+			continue
+		}
+		d := m + 1
+		sum += int64(d)
+		if d > ecc {
+			ecc = d
+		}
+		reached++
+	}
+	res := graph.BFSResult{Ecc: ecc, Sum: sum, Reached: reached}
+	kappa := 1
+	if res.Reached != dv.game.N() {
+		touched := graph.CountComponentsTouched(dv.label, dv.seen, dv.u, strategy, dv.in)
+		kappa = dv.comps - touched + 1
+	}
+	return dv.game.costFromBFS(res, kappa)
+}

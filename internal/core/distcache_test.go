@@ -1,0 +1,246 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Randomized equivalence suite for the distance-cache deviation engine:
+// every fast path must agree exactly with the BFS-based reference on
+// random digraphs, across SUM and MAX, connected and disconnected
+// realizations, and the over-budget fallback.
+
+// randomInstance returns a random game and realization. Budgets include 0
+// so disconnected realizations occur regularly.
+func randomInstance(n int, v Version, rng *rand.Rand) (*Game, *graph.Digraph) {
+	budgets := make([]int, n)
+	for i := range budgets {
+		budgets[i] = rng.Intn(3)
+		if budgets[i] > n-1 {
+			budgets[i] = n - 1
+		}
+	}
+	g := MustGame(budgets, v)
+	return g, graph.RandomOutDigraph(budgets, rng)
+}
+
+// randomStrategy returns k distinct targets != u.
+func randomStrategy(n, u, k int, rng *rand.Rand) []int {
+	perm := rng.Perm(n)
+	s := make([]int, 0, k)
+	for _, v := range perm {
+		if v != u {
+			s = append(s, v)
+			if len(s) == k {
+				break
+			}
+		}
+	}
+	return s
+}
+
+func TestCachedEvalMatchesBFSEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, version := range []Version{SUM, MAX} {
+		for trial := 0; trial < 60; trial++ {
+			n := 2 + rng.Intn(28)
+			g, d := randomInstance(n, version, rng)
+			u := rng.Intn(n)
+			plain := NewDeviator(g, d, u)
+			cached := NewDeviator(g, d, u)
+			if !cached.EnsureCache(1 << 40) {
+				t.Fatalf("n=%d: cache refused an effectively unlimited budget", n)
+			}
+			for k := 0; k <= 3 && k <= n-1; k++ {
+				s := randomStrategy(n, u, k, rng)
+				want := plain.Eval(s)
+				got := cached.Eval(s)
+				if got != want {
+					t.Fatalf("%v n=%d u=%d s=%v: cached %d, BFS %d", version, n, u, s, got, want)
+				}
+			}
+			// The current strategy in particular.
+			cur := d.Out(u)
+			if got, want := cached.Eval(cur), plain.Eval(cur); got != want {
+				t.Fatalf("%v n=%d u=%d cur=%v: cached %d, BFS %d", version, n, u, cur, got, want)
+			}
+		}
+	}
+}
+
+func TestEnsureCacheRespectsBudget(t *testing.T) {
+	g, d := randomInstance(16, SUM, rand.New(rand.NewSource(5)))
+	dv := NewDeviator(g, d, 0)
+	// 16 vertices need 4*16*17 = 1088 bytes; one below must refuse.
+	if dv.EnsureCache(1087) {
+		t.Fatal("cache built over budget")
+	}
+	if dv.HasCache() {
+		t.Fatal("HasCache true after refusal")
+	}
+	if !dv.EnsureCache(1088) {
+		t.Fatal("cache refused within budget")
+	}
+	if !dv.HasCache() {
+		t.Fatal("HasCache false after build")
+	}
+	if dv.EnsureCache(0) != true {
+		t.Fatal("EnsureCache not idempotent once built")
+	}
+}
+
+// withCacheBudget runs fn under a temporary DefaultCacheBudget.
+func withCacheBudget(budget int64, fn func()) {
+	old := DefaultCacheBudget
+	DefaultCacheBudget = budget
+	defer func() { DefaultCacheBudget = old }()
+	fn()
+}
+
+func TestGreedyCachedMatchesFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for _, version := range []Version{SUM, MAX} {
+		for trial := 0; trial < 40; trial++ {
+			n := 2 + rng.Intn(24)
+			g, d := randomInstance(n, version, rng)
+			u := rng.Intn(n)
+			var fast, slow BestResponse
+			fast = g.GreedyBestResponse(d, u)
+			withCacheBudget(0, func() { slow = g.GreedyBestResponse(d, u) })
+			if fast.Cost != slow.Cost || fast.Current != slow.Current || fast.Explored != slow.Explored {
+				t.Fatalf("%v n=%d u=%d: cached %+v, fallback %+v", version, n, u, fast, slow)
+			}
+			if !equalInts(fast.Strategy, slow.Strategy) {
+				t.Fatalf("%v n=%d u=%d: cached strategy %v, fallback %v", version, n, u, fast.Strategy, slow.Strategy)
+			}
+		}
+	}
+}
+
+func TestBestSwapCachedMatchesFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for _, version := range []Version{SUM, MAX} {
+		for trial := 0; trial < 40; trial++ {
+			n := 2 + rng.Intn(24)
+			g, d := randomInstance(n, version, rng)
+			u := rng.Intn(n)
+			var fast, slow BestResponse
+			fast = g.BestSwap(d, u)
+			withCacheBudget(0, func() { slow = g.BestSwap(d, u) })
+			if fast.Cost != slow.Cost || fast.Current != slow.Current || fast.Explored != slow.Explored {
+				t.Fatalf("%v n=%d u=%d: cached %+v, fallback %+v", version, n, u, fast, slow)
+			}
+			if !equalInts(fast.Strategy, slow.Strategy) {
+				t.Fatalf("%v n=%d u=%d: cached strategy %v, fallback %v", version, n, u, fast.Strategy, slow.Strategy)
+			}
+		}
+	}
+}
+
+// exactReference is a direct transcription of the pre-cache enumeration
+// loop: recursive combinations, one BFS Eval per candidate, strict
+// improvement only.
+func exactReference(g *Game, d *graph.Digraph, u int) BestResponse {
+	n := g.N()
+	b := g.Budgets[u]
+	dv := NewDeviator(g, d, u)
+	cur := append([]int(nil), d.Out(u)...)
+	best := BestResponse{Strategy: cur, Current: dv.Eval(cur)}
+	best.Cost = best.Current
+	targets := make([]int, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v != u {
+			targets = append(targets, v)
+		}
+	}
+	comb := make([]int, b)
+	strategy := make([]int, b)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == b {
+			for i, idx := range comb {
+				strategy[i] = targets[idx]
+			}
+			best.Explored++
+			if c := dv.Eval(strategy); c < best.Cost {
+				best.Cost = c
+				best.Strategy = append([]int(nil), strategy...)
+			}
+			return
+		}
+		for i := start; i <= len(targets)-(b-k); i++ {
+			comb[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestExactMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	check := func(label string) {
+		for _, version := range []Version{SUM, MAX} {
+			for trial := 0; trial < 25; trial++ {
+				n := 2 + rng.Intn(14)
+				g, d := randomInstance(n, version, rng)
+				u := rng.Intn(n)
+				want := exactReference(g, d, u)
+				got, err := g.ExactBestResponse(d, u, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Cost != want.Cost || got.Current != want.Current || got.Explored != want.Explored {
+					t.Fatalf("%s %v n=%d u=%d: got %+v, want %+v", label, version, n, u, got, want)
+				}
+				if !equalInts(got.Strategy, want.Strategy) {
+					t.Fatalf("%s %v n=%d u=%d: got strategy %v, want %v", label, version, n, u, got.Strategy, want.Strategy)
+				}
+			}
+		}
+	}
+	check("auto")
+	// Force the parallel sharded path even on tiny spaces.
+	oldMin := exactParallelMinSpace
+	exactParallelMinSpace = 1
+	defer func() { exactParallelMinSpace = oldMin }()
+	check("parallel")
+	// Force the BFS fallback under the parallel path too.
+	withCacheBudget(0, func() { check("parallel-nocache") })
+}
+
+func TestGreedyDegenerateBudget(t *testing.T) {
+	// A budget >= n-1 must not panic and must return the full target set.
+	// Budgets beyond NewGame's validation range exercise the guard
+	// directly (the all-targets-chosen rounds).
+	for _, b := range []int{2, 3} { // n-1 and n with n=3
+		g := &Game{Budgets: []int{b, 0, 0}, Version: SUM}
+		d := graph.NewDigraph(3)
+		for v := 1; v < 3 && v <= b; v++ {
+			d.AddArc(0, v)
+		}
+		br := g.GreedyBestResponse(d, 0)
+		if !equalInts(br.Strategy, []int{1, 2}) {
+			t.Fatalf("b=%d: strategy %v, want full target set [1 2]", b, br.Strategy)
+		}
+		var brSlow BestResponse
+		withCacheBudget(0, func() { brSlow = g.GreedyBestResponse(d, 0) })
+		if !equalInts(brSlow.Strategy, []int{1, 2}) || brSlow.Cost != br.Cost {
+			t.Fatalf("b=%d fallback: %+v vs cached %+v", b, brSlow, br)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -12,9 +12,11 @@ package dynamics
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/sweep"
 )
 
 // Scheduler yields the order in which players move in one round.
@@ -63,6 +65,16 @@ type Options struct {
 	// Hash hits are confirmed against the stored profile, so a reported
 	// loop is exact, never a collision artefact.
 	DetectLoops bool
+	// Parallel evaluates responders on a worker pool. Results are
+	// identical to the sequential engine: sequential rounds precompute
+	// every player's response against the round-start profile in
+	// parallel and revalidate sequentially once a move lands
+	// (speculation pays off because converging runs spend most rounds
+	// with few or no moves); simultaneous rounds are embarrassingly
+	// parallel by definition. Requires the Responder to be safe for
+	// concurrent invocation against a fixed graph — all responders in
+	// package core are.
+	Parallel bool
 }
 
 // Result summarises a dynamics run.
@@ -104,11 +116,25 @@ func Run(g *core.Game, start *graph.Digraph, opts Options) (Result, error) {
 	for round := 1; round <= opts.MaxRounds; round++ {
 		opts.Scheduler.Order(order, round)
 		changed := false
-		for _, u := range order {
+		var speculative []core.BestResponse
+		if opts.Parallel && runtime.GOMAXPROCS(0) > 1 {
+			// Speculation only pays when the precompute actually runs on
+			// spare cores; on one core it would double the work of every
+			// round that contains a move.
+			speculative = responsesAgainst(g, d, order, opts.Responder)
+		}
+		for idx, u := range order {
 			if g.Budgets[u] == 0 {
 				continue
 			}
-			br := opts.Responder(g, d, u)
+			var br core.BestResponse
+			if speculative != nil && !changed {
+				// No move has landed this round, so the response
+				// precomputed against the round-start profile is exact.
+				br = speculative[idx]
+			} else {
+				br = opts.Responder(g, d, u)
+			}
 			if br.Improves() {
 				d.SetOut(u, br.Strategy)
 				res.Moves++
@@ -135,6 +161,36 @@ func Run(g *core.Game, start *graph.Digraph, opts Options) (Result, error) {
 	}
 	res.Final = d
 	return res, nil
+}
+
+// responsesAgainst computes every listed player's response against the
+// current (fixed) profile on a worker pool; entries for budget-0 players
+// are zero values. The graph is only read during the map, so the
+// concurrent invocations satisfy the Responder contract.
+//
+// The pool is bounded so that the distance caches of concurrently running
+// responders stay within core.DefaultCacheBudget in aggregate — each
+// cached responder holds a 4·n·(n+1)-byte matrix, so an unbounded
+// GOMAXPROCS fan-out would multiply the budget by the worker count.
+func responsesAgainst(g *core.Game, d *graph.Digraph, players []int, respond core.Responder) []core.BestResponse {
+	workers := runtime.GOMAXPROCS(0)
+	if budget := core.DefaultCacheBudget; budget > 0 {
+		n := int64(g.N())
+		if perCache := 4 * n * (n + 1); perCache > 0 {
+			if byMem := int(budget / perCache); byMem < workers {
+				workers = byMem
+			}
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return sweep.ParallelN(players, workers, func(u int) core.BestResponse {
+		if g.Budgets[u] == 0 {
+			return core.BestResponse{}
+		}
+		return respond(g, d, u)
+	})
 }
 
 type seenProfile struct {

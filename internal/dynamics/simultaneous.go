@@ -35,16 +35,34 @@ func RunSimultaneous(g *core.Game, start *graph.Digraph, opts Options) (Result, 
 	seen := make(map[uint64][]seenProfile)
 	recordProfile(seen, core.ProfileOf(d), 0)
 	next := make([][]int, n)
+	var players []int
+	if opts.Parallel {
+		players = make([]int, n)
+		for u := range players {
+			players[u] = u
+		}
+	}
 	for round := 1; round <= opts.MaxRounds; round++ {
 		changed := false
-		for u := 0; u < n; u++ {
-			next[u] = nil
-			if g.Budgets[u] == 0 {
-				continue
+		if opts.Parallel {
+			// Every response is computed against the same fixed profile,
+			// so the simultaneous round is embarrassingly parallel.
+			for u, br := range responsesAgainst(g, d, players, opts.Responder) {
+				next[u] = nil
+				if g.Budgets[u] != 0 && br.Improves() {
+					next[u] = br.Strategy
+				}
 			}
-			br := opts.Responder(g, d, u)
-			if br.Improves() {
-				next[u] = br.Strategy
+		} else {
+			for u := 0; u < n; u++ {
+				next[u] = nil
+				if g.Budgets[u] == 0 {
+					continue
+				}
+				br := opts.Responder(g, d, u)
+				if br.Improves() {
+					next[u] = br.Strategy
+				}
 			}
 		}
 		for u, s := range next {

@@ -3,6 +3,7 @@ package graph
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // InfDiameter is returned by Diameter for disconnected or empty graphs.
@@ -95,41 +96,41 @@ func TotalDistances(a Und) (sums []int64, connected bool) {
 // each with a private Scratch. For tiny graphs it runs sequentially to
 // avoid goroutine overhead.
 func parallelSources(n int, fn func(s *Scratch, src int)) {
+	parallelRange(n, 64, func() *Scratch { return NewScratch(n) }, fn)
+}
+
+// parallelRange invokes fn once per index in [0, n) on a pool of
+// GOMAXPROCS workers, each owning private state built by newState (BFS
+// scratch, frontier buffers, ...). Indices are handed out dynamically so
+// uneven per-index cost balances across workers. Below minParallel
+// indices it runs sequentially; callers pick the cutoff to match the
+// per-index work (one BFS per index wants ~64, a whole 64-source batch
+// per index is worth fanning out from 2).
+func parallelRange[S any](n, minParallel int, newState func() S, fn func(state S, i int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
-	if n < 64 || workers <= 1 {
-		s := NewScratch(n)
-		for src := 0; src < n; src++ {
-			fn(s, src)
+	if n < minParallel || workers <= 1 {
+		state := newState()
+		for i := 0; i < n; i++ {
+			fn(state, i)
 		}
 		return
 	}
 	var next int64
-	var mu sync.Mutex
-	take := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= int64(n) {
-			return -1
-		}
-		v := int(next)
-		next++
-		return v
-	}
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			s := NewScratch(n)
+			state := newState()
 			for {
-				src := take()
-				if src < 0 {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
 					return
 				}
-				fn(s, src)
+				fn(state, i)
 			}
 		}()
 	}

@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomUnd returns the underlying view of a random out-digraph with
+// per-vertex budgets in [0, maxB], which covers connected and
+// disconnected realizations.
+func randomUnd(n, maxB int, rng *rand.Rand) Und {
+	budgets := make([]int, n)
+	for i := range budgets {
+		budgets[i] = rng.Intn(maxB + 1)
+		if budgets[i] > n-1 {
+			budgets[i] = n - 1
+		}
+	}
+	return RandomOutDigraph(budgets, rng).Underlying()
+}
+
+func TestCSRBFSRowMatchesBFSDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(30)
+		a := randomUnd(n, 2, rng)
+		c := NewCSR(a)
+		row := make([]int32, n)
+		queue := make([]int32, 0, n)
+		for src := 0; src < n; src++ {
+			c.BFSRow(int32(src), row, queue)
+			want := BFSDist(a, src)
+			for v := 0; v < n; v++ {
+				got := row[v]
+				if want[v] == Unreached {
+					if got != InfDist {
+						t.Fatalf("n=%d src=%d v=%d: got %d, want InfDist", n, src, v, got)
+					}
+				} else if got != want[v] {
+					t.Fatalf("n=%d src=%d v=%d: got %d, want %d", n, src, v, got, want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestCSRDistanceRowsMatchesAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 2, 7, 33, 64, 65, 80, 129, 300} {
+		a := randomUnd(n, 2, rng)
+		rows := NewCSR(a).DistanceRows()
+		want := AllPairs(a)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				got := rows[u*n+v]
+				if want[u][v] == Unreached {
+					if got != InfDist {
+						t.Fatalf("n=%d u=%d v=%d: got %d, want InfDist", n, u, v, got)
+					}
+				} else if got != want[u][v] {
+					t.Fatalf("n=%d u=%d v=%d: got %d, want %d", n, u, v, got, want[u][v])
+				}
+			}
+		}
+	}
+}
+
+func TestCSRExcludingMatchesDeletedGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(20)
+		d := RandomOutDigraph(randomBudgets(n, rng), rng)
+		u := rng.Intn(n)
+		base := d.UnderlyingWithout(u)
+		c := NewCSRExcluding(base, u)
+
+		// Deleted-graph reference: drop every edge incident to u.
+		del := make(Und, n)
+		for v, nb := range base {
+			if v == u {
+				continue
+			}
+			for _, w := range nb {
+				if w != u {
+					del[v] = append(del[v], w)
+				}
+			}
+		}
+		row := make([]int32, n)
+		queue := make([]int32, 0, n)
+		for src := 0; src < n; src++ {
+			if src == u {
+				continue
+			}
+			c.BFSRow(int32(src), row, queue)
+			want := BFSDist(del, src)
+			for v := 0; v < n; v++ {
+				got := row[v]
+				if want[v] == Unreached {
+					if got != InfDist {
+						t.Fatalf("n=%d u=%d src=%d v=%d: got %d, want InfDist", n, u, src, v, got)
+					}
+				} else if got != want[v] {
+					t.Fatalf("n=%d u=%d src=%d v=%d: got %d, want %d", n, u, src, v, got, want[v])
+				}
+			}
+		}
+	}
+}
+
+func randomBudgets(n int, rng *rand.Rand) []int {
+	budgets := make([]int, n)
+	for i := range budgets {
+		budgets[i] = rng.Intn(3)
+		if budgets[i] > n-1 {
+			budgets[i] = n - 1
+		}
+	}
+	return budgets
+}

@@ -2,7 +2,10 @@
 // bounded budget network creation game: arc ownership, the undirected
 // underlying view, BFS-based distance machinery, parallel all-pairs
 // shortest paths, connectivity and cycle-structure utilities, and
-// deterministic generators.
+// deterministic generators. For bulk distance work the flat CSR view
+// (csr.go) replaces pointer-chasing adjacency lists with two int32
+// arrays and fills whole distance matrices by word-parallel batched BFS
+// — 64 sources per pass — on the shared worker pool.
 //
 // Vertices are integers 0..n-1. An arc u->v is "owned" by its tail u
 // (player u paid for it). Distances in the game are always measured in

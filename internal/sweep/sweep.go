@@ -17,9 +17,16 @@ import (
 // and returns results in input order. fn must be safe for concurrent
 // invocation on distinct points.
 func Parallel[T, R any](points []T, fn func(T) R) []R {
+	return ParallelN(points, runtime.GOMAXPROCS(0), fn)
+}
+
+// ParallelN is Parallel with an explicit worker bound. Outer harnesses
+// whose points spin up inner parallelism (cache-filling responders,
+// parallel exact verification) use it to keep the total goroutine fan-out
+// near GOMAXPROCS instead of compounding pool sizes.
+func ParallelN[T, R any](points []T, workers int, fn func(T) R) []R {
 	n := len(points)
 	results := make([]R, n)
-	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
