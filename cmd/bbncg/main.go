@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	bbncg [-full] [-csv] [-seed N] <command>
+//	bbncg [-full] [-csv] [-seed N] [-out DIR [-resume]] <command>
+//	bbncg -out DIR merge <command>
 //
 // Commands:
 //
@@ -21,6 +22,14 @@
 //	conn     Theorem 7.2 connectivity dichotomy sweep
 //	dyn      Section 8 convergence statistics
 //	all      everything above in paper order
+//
+// With -out DIR, sweep results stream point-by-point into a durable
+// store (one JSONL shard per experiment, see internal/store); a run
+// killed mid-sweep is resumed with -resume, which re-evaluates only the
+// missing points and renders output byte-identical to an uninterrupted
+// run. `merge` renders a command's tables purely from a store, without
+// evaluating anything — the read side of sweeps sharded across
+// machines. See docs/RUNNER.md.
 package main
 
 import (
@@ -29,9 +38,9 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/analysis"
-	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/store"
 	"repro/internal/sweep"
 )
 
@@ -39,25 +48,75 @@ func main() {
 	full := flag.Bool("full", false, "run the full sweep ranges from EXPERIMENTS.md (slower)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	seed := flag.Int64("seed", 1, "seed for randomized sweeps")
+	out := flag.String("out", "", "stream sweep results into a checkpoint store at this directory")
+	resume := flag.Bool("resume", false, "continue an existing store: skip already-evaluated points")
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() != 1 {
-		usage()
-		os.Exit(2)
-	}
 	effort := experiments.Quick
 	if *full {
 		effort = experiments.Full
 	}
 	app := &app{out: os.Stdout, effort: effort, csv: *csv, seed: *seed}
-	if err := app.run(flag.Arg(0)); err != nil {
-		fmt.Fprintf(os.Stderr, "bbncg: %v\n", err)
-		os.Exit(1)
+
+	cmd := flag.Arg(0)
+	want := 1
+	if cmd == "merge" {
+		app.merge = true
+		cmd = flag.Arg(1)
+		want = 2
+	}
+	if flag.NArg() != want || cmd == "" {
+		usage()
+		os.Exit(2)
+	}
+	if app.merge && *out == "" {
+		fatal(fmt.Errorf("merge needs -out DIR to read from"))
+	}
+	if *resume && *out == "" {
+		fatal(fmt.Errorf("-resume needs -out DIR (there is no default store)"))
+	}
+	// -out only means something for commands with sweep specs behind
+	// them; accepting it on fig1 etc. would apply the fresh-store guard
+	// and print a summary for a store the command never touches.
+	_, storeBacked := specCommands[cmd]
+	storeBacked = storeBacked || cmd == "all"
+	if *out != "" && !storeBacked {
+		fatal(fmt.Errorf("command %q is not store-backed; -out supports: table1 unit shift sumupper exist nphard conn dyn all", cmd))
+	}
+	if *out != "" {
+		st, err := store.Open(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if !app.merge && !*resume && st.Len() > 0 {
+			st.Close()
+			fatal(fmt.Errorf("store %s already holds %d result(s); pass -resume to continue it", *out, st.Len()))
+		}
+		app.st = st
+	}
+	err := app.run(cmd)
+	if app.st != nil {
+		if cerr := app.st.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "runner: %d point(s) evaluated, %d served from %s\n",
+				app.evaluated, app.skipped, *out)
+		}
+	}
+	if err != nil {
+		fatal(err)
 	}
 }
 
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bbncg: %v\n", err)
+	os.Exit(1)
+}
+
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: bbncg [-full] [-csv] [-seed N] <command>
+	fmt.Fprintf(os.Stderr, `usage: bbncg [-full] [-csv] [-seed N] [-out DIR [-resume]] <command>
+       bbncg -out DIR merge <command>
 
 commands:
   table1    reproduce Table 1 (all rows, both versions)
@@ -80,7 +139,12 @@ commands:
   directed  contrast with the directed BBC game (Laoutaris et al.)
   robust    dynamics robustness across initial overlay families
   treedyn   dynamics on random Tree-BG instances (Section 3 empirics)
+  merge     render a sweep command's tables from an existing -out store
   all       everything, in paper order
+
+-out DIR checkpoints sweep results per point; -resume continues an
+interrupted -out run, evaluating only the missing points. See
+docs/RUNNER.md.
 `)
 }
 
@@ -89,6 +153,27 @@ type app struct {
 	effort experiments.Effort
 	csv    bool
 	seed   int64
+
+	// Checkpointing state (nil/false without -out).
+	st    *store.Store
+	merge bool
+	// Resume accounting, reported on stderr and asserted by tests.
+	evaluated int
+	skipped   int
+}
+
+// specCommands maps store-backed subcommands to the experiment specs
+// they emit, in output order.
+var specCommands = map[string][]string{
+	"table1": {"table1-trees-max", "table1-trees-sum", "table1-unit-sum",
+		"table1-unit-max", "table1-positive-max", "table1-general-sum"},
+	"unit":     {"table1-unit-sum", "table1-unit-max"},
+	"shift":    {"table1-positive-max"},
+	"sumupper": {"table1-general-sum"},
+	"exist":    {"existence"},
+	"nphard":   {"reduction"},
+	"conn":     {"connectivity"},
+	"dyn":      {"dynamics-stats"},
 }
 
 func (a *app) emit(t *sweep.Table) error {
@@ -104,10 +189,48 @@ func (a *app) emit(t *sweep.Table) error {
 	return err
 }
 
+// runSpecs runs (or, under merge, re-renders) the named experiment
+// specs against the app's store, emitting every table.
+func (a *app) runSpecs(names ...string) error {
+	for _, name := range names {
+		spec, ok := experiments.SpecByName(name)
+		if !ok {
+			return fmt.Errorf("no spec %q registered", name)
+		}
+		job := spec.Job(a.effort, a.seed)
+		var rep *runner.Report
+		var err error
+		if a.merge {
+			rep, err = runner.Merge(job, a.st)
+		} else {
+			rep, err = runner.Run(job, a.st, 0)
+		}
+		if err != nil {
+			return err
+		}
+		a.evaluated += rep.Evaluated
+		a.skipped += rep.Skipped
+		tables, err := spec.Render(rep.Values)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			if err := a.emit(t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 func (a *app) run(cmd string) error {
+	if names, ok := specCommands[cmd]; ok {
+		return a.runSpecs(names...)
+	}
+	if a.merge {
+		return fmt.Errorf("command %q is not store-backed; merge supports: table1 unit shift sumupper exist nphard conn dyn", cmd)
+	}
 	switch cmd {
-	case "table1":
-		return a.table1()
 	case "fig1":
 		t, err := experiments.Figure1()
 		if err != nil {
@@ -130,40 +253,6 @@ func (a *app) run(cmd string) error {
 			k = 7
 		}
 		t, err := experiments.Figure3(k)
-		if err != nil {
-			return err
-		}
-		return a.emit(t)
-	case "unit":
-		return a.unit()
-	case "shift":
-		t, err := experiments.Table1PositiveMAX(a.effort)
-		if err != nil {
-			return err
-		}
-		return a.emit(t)
-	case "sumupper":
-		return a.sumUpper()
-	case "exist":
-		t, err := experiments.Existence(a.effort, a.seed)
-		if err != nil {
-			return err
-		}
-		return a.emit(t)
-	case "nphard":
-		t, err := experiments.Reduction(a.effort, a.seed)
-		if err != nil {
-			return err
-		}
-		return a.emit(t)
-	case "conn":
-		t, err := experiments.Connectivity(a.effort, a.seed)
-		if err != nil {
-			return err
-		}
-		return a.emit(t)
-	case "dyn":
-		t, err := experiments.DynamicsStats(a.effort, a.seed)
 		if err != nil {
 			return err
 		}
@@ -227,69 +316,6 @@ func (a *app) run(cmd string) error {
 	default:
 		return fmt.Errorf("unknown command %q (run with no arguments for usage)", cmd)
 	}
-}
-
-func (a *app) table1() error {
-	t, err := experiments.Table1TreesMAX(a.effort)
-	if err != nil {
-		return err
-	}
-	if err := a.emit(t); err != nil {
-		return err
-	}
-	t, err = experiments.Table1TreesSUM(a.effort)
-	if err != nil {
-		return err
-	}
-	if err := a.emit(t); err != nil {
-		return err
-	}
-	if err := a.unit(); err != nil {
-		return err
-	}
-	t, err = experiments.Table1PositiveMAX(a.effort)
-	if err != nil {
-		return err
-	}
-	if err := a.emit(t); err != nil {
-		return err
-	}
-	return a.sumUpper()
-}
-
-func (a *app) unit() error {
-	for _, ver := range []core.Version{core.SUM, core.MAX} {
-		t, _, err := experiments.Table1Unit(ver, a.effort, a.seed)
-		if err != nil {
-			return err
-		}
-		if err := a.emit(t); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (a *app) sumUpper() error {
-	t, ns, diams, err := experiments.Table1GeneralSUM(a.effort, a.seed)
-	if err != nil {
-		return err
-	}
-	if err := a.emit(t); err != nil {
-		return err
-	}
-	if len(ns) >= 2 {
-		fits, err := analysis.FitGrowth(ns, diams)
-		if err != nil {
-			return err
-		}
-		ft := sweep.NewTable("growth-law fit of SUM equilibrium diameters", "model", "coefficient", "rel-RMSE")
-		for _, f := range fits {
-			ft.Addf(f.Model, f.Coefficient, f.RelRMSE)
-		}
-		return a.emit(ft)
-	}
-	return nil
 }
 
 func (a *app) all() error {

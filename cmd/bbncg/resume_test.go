@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/store"
+)
+
+// table1QuickPoints is the total point count of the table1 command at
+// Quick effort: trees-max 5, trees-sum 4, unit-sum 3, unit-max 3,
+// positive-max 2, general-sum 3.
+const table1QuickPoints = 20
+
+// TestResumeAfterCrashByteIdentical is the acceptance scenario: a
+// store-backed table1 run is killed mid-sweep (simulated by chopping a
+// shard mid-record, the exact on-disk signature of SIGKILL during an
+// append), then re-run with resume. The resumed run must evaluate only
+// the missing points and produce output byte-identical to an
+// uninterrupted run.
+func TestResumeAfterCrashByteIdentical(t *testing.T) {
+	direct := runCLI(t, &app{effort: experiments.Quick, seed: 1}, "table1")
+
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := &app{effort: experiments.Quick, seed: 1, st: st}
+	stored := runCLI(t, full, "table1")
+	if stored != direct {
+		t.Fatal("store-backed run differs from direct run")
+	}
+	if full.evaluated != table1QuickPoints || full.skipped != 0 {
+		t.Fatalf("fresh run evaluated=%d skipped=%d", full.evaluated, full.skipped)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "kill": cut one shard mid-way through its second record,
+	// leaving one whole record, and delete another shard outright.
+	shard := filepath.Join(dir, "table1-unit-sum.jsonl")
+	data, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLine := 0
+	for i, b := range data {
+		if b == '\n' {
+			firstLine = i + 1
+			break
+		}
+	}
+	if err := os.WriteFile(shard, data[:firstLine+10], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "table1-general-sum.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Recovered() != 1 {
+		t.Fatalf("Recovered = %d, want 1", st2.Recovered())
+	}
+	kept := st2.Len()
+	missing := table1QuickPoints - kept
+	// unit-sum lost 2 of 3 records, general-sum all 3.
+	if missing != 5 {
+		t.Fatalf("crash simulation left %d missing points, want 5", missing)
+	}
+	resumed := &app{effort: experiments.Quick, seed: 1, st: st2}
+	out := runCLI(t, resumed, "table1")
+	if out != direct {
+		t.Fatal("resumed run output differs from uninterrupted run")
+	}
+	if resumed.evaluated != missing || resumed.skipped != kept {
+		t.Fatalf("resumed run evaluated=%d skipped=%d, want %d/%d",
+			resumed.evaluated, resumed.skipped, missing, kept)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// merge renders the now-complete store without evaluating anything.
+	st3, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	merged := &app{effort: experiments.Quick, seed: 1, st: st3, merge: true}
+	if got := runCLI(t, merged, "table1"); got != direct {
+		t.Fatal("merged output differs from direct run")
+	}
+	if merged.evaluated != 0 || merged.skipped != table1QuickPoints {
+		t.Fatalf("merge evaluated=%d skipped=%d", merged.evaluated, merged.skipped)
+	}
+}
+
+// A merge against an incomplete store must fail loudly, not render a
+// partial table.
+func TestMergeIncompleteStoreFails(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	a := &app{effort: experiments.Quick, seed: 1, st: st}
+	runCLI(t, a, "shift") // fills only table1-positive-max
+	m := &app{effort: experiments.Quick, seed: 1, st: st, merge: true}
+	m.out = os.Stderr
+	if err := m.run("table1"); err == nil {
+		t.Fatal("merge of an incomplete store succeeded")
+	}
+	if err := m.run("fig1"); err == nil {
+		t.Fatal("merge of a non-store-backed command succeeded")
+	}
+}
+
+// Changing the seed changes point identities, so a store never serves
+// results across seeds.
+func TestStoreKeyedBySeed(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	a1 := &app{effort: experiments.Quick, seed: 1, st: st}
+	runCLI(t, a1, "conn")
+	a2 := &app{effort: experiments.Quick, seed: 2, st: st}
+	runCLI(t, a2, "conn")
+	if a2.skipped != 0 || a2.evaluated == 0 {
+		t.Fatalf("seed-2 run reused seed-1 results: evaluated=%d skipped=%d", a2.evaluated, a2.skipped)
+	}
+}

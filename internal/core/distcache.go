@@ -91,6 +91,13 @@ func (dv *Deviator) EnsureCache(budgetBytes int64) bool {
 // HasCache reports whether the distance cache is active.
 func (dv *Deviator) HasCache() bool { return dv.rows != nil }
 
+// Release returns the cache matrices to the pool; the Deviator falls
+// back to BFS evaluation (still bit-identical) afterwards. External
+// enumeration harnesses (internal/enumerate) that cache explicitly via
+// EnsureCache call it when done; the in-package responders use the
+// unexported form.
+func (dv *Deviator) Release() { dv.release() }
+
 // release returns the cache matrices to the pool. Callers that own the
 // Deviator (the responders) release on exit; any clones sharing the
 // matrices must be done first.

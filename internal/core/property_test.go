@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Property-based equivalence across the graph generator families: on
+// realizations drawn from every generator in internal/graph, the cached
+// (EnsureCache) and uncached (per-candidate BFS) Deviator paths must
+// agree exactly — candidate evaluation, exact best-response values, and
+// the equilibrium verdict — for both SUM and MAX. The existing
+// distcache tests cover random out-digraphs; this suite pins the
+// engine's behaviour on the structured families (paths, cycles, stars,
+// grids, trees, preferential attachment, small world), whose
+// bridge/leaf/hub structure exercises different component and
+// eccentricity shapes.
+
+// generatorCorpus draws one realization per generator family. Sizes are
+// kept small enough for exact verification of every instance.
+func generatorCorpus(rng *rand.Rand) []struct {
+	name string
+	d    *graph.Digraph
+} {
+	pa, err := graph.PreferentialAttachment(9, 2, rng)
+	if err != nil {
+		panic(err)
+	}
+	sw, err := graph.SmallWorld(10, 2, 0.3, rng)
+	if err != nil {
+		panic(err)
+	}
+	budgets := make([]int, 8)
+	for i := range budgets {
+		budgets[i] = rng.Intn(3)
+	}
+	return []struct {
+		name string
+		d    *graph.Digraph
+	}{
+		{"path", graph.PathGraph(7)},
+		{"cycle", graph.CycleGraph(8)},
+		{"star", graph.StarGraph(8)},
+		{"tree", graph.RandomTree(9, rng)},
+		{"grid", graph.GridGraph(3, 3)},
+		{"random-out", graph.RandomOutDigraph(budgets, rng)},
+		{"pref-attach", pa},
+		{"small-world", sw},
+	}
+}
+
+func TestPropertyCachedEvalAcrossGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(7001))
+	for round := 0; round < 5; round++ {
+		for _, inst := range generatorCorpus(rng) {
+			for _, version := range []Version{SUM, MAX} {
+				g := GameOf(inst.d, version)
+				n := g.N()
+				for u := 0; u < n; u++ {
+					plain := NewDeviator(g, inst.d, u)
+					cached := NewDeviator(g, inst.d, u)
+					if !cached.EnsureCache(1 << 40) {
+						t.Fatalf("%s: cache refused", inst.name)
+					}
+					for k := 0; k <= 3 && k <= n-1; k++ {
+						s := randomStrategy(n, u, k, rng)
+						if got, want := cached.Eval(s), plain.Eval(s); got != want {
+							t.Fatalf("%s %v u=%d s=%v: cached %d, BFS %d",
+								inst.name, version, u, s, got, want)
+						}
+					}
+					cached.Release()
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyBestResponseAcrossGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(7002))
+	for _, inst := range generatorCorpus(rng) {
+		for _, version := range []Version{SUM, MAX} {
+			g := GameOf(inst.d, version)
+			for u := 0; u < g.N(); u++ {
+				fast, err := g.ExactBestResponse(inst.d, u, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var slow BestResponse
+				var slowErr error
+				withCacheBudget(0, func() { slow, slowErr = g.ExactBestResponse(inst.d, u, 0) })
+				if slowErr != nil {
+					t.Fatal(slowErr)
+				}
+				if fast.Cost != slow.Cost || fast.Current != slow.Current || fast.Explored != slow.Explored {
+					t.Fatalf("%s %v u=%d: cached %+v, uncached %+v", inst.name, version, u, fast, slow)
+				}
+				if !equalInts(fast.Strategy, slow.Strategy) {
+					t.Fatalf("%s %v u=%d: cached strategy %v, uncached %v",
+						inst.name, version, u, fast.Strategy, slow.Strategy)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyVerifyNashAcrossGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(7003))
+	for _, inst := range generatorCorpus(rng) {
+		for _, version := range []Version{SUM, MAX} {
+			g := GameOf(inst.d, version)
+			devFast, err := g.VerifyNash(inst.d, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var devSlow *Deviation
+			var slowErr error
+			withCacheBudget(0, func() { devSlow, slowErr = g.VerifyNash(inst.d, 0) })
+			if slowErr != nil {
+				t.Fatal(slowErr)
+			}
+			if (devFast == nil) != (devSlow == nil) {
+				t.Fatalf("%s %v: cached verdict %v, uncached %v", inst.name, version, devFast, devSlow)
+			}
+			// Witnesses may name different players (the parallel scan
+			// returns the first found), but each must be a genuine strict
+			// improvement under the opposite path.
+			for label, dev := range map[string]*Deviation{"cached": devFast, "uncached": devSlow} {
+				if dev == nil {
+					continue
+				}
+				dv := NewDeviator(g, inst.d, dev.Vertex)
+				if got := dv.Eval(dev.NewStrategy); got != dev.NewCost || got >= dev.OldCost {
+					t.Fatalf("%s %v: %s witness %v does not replay (eval %d)",
+						inst.name, version, label, dev, got)
+				}
+			}
+		}
+	}
+}
+
+// The kappa (component-counting) rule must agree between paths on
+// disconnected strategies too: strip a generator instance down to
+// isolated pockets by zeroing some budgets.
+func TestPropertyDisconnectedAcrossGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(7004))
+	for round := 0; round < 10; round++ {
+		for _, inst := range generatorCorpus(rng) {
+			d := inst.d.Clone()
+			n := d.N()
+			// Remove every arc of a few random owners.
+			for i := 0; i < 1+n/3; i++ {
+				d.SetOut(rng.Intn(n), nil)
+			}
+			for _, version := range []Version{SUM, MAX} {
+				g := GameOf(d, version)
+				u := rng.Intn(n)
+				plain := NewDeviator(g, d, u)
+				cached := NewDeviator(g, d, u)
+				if !cached.EnsureCache(1 << 40) {
+					t.Fatalf("%s: cache refused", inst.name)
+				}
+				for k := 0; k <= 2 && k <= n-1; k++ {
+					s := randomStrategy(n, u, k, rng)
+					if got, want := cached.Eval(s), plain.Eval(s); got != want {
+						t.Fatalf("%s %v u=%d s=%v (sparse): cached %d, BFS %d",
+							inst.name, version, u, s, got, want)
+					}
+				}
+				cached.Release()
+			}
+		}
+	}
+}

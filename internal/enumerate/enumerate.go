@@ -137,16 +137,30 @@ func All(g *core.Game, cap int64) (Result, error) {
 
 // isEquilibrium checks every player by exact enumeration, sequentially
 // (the profile loop above is itself the parallelised layer in callers).
+// Each player's candidates are evaluated on a cached Deviator whenever
+// the strategy space is large enough to amortise the cache fill, so a
+// candidate costs one O(n) min-merge instead of a full BFS; the scan
+// stops at the first strict improvement, which decides the equilibrium
+// question without completing a best response.
 func isEquilibrium(g *core.Game, d *graph.Digraph) (bool, error) {
-	for u := 0; u < g.N(); u++ {
-		if g.Budgets[u] == 0 {
+	n := g.N()
+	for u := 0; u < n; u++ {
+		b := g.Budgets[u]
+		if b == 0 {
 			continue
 		}
-		br, err := g.ExactBestResponse(d, u, 0)
-		if err != nil {
-			return false, err
+		dv := core.NewDeviator(g, d, u)
+		if core.StrategySpaceSize(n, b) >= int64(n) {
+			// Below n candidates the n-BFS cache fill cannot pay for
+			// itself (the same threshold ExactBestResponse uses).
+			dv.EnsureCache(core.DefaultCacheBudget)
 		}
-		if br.Improves() {
+		cur := dv.Eval(d.Out(u))
+		improved := forEachStrategyUntil(n, u, b, func(s []int) bool {
+			return dv.Eval(s) < cur
+		})
+		dv.Release()
+		if improved {
 			return false, nil
 		}
 	}

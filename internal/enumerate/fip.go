@@ -57,6 +57,11 @@ func BestResponseImprovementGraph(g *core.Game, cap int64) (FIPResult, error) {
 				continue
 			}
 			dv := core.NewDeviator(g, d, u)
+			if core.StrategySpaceSize(n, g.Budgets[u]) >= int64(n) {
+				// Amortise one cache fill over the full candidate scan:
+				// each Eval below becomes an O(n) min-merge, not a BFS.
+				dv.EnsureCache(core.DefaultCacheBudget)
+			}
 			cur := dv.Eval(p[u])
 			best := cur
 			var bests [][]int
@@ -70,6 +75,7 @@ func BestResponseImprovementGraph(g *core.Game, cap int64) (FIPResult, error) {
 					bests = append(bests, append([]int(nil), s...))
 				}
 			})
+			dv.Release()
 			if len(bests) > 0 {
 				isSink = false
 			}
@@ -217,6 +223,17 @@ func allProfiles(g *core.Game, cap int64) ([]core.Profile, map[uint64]int, error
 
 // forEachStrategy enumerates the sorted b-subsets of {0..n-1}\{player}.
 func forEachStrategy(n, player, b int, fn func(s []int)) {
+	forEachStrategyUntil(n, player, b, func(s []int) bool {
+		fn(s)
+		return false
+	})
+}
+
+// forEachStrategyUntil enumerates the sorted b-subsets of
+// {0..n-1}\{player} until fn returns true, reporting whether it did —
+// the early-exit form the equilibrium scan uses to stop at the first
+// improving candidate.
+func forEachStrategyUntil(n, player, b int, fn func(s []int) bool) bool {
 	targets := make([]int, 0, n-1)
 	for v := 0; v < n; v++ {
 		if v != player {
@@ -225,21 +242,23 @@ func forEachStrategy(n, player, b int, fn func(s []int)) {
 	}
 	comb := make([]int, b)
 	strategy := make([]int, b)
-	var rec func(start, at int)
-	rec = func(start, at int) {
+	var rec func(start, at int) bool
+	rec = func(start, at int) bool {
 		if at == b {
 			for i, idx := range comb {
 				strategy[i] = targets[idx]
 			}
-			fn(strategy)
-			return
+			return fn(strategy)
 		}
 		for i := start; i <= len(targets)-(b-at); i++ {
 			comb[at] = i
-			rec(i+1, at+1)
+			if rec(i+1, at+1) {
+				return true
+			}
 		}
+		return false
 	}
-	rec(0, 0)
+	return rec(0, 0)
 }
 
 // VerifyCycleWitness replays a claimed best-response cycle and confirms

@@ -56,6 +56,11 @@ func OrdinalPotential(g *core.Game, cap int64) (*Potential, error) {
 				continue
 			}
 			dv := core.NewDeviator(g, d, u)
+			if core.StrategySpaceSize(n, g.Budgets[u]) >= int64(n) {
+				// Amortise one cache fill over the full candidate scan,
+				// as in BestResponseImprovementGraph.
+				dv.EnsureCache(core.DefaultCacheBudget)
+			}
 			cur := dv.Eval(p[u])
 			best := cur
 			var bests [][]int
@@ -69,6 +74,7 @@ func OrdinalPotential(g *core.Game, cap int64) (*Potential, error) {
 					bests = append(bests, append([]int(nil), s...))
 				}
 			})
+			dv.Release()
 			for _, s := range bests {
 				q := p.Clone()
 				q[u] = s

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"encoding/json"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/sweep"
+)
+
+// Spec presents one experiment in checkpointable runner form: a Job
+// factory (deterministic point list + pure evaluator, see
+// internal/runner) and a renderer from stored values back to the
+// experiment's tables. The CLI uses specs to stream sweep results into
+// a store, resume interrupted runs, and re-render tables from a store
+// without recomputing anything; the exported experiment functions are
+// wrappers that run the same job in memory, so both paths produce
+// byte-identical output.
+type Spec struct {
+	Name string
+	// Job builds the experiment's point list and evaluator for one
+	// (effort, seed). It must be deterministic: a resumed run
+	// regenerates the list and trusts point IDs to mean "same
+	// computation".
+	Job func(effort Effort, seed int64) runner.Job
+	// Render converts the job's values (canonical JSON, point order)
+	// into the experiment's output tables.
+	Render func(values []json.RawMessage) ([]*sweep.Table, error)
+}
+
+// Specs lists every experiment available in runner form, in Table 1
+// order. Experiments whose artifacts are single constructions rather
+// than sweeps (the figures) stay outside the runner.
+func Specs() []Spec {
+	return []Spec{
+		{
+			Name: "table1-trees-max",
+			Job:  func(e Effort, _ int64) runner.Job { return treesMAXJob(e) },
+			Render: renderRows(func(rows []treesMAXRow) ([]*sweep.Table, error) {
+				return []*sweep.Table{treesMAXTable(rows)}, nil
+			}),
+		},
+		{
+			Name: "table1-trees-sum",
+			Job:  func(e Effort, _ int64) runner.Job { return treesSUMJob(e) },
+			Render: renderRows(func(rows []treesSUMRow) ([]*sweep.Table, error) {
+				return []*sweep.Table{treesSUMTable(rows)}, nil
+			}),
+		},
+		{
+			Name: "table1-unit-sum",
+			Job:  func(e Effort, s int64) runner.Job { return unitJob(core.SUM, e, s) },
+			Render: renderRows(func(rows []UnitResult) ([]*sweep.Table, error) {
+				return []*sweep.Table{unitTable(core.SUM, rows)}, nil
+			}),
+		},
+		{
+			Name: "table1-unit-max",
+			Job:  func(e Effort, s int64) runner.Job { return unitJob(core.MAX, e, s) },
+			Render: renderRows(func(rows []UnitResult) ([]*sweep.Table, error) {
+				return []*sweep.Table{unitTable(core.MAX, rows)}, nil
+			}),
+		},
+		{
+			Name: "table1-positive-max",
+			Job:  func(e Effort, _ int64) runner.Job { return positiveMAXJob(e) },
+			Render: renderRows(func(rows []positiveMAXRow) ([]*sweep.Table, error) {
+				return []*sweep.Table{positiveMAXTable(rows)}, nil
+			}),
+		},
+		{
+			Name:   "table1-general-sum",
+			Job:    generalSUMJob,
+			Render: renderRows(generalSUMTables),
+		},
+		{
+			Name: "existence",
+			Job:  existenceJob,
+			Render: renderRows(func(rows []existenceRow) ([]*sweep.Table, error) {
+				return []*sweep.Table{existenceTable(rows)}, nil
+			}),
+		},
+		{
+			Name: "reduction",
+			Job:  reductionJob,
+			Render: renderRows(func(rows []reductionRow) ([]*sweep.Table, error) {
+				t, err := reductionTable(rows)
+				if err != nil {
+					return nil, err
+				}
+				return []*sweep.Table{t}, nil
+			}),
+		},
+		{
+			Name: "connectivity",
+			Job:  connectivityJob,
+			Render: renderRows(func(rows []connectivityRow) ([]*sweep.Table, error) {
+				return []*sweep.Table{connectivityTable(rows)}, nil
+			}),
+		},
+		{
+			Name: "dynamics-stats",
+			Job:  dynamicsStatsJob,
+			Render: renderRows(func(rows []dynStatsRow) ([]*sweep.Table, error) {
+				return []*sweep.Table{dynamicsStatsTable(rows)}, nil
+			}),
+		},
+	}
+}
+
+// SpecByName finds a spec in the registry.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// renderRows adapts a typed row renderer to the Spec.Render signature.
+func renderRows[T any](render func([]T) ([]*sweep.Table, error)) func([]json.RawMessage) ([]*sweep.Table, error) {
+	return func(values []json.RawMessage) ([]*sweep.Table, error) {
+		rows, err := runner.DecodeAll[T](values)
+		if err != nil {
+			return nil, err
+		}
+		return render(rows)
+	}
+}
+
+// runRows runs a job in memory and decodes its values; the common body
+// of the exported experiment functions. Results round-trip through JSON
+// exactly as store-backed runs do.
+func runRows[T any](job runner.Job) ([]T, error) {
+	rep, err := runner.Run(job, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	return runner.DecodeAll[T](rep.Values)
+}

@@ -1,0 +1,168 @@
+// Package runner is the checkpointable sweep layer: it gives every
+// experiment point a deterministic identity, streams results into a
+// store (internal/store) as they finish, and skips already-stored
+// points on restart, so an interrupted sweep resumes instead of
+// restarting. The evaluation fan-out reuses sweep.ParallelN; the
+// runner adds only identity, durability, and resume bookkeeping — the
+// foundation for sharding one sweep across machines, where every
+// worker runs the same point list against its own shard directory and
+// a merge renders the union.
+//
+// Determinism contract: a Job's point list must be a pure function of
+// (experiment, effort, seed), and Eval must be a pure function of the
+// point, because a resumed run regenerates the point list and trusts
+// the IDs to mean "same computation". Results always round-trip
+// through their canonical JSON encoding — even when no store is
+// attached — so a table rendered from a live run and one rendered
+// from a store are byte-identical.
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime"
+
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+// Point is one experiment evaluation: an experiment name, a canonical
+// parameter key unique within the experiment at a given seed, and the
+// sweep seed. Data carries the deterministically generated instance
+// payload (if any) to Eval; it does not contribute to the identity,
+// because it is itself a function of (Exp, Key, Seed).
+type Point struct {
+	Exp  string
+	Key  string
+	Seed int64
+	Data any
+}
+
+// ID returns the deterministic identity of the point: a 128-bit hex
+// digest of (experiment, key, seed). Stored results are keyed by it.
+func (p Point) ID() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%d", p.Exp, p.Key, p.Seed)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Job is a runnable experiment: its full point list plus the per-point
+// evaluator. Eval must be safe for concurrent invocation on distinct
+// points and must return a JSON-serialisable value.
+type Job struct {
+	Exp    string
+	Points []Point
+	Eval   func(p Point) (any, error)
+}
+
+// Report is the outcome of one Run.
+type Report struct {
+	// Values holds each point's result in point-list order, as
+	// canonical JSON.
+	Values []json.RawMessage
+	// Evaluated counts points computed by this run; Skipped counts
+	// points served from the store. Evaluated+Skipped = len(Points).
+	Evaluated int
+	Skipped   int
+}
+
+// Run evaluates every point of job not already present in st, fanning
+// the missing ones out over at most workers goroutines (workers <= 0
+// means GOMAXPROCS, matching sweep.Parallel), appending each result to
+// st as it completes. st may be nil for a purely in-memory run. The
+// returned values are in point order regardless of what was skipped.
+func Run(job Job, st *store.Store, workers int) (*Report, error) {
+	rep := &Report{Values: make([]json.RawMessage, len(job.Points))}
+	var missing []int
+	for i, p := range job.Points {
+		if st != nil {
+			if rec, ok := st.Get(p.ID()); ok {
+				rep.Values[i] = rec.Value
+				rep.Skipped++
+				continue
+			}
+		}
+		missing = append(missing, i)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type outcome struct {
+		raw json.RawMessage
+		err error
+	}
+	outs := sweep.ParallelN(missing, workers, func(i int) outcome {
+		p := job.Points[i]
+		v, err := job.Eval(p)
+		if err != nil {
+			return outcome{err: fmt.Errorf("runner: %s %s: %w", p.Exp, p.Key, err)}
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return outcome{err: fmt.Errorf("runner: %s %s: %w", p.Exp, p.Key, err)}
+		}
+		if st != nil {
+			if err := st.Append(store.Record{ID: p.ID(), Exp: p.Exp, Key: p.Key, Value: raw}); err != nil {
+				return outcome{err: err}
+			}
+		}
+		return outcome{raw: raw}
+	})
+	for k, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		rep.Values[missing[k]] = o.raw
+		rep.Evaluated++
+	}
+	return rep, nil
+}
+
+// Merge resolves every point of job from st without evaluating
+// anything; it errors if any point is missing, naming the first few.
+// It is the read side of a sharded run: once every machine's store is
+// copied into one directory, Merge renders the union.
+func Merge(job Job, st *store.Store) (*Report, error) {
+	rep := &Report{Values: make([]json.RawMessage, len(job.Points))}
+	var missing []string
+	for i, p := range job.Points {
+		rec, ok := st.Get(p.ID())
+		if !ok {
+			if len(missing) < 4 {
+				missing = append(missing, p.Key)
+			}
+			continue
+		}
+		rep.Values[i] = rec.Value
+		rep.Skipped++
+	}
+	if n := len(job.Points) - rep.Skipped; n > 0 {
+		return nil, fmt.Errorf("runner: store is missing %d of %d %s points (e.g. %v); re-run the sweep with -resume to fill them",
+			n, len(job.Points), job.Exp, missing)
+	}
+	return rep, nil
+}
+
+// Decode unmarshals one stored value into T (a typed row struct).
+func Decode[T any](raw json.RawMessage) (T, error) {
+	var v T
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return v, fmt.Errorf("runner: decoding stored value: %w", err)
+	}
+	return v, nil
+}
+
+// DecodeAll unmarshals a report's values into typed rows, in order.
+func DecodeAll[T any](raws []json.RawMessage) ([]T, error) {
+	out := make([]T, len(raws))
+	for i, raw := range raws {
+		v, err := Decode[T](raw)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

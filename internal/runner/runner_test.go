@@ -1,0 +1,208 @@
+package runner
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/store"
+)
+
+type val struct {
+	K int `json:"k"`
+	S int `json:"s"`
+}
+
+// testJob squares each point's k; evals counts actual evaluations so
+// resume tests can assert that stored points are never recomputed.
+func testJob(n int, evals *int64) Job {
+	points := make([]Point, n)
+	for i := range points {
+		points[i] = Point{Exp: "square", Key: fmt.Sprintf("k=%d", i), Seed: 1, Data: i}
+	}
+	return Job{
+		Exp:    "square",
+		Points: points,
+		Eval: func(p Point) (any, error) {
+			atomic.AddInt64(evals, 1)
+			k := p.Data.(int)
+			return val{K: k, S: k * k}, nil
+		},
+	}
+}
+
+func TestPointIDDeterministic(t *testing.T) {
+	a := Point{Exp: "e", Key: "k=1", Seed: 7}
+	b := Point{Exp: "e", Key: "k=1", Seed: 7}
+	if a.ID() != b.ID() {
+		t.Fatal("same point, different IDs")
+	}
+	for _, other := range []Point{
+		{Exp: "e2", Key: "k=1", Seed: 7},
+		{Exp: "e", Key: "k=2", Seed: 7},
+		{Exp: "e", Key: "k=1", Seed: 8},
+	} {
+		if a.ID() == other.ID() {
+			t.Fatalf("distinct point %+v collides with %+v", other, a)
+		}
+	}
+	if len(a.ID()) != 32 {
+		t.Fatalf("ID length = %d", len(a.ID()))
+	}
+}
+
+func TestRunInMemory(t *testing.T) {
+	var evals int64
+	rep, err := Run(testJob(10, &evals), nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evaluated != 10 || rep.Skipped != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	rows, err := DecodeAll[val](rep.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if r.K != i || r.S != i*i {
+			t.Fatalf("row %d = %+v", i, r)
+		}
+	}
+}
+
+func TestRunStoresAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evals int64
+	rep1, err := Run(testJob(8, &evals), st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Evaluated != 8 || evals != 8 {
+		t.Fatalf("first run: %+v evals=%d", rep1, evals)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume over a reopened store: nothing may be re-evaluated.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rep2, err := Run(testJob(8, &evals), st2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Evaluated != 0 || rep2.Skipped != 8 || evals != 8 {
+		t.Fatalf("resumed run: %+v evals=%d", rep2, evals)
+	}
+	for i := range rep1.Values {
+		if string(rep1.Values[i]) != string(rep2.Values[i]) {
+			t.Fatalf("value %d differs across resume:\n%s\n%s", i, rep1.Values[i], rep2.Values[i])
+		}
+	}
+
+	// A grown point list evaluates exactly the new points.
+	rep3, err := Run(testJob(12, &evals), st2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Evaluated != 4 || rep3.Skipped != 8 || evals != 12 {
+		t.Fatalf("grown run: %+v evals=%d", rep3, evals)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var evals int64
+	job := testJob(5, &evals)
+	if _, err := Merge(job, st); err == nil {
+		t.Fatal("merge of an empty store succeeded")
+	}
+	if _, err := Run(job, st, 0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Merge(job, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != 5 || rep.Evaluated != 0 || evals != 5 {
+		t.Fatalf("merge report = %+v evals=%d", rep, evals)
+	}
+}
+
+// TestCrashMidSweepThenResume kills a run logically (one point errors,
+// aborting the sweep after others already streamed to the store) and
+// resumes: the store keeps every completed point, and the resumed run
+// evaluates exactly the remainder.
+func TestCrashMidSweepThenResume(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evals int64
+	job := testJob(6, &evals)
+	goodEval := job.Eval
+	job.Eval = func(p Point) (any, error) {
+		if p.Data.(int) == 4 {
+			return nil, fmt.Errorf("simulated crash")
+		}
+		return goodEval(p)
+	}
+	if _, err := Run(job, st, 1); err == nil {
+		t.Fatal("crashing run succeeded")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	survived := st2.Len()
+	if survived == 0 || survived >= 6 {
+		t.Fatalf("store kept %d records after crash", survived)
+	}
+	evals = 0
+	rep, err := Run(testJob(6, &evals), st2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != survived || rep.Evaluated != 6-survived || evals != int64(6-survived) {
+		t.Fatalf("resume after crash: %+v evals=%d survived=%d", rep, evals, survived)
+	}
+	rows, err := DecodeAll[val](rep.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if r.K != i || r.S != i*i {
+			t.Fatalf("row %d = %+v", i, r)
+		}
+	}
+}
+
+func TestRunEvalError(t *testing.T) {
+	job := Job{
+		Exp:    "bad",
+		Points: []Point{{Exp: "bad", Key: "k=0", Seed: 1}},
+		Eval:   func(Point) (any, error) { return nil, fmt.Errorf("boom") },
+	}
+	if _, err := Run(job, nil, 1); err == nil {
+		t.Fatal("eval error swallowed")
+	}
+}

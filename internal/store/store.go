@@ -1,0 +1,339 @@
+// Package store is a durable, sharded results store for experiment
+// sweeps: one append-only JSONL shard per experiment plus a manifest,
+// designed so a sweep killed mid-run loses at most the record being
+// written. It is the persistence layer under internal/runner.
+//
+// Layout of a store directory:
+//
+//	manifest.json        format version, shard list, record counts
+//	<experiment>.jsonl   one JSON record per line, append-only
+//
+// Appends are single write(2) calls on O_APPEND descriptors, so
+// concurrent appenders never interleave bytes and a crash can only
+// truncate the final line. Open detects such a truncated tail (a last
+// line that is not a complete JSON record) and cuts the shard back to
+// its last good record before any new append, which is what makes
+// resuming after a kill safe. The manifest is rewritten atomically
+// (temp file + rename) on Sync/Close; Open treats the shards, not the
+// manifest, as the source of truth, so a crash between an append and a
+// manifest write loses nothing.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FormatVersion guards against reading stores written by an
+// incompatible future layout.
+const FormatVersion = 1
+
+// maxRecordBytes bounds one JSONL record: Append refuses anything
+// larger, and loadShard buffers this much per line, so every record
+// the store accepts is guaranteed readable on reopen.
+const maxRecordBytes = 64 << 20
+
+// Record is one stored experiment result.
+type Record struct {
+	// ID is the deterministic point identity (see runner.Point.ID);
+	// the store treats it as an opaque unique key.
+	ID string `json:"id"`
+	// Exp names the experiment; it selects the shard file.
+	Exp string `json:"exp"`
+	// Key is the human-readable point key within the experiment.
+	Key string `json:"key"`
+	// Value is the experiment-defined result payload.
+	Value json.RawMessage `json:"value"`
+}
+
+// Manifest is the metadata file of a store directory.
+type Manifest struct {
+	Format int             `json:"format"`
+	Shards []ShardManifest `json:"shards"`
+}
+
+// ShardManifest describes one shard file.
+type ShardManifest struct {
+	Exp     string `json:"exp"`
+	File    string `json:"file"`
+	Records int    `json:"records"`
+}
+
+// Store is an open store directory. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir string
+
+	mu     sync.Mutex
+	index  map[string]Record   // id -> record
+	counts map[string]int      // experiment -> record count
+	files  map[string]*os.File // experiment -> open shard (O_APPEND)
+	// dirty is set by Append; Close only rewrites the manifest when it
+	// is, so read-only sessions (merge) work on read-only directories.
+	dirty bool
+	// recovered counts records dropped from truncated shard tails at
+	// Open time (diagnostics for crash-recovery tests and logs).
+	recovered int
+}
+
+// Open opens (creating if necessary) the store directory, loads every
+// shard into the in-memory index, and repairs truncated shard tails.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:    dir,
+		index:  make(map[string]Record),
+		counts: make(map[string]int),
+		files:  make(map[string]*os.File),
+	}
+	if err := s.checkManifest(); err != nil {
+		return nil, err
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := s.loadShard(name); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// checkManifest validates the format version when a manifest exists.
+// Shard contents, not the manifest, are the source of truth.
+func (s *Store) checkManifest() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, "manifest.json"))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("store: corrupt manifest: %w", err)
+	}
+	if m.Format != FormatVersion {
+		return fmt.Errorf("store: manifest format %d, this build reads %d", m.Format, FormatVersion)
+	}
+	return nil
+}
+
+// loadShard reads one shard file into the index, truncating the file
+// back to the last complete record if the tail is partial (the crash
+// signature of a killed appender).
+func (s *Store) loadShard(name string) error {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	good := 0 // byte offset after the last complete, parseable record
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(nil, maxRecordBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		end := good + len(line) + 1 // +1 for the newline
+		if end > len(data) {
+			// Last line had no trailing newline: an interrupted write.
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.ID == "" {
+			// A malformed line mid-file means anything after it is
+			// suspect; keep only the prefix.
+			break
+		}
+		s.remember(rec)
+		good = end
+	}
+	if err := sc.Err(); err != nil {
+		// A scanner failure (e.g. a line beyond the buffer limit) is not
+		// the crash-tail signature; truncating here would delete valid
+		// records, so refuse to open instead.
+		return fmt.Errorf("store: reading shard %s: %w", name, err)
+	}
+	if good < len(data) {
+		s.recovered++
+		if err := os.Truncate(name, int64(good)); err != nil {
+			return fmt.Errorf("store: repairing truncated shard %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// remember indexes one record, last write wins for duplicate IDs.
+func (s *Store) remember(rec Record) {
+	if _, dup := s.index[rec.ID]; !dup {
+		s.counts[rec.Exp]++
+	}
+	s.index[rec.ID] = rec
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of distinct records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Recovered reports how many shards had a truncated tail repaired at
+// Open time.
+func (s *Store) Recovered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered
+}
+
+// Has reports whether a record with the given ID is stored.
+func (s *Store) Has(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[id]
+	return ok
+}
+
+// Get returns the stored record with the given ID.
+func (s *Store) Get(id string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.index[id]
+	return rec, ok
+}
+
+// Experiments lists the experiments with at least one record, sorted.
+func (s *Store) Experiments() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	exps := make([]string, 0, len(s.counts))
+	for e := range s.counts {
+		exps = append(exps, e)
+	}
+	sort.Strings(exps)
+	return exps
+}
+
+// shardFile returns the shard filename of an experiment. Experiment
+// names are lowercase [a-z0-9-] by convention; anything else is
+// escaped defensively so names can never traverse directories.
+func shardFile(exp string) string {
+	var b strings.Builder
+	for _, r := range exp {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			fmt.Fprintf(&b, "%%%04x", r)
+		}
+	}
+	return b.String() + ".jsonl"
+}
+
+// Append durably adds one record: a single O_APPEND write of the
+// record's JSON line. Duplicate IDs are rejected (a resume must skip,
+// not rewrite).
+func (s *Store) Append(rec Record) error {
+	if rec.ID == "" || rec.Exp == "" {
+		return fmt.Errorf("store: record needs id and exp")
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if len(line) >= maxRecordBytes {
+		// Open's shard reader buffers maxRecordBytes per line; a larger
+		// record would be written fine but unreadable afterwards.
+		return fmt.Errorf("store: record %s is %d bytes, limit %d", rec.ID, len(line), maxRecordBytes)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.index[rec.ID]; dup {
+		return fmt.Errorf("store: duplicate record %s", rec.ID)
+	}
+	f := s.files[rec.Exp]
+	if f == nil {
+		f, err = os.OpenFile(filepath.Join(s.dir, shardFile(rec.Exp)),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		s.files[rec.Exp] = f
+	}
+	if _, err := f.Write(line); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	s.remember(rec)
+	s.dirty = true
+	return nil
+}
+
+// Sync rewrites the manifest atomically from the in-memory counts.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writeManifestLocked(); err != nil {
+		return err
+	}
+	s.dirty = false
+	return nil
+}
+
+func (s *Store) writeManifestLocked() error {
+	m := Manifest{Format: FormatVersion}
+	exps := make([]string, 0, len(s.counts))
+	for e := range s.counts {
+		exps = append(exps, e)
+	}
+	sort.Strings(exps)
+	for _, e := range exps {
+		m.Shards = append(m.Shards, ShardManifest{Exp: e, File: shardFile(e), Records: s.counts[e]})
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := filepath.Join(s.dir, ".manifest.tmp")
+	if err := os.WriteFile(tmp, data, 0o666); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, "manifest.json")); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Close syncs the manifest (only if records were appended this
+// session, so a pure read works on a read-only directory) and closes
+// every shard descriptor. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.dirty {
+		err = s.writeManifestLocked()
+		s.dirty = false
+	}
+	for _, f := range s.files {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.files = nil
+	return err
+}

@@ -1,0 +1,310 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rec(id, exp, key string, v any) Record {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return Record{ID: id, Exp: exp, Key: key, Value: raw}
+}
+
+func TestAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("a1", "alpha", "k=1", 11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("a2", "alpha", "k=2", 22)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("b1", "beta", "n=8", "hello")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has("a1") || s.Has("zzz") {
+		t.Fatal("Has is wrong before reopen")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 3 {
+		t.Fatalf("reopened Len = %d, want 3", s2.Len())
+	}
+	r, ok := s2.Get("a2")
+	if !ok || r.Exp != "alpha" || r.Key != "k=2" || string(r.Value) != "22" {
+		t.Fatalf("Get(a2) = %+v, %v", r, ok)
+	}
+	if got := s2.Experiments(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("Experiments = %v", got)
+	}
+	if s2.Recovered() != 0 {
+		t.Fatalf("clean store reported %d recovered shards", s2.Recovered())
+	}
+}
+
+func TestDuplicateAppendRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Append(rec("x", "e", "k", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("x", "e", "k", 2)); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+}
+
+// TestTruncatedTailRecovery is the crash signature: a killed process
+// leaves a partial final line; Open must drop it, repair the file, and
+// allow appends to continue cleanly.
+func TestTruncatedTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"p1", "p2", "p3"} {
+		if err := s.Append(rec(id, "exp", "key-"+id, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the kill: chop the shard mid-way through the last record.
+	shard := filepath.Join(dir, "exp.jsonl")
+	data, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shard, data[:len(data)-7], 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("after truncation Len = %d, want 2", s2.Len())
+	}
+	if s2.Has("p3") {
+		t.Fatal("truncated record p3 still indexed")
+	}
+	if s2.Recovered() != 1 {
+		t.Fatalf("Recovered = %d, want 1", s2.Recovered())
+	}
+	// The file itself must have been repaired so the next append starts
+	// on a fresh line.
+	if err := s2.Append(rec("p3", "exp", "key-p3", "p3-again")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len() != 3 || !s3.Has("p3") {
+		t.Fatalf("after repair+append Len = %d, Has(p3) = %v", s3.Len(), s3.Has("p3"))
+	}
+	r, _ := s3.Get("p3")
+	if string(r.Value) != `"p3-again"` {
+		t.Fatalf("repaired append value = %s", r.Value)
+	}
+}
+
+// A garbage line mid-file poisons everything after it (the prefix
+// property keeps recovery simple and predictable).
+func TestCorruptMidFileKeepsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("g1", "exp", "k1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shard := filepath.Join(dir, "exp.jsonl")
+	f, err := os.OpenFile(shard, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{not json}\n"); err != nil {
+		t.Fatal(err)
+	}
+	good := rec("g2", "exp", "k2", 2)
+	line, _ := json.Marshal(good)
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 || !s2.Has("g1") || s2.Has("g2") {
+		t.Fatalf("prefix recovery failed: Len=%d", s2.Len())
+	}
+}
+
+func TestManifestWrittenAndVersionChecked(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("m1", "exp", "k", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Format != FormatVersion || len(m.Shards) != 1 || m.Shards[0].Records != 1 {
+		t.Fatalf("manifest = %+v", m)
+	}
+
+	// A future-format manifest must refuse to open.
+	bad := strings.Replace(string(data), `"format": 1`, `"format": 999`, 1)
+	if bad == string(data) {
+		t.Fatal("test assumption broken: format field not found")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(bad), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("future-format manifest accepted")
+	}
+}
+
+// A pure read session (the merge path) must work on a directory the
+// process cannot write: no manifest rewrite on Close.
+func TestReadOnlyDirectory(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("r1", "exp", "k", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	manifest := filepath.Join(dir, "manifest.json")
+	before, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeInfo, err := os.Stat(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Has("r1") {
+		t.Fatal("read-only open lost records")
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatalf("read-only Close: %v", err)
+	}
+	// chmod does not stop root, so assert behaviourally too: a session
+	// that appended nothing must not have rewritten the manifest.
+	after, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterInfo, err := os.Stat(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) || !beforeInfo.ModTime().Equal(afterInfo.ModTime()) {
+		t.Fatal("read-only session rewrote the manifest")
+	}
+}
+
+func TestShardFileEscaping(t *testing.T) {
+	if got := shardFile("table1-trees-max"); got != "table1-trees-max.jsonl" {
+		t.Fatalf("shardFile = %q", got)
+	}
+	if got := shardFile("../evil"); strings.Contains(got, "/") || strings.Contains(got, "..") {
+		t.Fatalf("shardFile did not neutralise traversal: %q", got)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			var err error
+			for i := 0; i < 50 && err == nil; i++ {
+				err = s.Append(rec(
+					string(rune('a'+w))+"-"+string(rune('0'+i/10))+string(rune('0'+i%10)),
+					"conc", "k", i))
+			}
+			done <- err
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 400 {
+		t.Fatalf("concurrent append lost records: Len = %d, want 400", s2.Len())
+	}
+}
