@@ -62,6 +62,64 @@ func TestGoldenOutputs(t *testing.T) {
 		got := runCLI(t, &app{effort: experiments.Quick, seed: 1, csv: true}, "table1")
 		checkGolden(t, "table1.csv", got)
 	})
+	// The registry listing is output too: pin it so commands/specs can
+	// only change deliberately.
+	t.Run("list", func(t *testing.T) {
+		got := runCLI(t, &app{effort: experiments.Quick, seed: 1}, "list")
+		checkGolden(t, "list", got)
+	})
+}
+
+// Every spec is directly addressable as a subcommand, and a spec-level
+// run renders exactly that spec's slice of its bundle command.
+func TestSpecNamesAreCommands(t *testing.T) {
+	unit := runCLI(t, &app{effort: experiments.Quick, seed: 1}, "unit")
+	sum := runCLI(t, &app{effort: experiments.Quick, seed: 1}, "table1-unit-sum")
+	max := runCLI(t, &app{effort: experiments.Quick, seed: 1}, "table1-unit-max")
+	if sum+max != unit {
+		t.Fatalf("unit != table1-unit-sum + table1-unit-max:\n%q\n%q\n%q", unit, sum, max)
+	}
+	// Aliases resolve to the same spec as historical command names.
+	a := runCLI(t, &app{effort: experiments.Quick, seed: 1}, "exist")
+	b := runCLI(t, &app{effort: experiments.Quick, seed: 1}, "existence")
+	if a != b {
+		t.Fatal("exist and existence disagree")
+	}
+}
+
+// The usage text, list output and `all` sequence all derive from the
+// registry; sanity-check the registry's internal consistency.
+func TestRegistryConsistent(t *testing.T) {
+	specs := experiments.Specs()
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if s.Name == "" || s.Desc == "" || s.Job == nil || s.Render == nil {
+			t.Fatalf("spec %q is missing metadata", s.Name)
+		}
+		for _, name := range append([]string{s.Name}, s.Aliases...) {
+			if seen[name] {
+				t.Fatalf("registry name %q is ambiguous", name)
+			}
+			seen[name] = true
+		}
+	}
+	for _, c := range experiments.Commands() {
+		if len(c.Specs) == 0 {
+			t.Fatalf("command %q has no specs", c.Name)
+		}
+		for _, name := range c.Specs {
+			if _, ok := experiments.SpecByName(name); !ok {
+				t.Fatalf("command %q references unknown spec %q", c.Name, name)
+			}
+		}
+	}
+	all, ok := experiments.CommandByName("all")
+	if !ok {
+		t.Fatal("no all command")
+	}
+	if len(all.Specs) != len(specs) {
+		t.Fatalf("all bundles %d specs, registry has %d", len(all.Specs), len(specs))
+	}
 }
 
 // The golden files themselves must be deterministic: two fresh runs of

@@ -1,35 +1,29 @@
 // Command bbncg regenerates every table and figure of "On a Bounded
 // Budget Network Creation Game" (SPAA 2011) from the library's exact
-// simulators. Each subcommand corresponds to one evaluation artifact;
-// `bbncg all` reproduces everything.
+// simulators. Every subcommand dispatches through the experiment
+// registry (internal/experiments.Specs): each experiment is a Spec — a
+// deterministic point list, a pure per-point evaluator, and a renderer
+// from stored values to tables — so every command checkpoints, resumes,
+// shards, and merges uniformly; `bbncg all` reproduces everything in
+// one resumable invocation.
 //
 // Usage:
 //
-//	bbncg [-full] [-csv] [-seed N] [-out DIR [-resume]] <command>
+//	bbncg [-full] [-csv] [-seed N] [-out DIR [-resume] [-shard i/k]] <command>
 //	bbncg -out DIR merge <command>
+//	bbncg -out DIR fetch SRC [SRC...]
+//	bbncg list
 //
-// Commands:
-//
-//	table1   all four rows of Table 1 (both MAX and SUM columns)
-//	fig1     the Figure 1 existence construction (n=22)
-//	fig2     the Figure 2 spider (MAX tree equilibrium, diameter Theta(n))
-//	fig3     the Figure 3 subtree-weight audit (SUM trees, Theta(log n))
-//	unit     the all-unit-budgets dynamics sweep (Theorems 4.1/4.2)
-//	shift    the shift-graph lower bound (Lemma 5.2 / Theorem 5.3)
-//	sumupper the SUM upper-bound sweep (Theorem 6.9)
-//	exist    Theorem 2.3 existence + price-of-stability sweep
-//	nphard   Theorem 2.1 best-response <-> k-center/k-median cross-check
-//	conn     Theorem 7.2 connectivity dichotomy sweep
-//	dyn      Section 8 convergence statistics
-//	all      everything above in paper order
-//
-// With -out DIR, sweep results stream point-by-point into a durable
+// Run `bbncg` with no arguments for the registry-generated command
+// list. With -out DIR, results stream point-by-point into a durable
 // store (one JSONL shard per experiment, see internal/store); a run
 // killed mid-sweep is resumed with -resume, which re-evaluates only the
 // missing points and renders output byte-identical to an uninterrupted
-// run. `merge` renders a command's tables purely from a store, without
-// evaluating anything — the read side of sweeps sharded across
-// machines. See docs/RUNNER.md.
+// run. -shard i/k restricts a run to a deterministic i-of-k partition
+// of every experiment's point list, the unit of scale-out across
+// machines; `fetch` concatenates the shard stores and `merge` renders a
+// command's tables purely from the combined store, without evaluating
+// anything. See docs/RUNNER.md.
 package main
 
 import (
@@ -37,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/runner"
@@ -50,13 +45,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for randomized sweeps")
 	out := flag.String("out", "", "stream sweep results into a checkpoint store at this directory")
 	resume := flag.Bool("resume", false, "continue an existing store: skip already-evaluated points")
+	shardFlag := flag.String("shard", "", "evaluate only partition i of k (\"i/k\") of every point list")
 	flag.Usage = usage
 	flag.Parse()
 	effort := experiments.Quick
 	if *full {
 		effort = experiments.Full
 	}
-	app := &app{out: os.Stdout, effort: effort, csv: *csv, seed: *seed}
+	shard, err := runner.ParseShard(*shardFlag)
+	if err != nil {
+		fatal(err)
+	}
+	app := &app{out: os.Stdout, effort: effort, csv: *csv, seed: *seed, shard: shard}
 
 	cmd := flag.Arg(0)
 	want := 1
@@ -64,6 +64,27 @@ func main() {
 		app.merge = true
 		cmd = flag.Arg(1)
 		want = 2
+	}
+	if cmd == "fetch" {
+		// fetch concatenates shard stores into -out and exits; it never
+		// evaluates or renders anything, so evaluation flags are errors
+		// rather than silent no-ops.
+		if *out == "" || flag.NArg() < 2 || app.merge {
+			usage()
+			os.Exit(2)
+		}
+		if *resume || shard.Active() {
+			fatal(fmt.Errorf("fetch only concatenates stores; -resume and -shard do not apply"))
+		}
+		added, err := store.Concat(*out, flag.Args()[1:]...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fetch: %d record(s) added to %s\n", added, *out)
+		return
+	}
+	if cmd == "list" && (*out != "" || *resume || shard.Active() || app.merge) {
+		fatal(fmt.Errorf("list only prints the registry; store flags and merge do not apply"))
 	}
 	if flag.NArg() != want || cmd == "" {
 		usage()
@@ -75,15 +96,15 @@ func main() {
 	if *resume && *out == "" {
 		fatal(fmt.Errorf("-resume needs -out DIR (there is no default store)"))
 	}
-	// -out only means something for commands with sweep specs behind
-	// them; accepting it on fig1 etc. would apply the fresh-store guard
-	// and print a summary for a store the command never touches.
-	_, storeBacked := specCommands[cmd]
-	storeBacked = storeBacked || cmd == "all"
-	if *out != "" && !storeBacked {
-		fatal(fmt.Errorf("command %q is not store-backed; -out supports: table1 unit shift sumupper exist nphard conn dyn all", cmd))
+	if shard.Active() {
+		if *out == "" {
+			fatal(fmt.Errorf("-shard evaluates into a store and renders nothing; it needs -out DIR"))
+		}
+		if app.merge {
+			fatal(fmt.Errorf("merge renders the full point list; -shard applies to evaluation runs"))
+		}
 	}
-	if *out != "" {
+	if *out != "" && cmd != "list" {
 		st, err := store.Open(*out)
 		if err != nil {
 			fatal(err)
@@ -94,14 +115,18 @@ func main() {
 		}
 		app.st = st
 	}
-	err := app.run(cmd)
+	err = app.run(cmd)
 	if app.st != nil {
 		if cerr := app.st.Close(); err == nil {
 			err = cerr
 		}
 		if err == nil {
-			fmt.Fprintf(os.Stderr, "runner: %d point(s) evaluated, %d served from %s\n",
+			line := fmt.Sprintf("runner: %d point(s) evaluated, %d served from %s",
 				app.evaluated, app.skipped, *out)
+			if app.shard.Active() {
+				line += fmt.Sprintf(", %d outside shard %s", app.filtered, app.shard)
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}
 	}
 	if err != nil {
@@ -114,37 +139,33 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// usage is generated from the command registry, so the help text can
+// never drift from what actually dispatches.
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: bbncg [-full] [-csv] [-seed N] [-out DIR [-resume]] <command>
+	fmt.Fprintf(os.Stderr, `usage: bbncg [-full] [-csv] [-seed N] [-out DIR [-resume] [-shard i/k]] <command>
        bbncg -out DIR merge <command>
+       bbncg -out DIR fetch SRC [SRC...]
 
 commands:
-  table1    reproduce Table 1 (all rows, both versions)
-  fig1      Figure 1: Theorem 2.3 case-2 equilibrium (n=22)
-  fig2      Figure 2: spider MAX tree equilibrium
-  fig3      Figure 3: subtree weights along a longest path
-  unit      all-unit-budget dynamics (Theorems 4.1/4.2)
-  shift     shift-graph lower bound (Lemma 5.2/Theorem 5.3)
-  sumupper  SUM diameter upper-bound sweep (Theorem 6.9)
-  exist     existence & price of stability (Theorem 2.3)
-  nphard    NP-hardness reduction cross-check (Theorem 2.1)
-  conn      connectivity dichotomy (Theorem 7.2)
-  dyn       convergence statistics (Section 8)
-  poa       exact PoA/PoS by exhaustive profile enumeration (small n)
-  uniform   the Section 8 uniform-budget (B > 1) open problem
-  baseline  contrast with basic network creation games (Alon et al.)
-  weak      Section 6 machinery audits (tree balls, rich leaves, folding)
-  simul     sequential vs simultaneous dynamics (Section 8)
-  fip       exact finite-improvement-property analysis (Section 8)
-  directed  contrast with the directed BBC game (Laoutaris et al.)
-  robust    dynamics robustness across initial overlay families
-  treedyn   dynamics on random Tree-BG instances (Section 3 empirics)
-  merge     render a sweep command's tables from an existing -out store
-  all       everything, in paper order
-
--out DIR checkpoints sweep results per point; -resume continues an
-interrupted -out run, evaluating only the missing points. See
-docs/RUNNER.md.
+`)
+	cmds := experiments.Commands()
+	width := len("merge")
+	for _, c := range cmds {
+		if len(c.Name) > width {
+			width = len(c.Name)
+		}
+	}
+	for _, c := range cmds {
+		fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, c.Name, c.Desc)
+	}
+	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "list", "print the experiment registry (specs, flags, point counts)")
+	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "merge", "render a command's tables from an existing -out store")
+	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "fetch", "concatenate shard stores (e.g. from -shard runs) into -out")
+	fmt.Fprintf(os.Stderr, `
+Any spec name from `+"`bbncg list`"+` is also a command. -out DIR
+checkpoints results per point; -resume continues an interrupted -out
+run; -shard i/k evaluates one deterministic partition of every point
+list (run all k shards, fetch, then merge). See docs/RUNNER.md.
 `)
 }
 
@@ -153,6 +174,7 @@ type app struct {
 	effort experiments.Effort
 	csv    bool
 	seed   int64
+	shard  runner.Shard
 
 	// Checkpointing state (nil/false without -out).
 	st    *store.Store
@@ -160,20 +182,7 @@ type app struct {
 	// Resume accounting, reported on stderr and asserted by tests.
 	evaluated int
 	skipped   int
-}
-
-// specCommands maps store-backed subcommands to the experiment specs
-// they emit, in output order.
-var specCommands = map[string][]string{
-	"table1": {"table1-trees-max", "table1-trees-sum", "table1-unit-sum",
-		"table1-unit-max", "table1-positive-max", "table1-general-sum"},
-	"unit":     {"table1-unit-sum", "table1-unit-max"},
-	"shift":    {"table1-positive-max"},
-	"sumupper": {"table1-general-sum"},
-	"exist":    {"existence"},
-	"nphard":   {"reduction"},
-	"conn":     {"connectivity"},
-	"dyn":      {"dynamics-stats"},
+	filtered  int
 }
 
 func (a *app) emit(t *sweep.Table) error {
@@ -190,7 +199,9 @@ func (a *app) emit(t *sweep.Table) error {
 }
 
 // runSpecs runs (or, under merge, re-renders) the named experiment
-// specs against the app's store, emitting every table.
+// specs against the app's store, emitting every table. Under an active
+// shard the evaluated results stream into the store and rendering is
+// skipped — a shard holds only part of every point list.
 func (a *app) runSpecs(names ...string) error {
 	for _, name := range names {
 		spec, ok := experiments.SpecByName(name)
@@ -203,13 +214,17 @@ func (a *app) runSpecs(names ...string) error {
 		if a.merge {
 			rep, err = runner.Merge(job, a.st)
 		} else {
-			rep, err = runner.Run(job, a.st, 0)
+			rep, err = runner.Run(job, a.st, runner.Options{Shard: a.shard})
 		}
 		if err != nil {
 			return err
 		}
 		a.evaluated += rep.Evaluated
 		a.skipped += rep.Skipped
+		a.filtered += rep.Filtered
+		if a.shard.Active() {
+			continue
+		}
 		tables, err := spec.Render(rep.Values)
 		if err != nil {
 			return err
@@ -223,108 +238,45 @@ func (a *app) runSpecs(names ...string) error {
 	return nil
 }
 
+// run dispatches one subcommand through the registry.
 func (a *app) run(cmd string) error {
-	if names, ok := specCommands[cmd]; ok {
-		return a.runSpecs(names...)
+	if cmd == "list" {
+		return a.list()
 	}
-	if a.merge {
-		return fmt.Errorf("command %q is not store-backed; merge supports: table1 unit shift sumupper exist nphard conn dyn", cmd)
-	}
-	switch cmd {
-	case "fig1":
-		t, err := experiments.Figure1()
-		if err != nil {
-			return err
-		}
-		return a.emit(t)
-	case "fig2":
-		k := 5
-		if a.effort == experiments.Full {
-			k = 16
-		}
-		t, err := experiments.Figure2(k)
-		if err != nil {
-			return err
-		}
-		return a.emit(t)
-	case "fig3":
-		k := 4
-		if a.effort == experiments.Full {
-			k = 7
-		}
-		t, err := experiments.Figure3(k)
-		if err != nil {
-			return err
-		}
-		return a.emit(t)
-	case "poa":
-		t, err := experiments.ExactPoA(a.effort)
-		if err != nil {
-			return err
-		}
-		return a.emit(t)
-	case "uniform":
-		t, err := experiments.UniformBudget(a.effort, a.seed)
-		if err != nil {
-			return err
-		}
-		return a.emit(t)
-	case "baseline":
-		t, err := experiments.BaselineContrast(a.effort, a.seed)
-		if err != nil {
-			return err
-		}
-		return a.emit(t)
-	case "weak":
-		t, err := experiments.WeakMachinery(a.effort, a.seed)
-		if err != nil {
-			return err
-		}
-		return a.emit(t)
-	case "simul":
-		t, err := experiments.SimultaneousContrast(a.effort, a.seed)
-		if err != nil {
-			return err
-		}
-		return a.emit(t)
-	case "fip":
-		t, err := experiments.FIP(a.effort)
-		if err != nil {
-			return err
-		}
-		return a.emit(t)
-	case "directed":
-		t, err := experiments.DirectedContrast(a.effort, a.seed)
-		if err != nil {
-			return err
-		}
-		return a.emit(t)
-	case "robust":
-		t, err := experiments.Robustness(a.effort, a.seed)
-		if err != nil {
-			return err
-		}
-		return a.emit(t)
-	case "treedyn":
-		t, err := experiments.TreeDynamics(a.effort, a.seed)
-		if err != nil {
-			return err
-		}
-		return a.emit(t)
-	case "all":
-		return a.all()
-	default:
+	c, ok := experiments.CommandByName(cmd)
+	if !ok {
 		return fmt.Errorf("unknown command %q (run with no arguments for usage)", cmd)
 	}
+	return a.runSpecs(c.Specs...)
 }
 
-func (a *app) all() error {
-	steps := []string{"fig1", "fig2", "fig3", "table1", "exist", "nphard",
-		"conn", "dyn", "poa", "uniform", "baseline", "weak", "simul", "fip", "directed", "robust", "treedyn"}
-	for _, s := range steps {
-		if err := a.run(s); err != nil {
-			return fmt.Errorf("%s: %w", s, err)
+// list prints the experiment registry: every spec with its metadata and
+// Quick/Full point counts, then the subcommand bundles.
+func (a *app) list() error {
+	st := sweep.NewTable("experiment registry (specs)",
+		"spec", "kind", "seeded", "points(quick)", "points(full)", "aliases", "description")
+	for _, s := range experiments.Specs() {
+		aliases := strings.Join(s.Aliases, " ")
+		if aliases == "" {
+			aliases = "-"
 		}
+		st.Addf(s.Name, s.Kind, yesNo(s.Seeded),
+			len(s.Job(experiments.Quick, a.seed).Points),
+			len(s.Job(experiments.Full, a.seed).Points), aliases, s.Desc)
 	}
-	return nil
+	if err := a.emit(st); err != nil {
+		return err
+	}
+	ct := sweep.NewTable("subcommands", "command", "specs", "description")
+	for _, c := range experiments.Commands() {
+		ct.Addf(c.Name, len(c.Specs), c.Desc)
+	}
+	return a.emit(ct)
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
 }

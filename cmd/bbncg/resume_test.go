@@ -118,8 +118,82 @@ func TestMergeIncompleteStoreFails(t *testing.T) {
 	if err := m.run("table1"); err == nil {
 		t.Fatal("merge of an incomplete store succeeded")
 	}
+	// The figures are store-backed specs too now; merging one the store
+	// has never evaluated must fail the same way.
 	if err := m.run("fig1"); err == nil {
-		t.Fatal("merge of a non-store-backed command succeeded")
+		t.Fatal("merge of a figure absent from the store succeeded")
+	}
+}
+
+// The figure commands run through the registry like every sweep: they
+// checkpoint into a store and merge back byte-identically.
+func TestFiguresStoreBacked(t *testing.T) {
+	for _, cmd := range []string{"fig1", "fig2", "fig3"} {
+		direct := runCLI(t, &app{effort: experiments.Quick, seed: 1}, cmd)
+		dir := t.TempDir()
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := &app{effort: experiments.Quick, seed: 1, st: st}
+		if got := runCLI(t, a, cmd); got != direct {
+			t.Fatalf("%s: store-backed run differs from direct run", cmd)
+		}
+		if a.evaluated != 1 || a.skipped != 0 {
+			t.Fatalf("%s: evaluated=%d skipped=%d", cmd, a.evaluated, a.skipped)
+		}
+		m := &app{effort: experiments.Quick, seed: 1, st: st, merge: true}
+		if got := runCLI(t, m, cmd); got != direct {
+			t.Fatalf("%s: merged output differs from direct run", cmd)
+		}
+		if m.evaluated != 0 || m.skipped != 1 {
+			t.Fatalf("%s: merge evaluated=%d skipped=%d", cmd, m.evaluated, m.skipped)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The acceptance scenario for the registry redesign: `all` is one
+// resumable invocation. A second -resume run over the same store
+// evaluates nothing, and a merge renders everything from the store,
+// both byte-identical to the direct run.
+func TestAllFullyResumable(t *testing.T) {
+	direct := runCLI(t, &app{effort: experiments.Quick, seed: 1}, "all")
+
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := &app{effort: experiments.Quick, seed: 1, st: st}
+	if got := runCLI(t, first, "all"); got != direct {
+		t.Fatal("store-backed all differs from direct all")
+	}
+	if first.skipped != 0 || first.evaluated == 0 {
+		t.Fatalf("fresh all: evaluated=%d skipped=%d", first.evaluated, first.skipped)
+	}
+	total := first.evaluated
+
+	resumed := &app{effort: experiments.Quick, seed: 1, st: st}
+	if got := runCLI(t, resumed, "all"); got != direct {
+		t.Fatal("resumed all differs from direct all")
+	}
+	if resumed.evaluated != 0 || resumed.skipped != total {
+		t.Fatalf("resumed all: evaluated=%d skipped=%d, want 0/%d",
+			resumed.evaluated, resumed.skipped, total)
+	}
+
+	merged := &app{effort: experiments.Quick, seed: 1, st: st, merge: true}
+	if got := runCLI(t, merged, "all"); got != direct {
+		t.Fatal("merged all differs from direct all")
+	}
+	if merged.evaluated != 0 || merged.skipped != total {
+		t.Fatalf("merged all: evaluated=%d skipped=%d", merged.evaluated, merged.skipped)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

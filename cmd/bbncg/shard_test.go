@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/store"
+)
+
+// TestShardFetchMergeByteIdentical is the scale-out acceptance
+// scenario: a seeded experiment is run as -shard 0/3, 1/3, 2/3 into
+// three store directories (the k-machine recipe), the shards are
+// fetched into one store, and merge renders output byte-identical to
+// the unsharded golden. Along the way the three shards must partition
+// the point list: pairwise disjoint, jointly complete.
+func TestShardFetchMergeByteIdentical(t *testing.T) {
+	const cmd, specName, k = "exist", "existence", 3
+	direct := runCLI(t, &app{effort: experiments.Quick, seed: 1}, cmd)
+	golden, err := os.ReadFile(filepath.Join("testdata", cmd+".golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != string(golden) {
+		t.Fatal("direct run disagrees with golden (fix TestGoldenOutputs first)")
+	}
+
+	spec, ok := experiments.SpecByName(specName)
+	if !ok {
+		t.Fatalf("no spec %q", specName)
+	}
+	job := spec.Job(experiments.Quick, 1)
+	wantIDs := make(map[string]bool, len(job.Points))
+	for _, p := range job.Points {
+		wantIDs[p.ID()] = true
+	}
+
+	dirs := make([]string, k)
+	covered := make(map[string]string, len(wantIDs)) // id -> shard that stored it
+	for i := 0; i < k; i++ {
+		dirs[i] = t.TempDir()
+		st, err := store.Open(dirs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := &app{effort: experiments.Quick, seed: 1, st: st,
+			shard: runner.Shard{Index: i, Count: k}}
+		if got := runCLI(t, a, cmd); got != "" {
+			t.Fatalf("shard %d rendered output:\n%s", i, got)
+		}
+		if a.evaluated+a.filtered != len(job.Points) || a.skipped != 0 {
+			t.Fatalf("shard %d: evaluated=%d filtered=%d skipped=%d over %d points",
+				i, a.evaluated, a.filtered, a.skipped, len(job.Points))
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rd, err := store.Open(dirs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range rd.Records() {
+			if !wantIDs[rec.ID] {
+				t.Fatalf("shard %d stored unknown point %s", i, rec.ID)
+			}
+			if prev, dup := covered[rec.ID]; dup {
+				t.Fatalf("point %s stored by shards %s and %s", rec.ID, prev, dirs[i])
+			}
+			covered[rec.ID] = dirs[i]
+		}
+		if err := rd.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(covered) != len(wantIDs) {
+		t.Fatalf("shards covered %d of %d points", len(covered), len(wantIDs))
+	}
+
+	merged := t.TempDir()
+	if _, err := store.Concat(merged, dirs...); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	m := &app{effort: experiments.Quick, seed: 1, st: st, merge: true}
+	if got := runCLI(t, m, cmd); got != direct {
+		t.Fatal("shard+fetch+merge output differs from unsharded golden")
+	}
+	if m.evaluated != 0 || m.skipped != len(job.Points) {
+		t.Fatalf("merge evaluated=%d skipped=%d", m.evaluated, m.skipped)
+	}
+}
+
+// Sharding partitions every registered job's point list: for each spec
+// in the registry and several k, every point falls in exactly one
+// shard (disjoint and complete), so k machines never duplicate or drop
+// work no matter which experiment they run.
+func TestShardPartitionAllRegisteredJobs(t *testing.T) {
+	for _, spec := range experiments.Specs() {
+		job := spec.Job(experiments.Quick, 1)
+		if len(job.Points) == 0 {
+			t.Fatalf("%s: empty point list", spec.Name)
+		}
+		for _, k := range []int{1, 2, 3, 5} {
+			for _, p := range job.Points {
+				owners := 0
+				for i := 0; i < k; i++ {
+					if (runner.Shard{Index: i, Count: k}).Contains(p.ID()) {
+						owners++
+					}
+				}
+				if owners != 1 {
+					t.Fatalf("%s: point %q owned by %d of %d shards",
+						spec.Name, p.Key, owners, k)
+				}
+			}
+		}
+	}
+}
+
+// A sharded run resumes like any other: re-running the same shard over
+// its store evaluates nothing new.
+func TestShardedRunResumes(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := runner.Shard{Index: 0, Count: 2}
+	first := &app{effort: experiments.Quick, seed: 1, st: st, shard: sh}
+	runCLI(t, first, "dyn")
+	if first.evaluated == 0 {
+		t.Fatal("shard 0/2 of dyn evaluated nothing")
+	}
+	resumed := &app{effort: experiments.Quick, seed: 1, st: st, shard: sh}
+	runCLI(t, resumed, "dyn")
+	if resumed.evaluated != 0 || resumed.skipped != first.evaluated {
+		t.Fatalf("resumed shard: evaluated=%d skipped=%d, want 0/%d",
+			resumed.evaluated, resumed.skipped, first.evaluated)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,6 +16,14 @@ import (
 // WeightedBestResponse enumerates all C(alive-1, outdeg(u)) strategies of
 // u over alive vertices and returns a minimiser with ties broken toward
 // the current strategy. maxCandidates guards the enumeration (0 = none).
+//
+// Candidates are evaluated on the distance-cache deviation engine
+// (Deviator.EnsureCache): dist_{G-u} is materialised once and each
+// strategy costs one O(n) weighted min-merge over the cached rows —
+// folded (weight-0) vertices contribute nothing — instead of a graph
+// rebuild plus BFS per candidate. When the cache exceeds
+// DefaultCacheBudget the historical rebuild path runs instead; both
+// paths are bit-identical (weighted_br_test.go pins the equivalence).
 func (wg *WeightedGraph) WeightedBestResponse(u int, maxCandidates int64) (BestResponse, error) {
 	if !wg.Alive(u) {
 		return BestResponse{}, fmt.Errorf("core: vertex %d is folded away", u)
@@ -32,7 +40,16 @@ func (wg *WeightedGraph) WeightedBestResponse(u int, maxCandidates int64) (BestR
 		return BestResponse{}, fmt.Errorf("core: weighted strategy space %d exceeds %d", space, maxCandidates)
 	}
 	cur := append([]int(nil), wg.D.Out(u)...)
-	res := BestResponse{Strategy: cur, Current: wg.Cost(u)}
+	dv := NewDeviator(GameOf(wg.D, SUM), wg.D, u)
+	defer dv.release()
+	cached := dv.EnsureCache(DefaultCacheBudget)
+
+	res := BestResponse{Strategy: cur}
+	if cached {
+		res.Current = dv.weightedEval(cur, wg.W)
+	} else {
+		res.Current = wg.Cost(u)
+	}
 	res.Cost = res.Current
 
 	comb := make([]int, b)
@@ -43,9 +60,15 @@ func (wg *WeightedGraph) WeightedBestResponse(u int, maxCandidates int64) (BestR
 			for i, idx := range comb {
 				trial[i] = targets[idx]
 			}
-			wg.D.SetOut(u, trial)
+			var c int64
+			if cached {
+				c = dv.weightedEval(trial, wg.W)
+			} else {
+				wg.D.SetOut(u, trial)
+				c = wg.Cost(u)
+			}
 			res.Explored++
-			if c := wg.Cost(u); c < res.Cost {
+			if c < res.Cost {
 				res.Cost = c
 				res.Strategy = append(res.Strategy[:0:0], trial...)
 			}
@@ -57,8 +80,40 @@ func (wg *WeightedGraph) WeightedBestResponse(u int, maxCandidates int64) (BestR
 		}
 	}
 	rec(0, 0)
-	wg.D.SetOut(u, cur) // restore
+	if !cached {
+		wg.D.SetOut(u, cur) // restore
+	}
 	return res, nil
+}
+
+// weightedEval is the weighted-SUM analogue of evalCached: the cost u
+// would incur playing strategy s, summed over positive-weight vertices
+// with unreachable ones costed at C_inf = n^2 (matching
+// WeightedGraph.Cost exactly). Shortest paths from u never revisit u,
+// so every distance is 1 + the min over the anchors s ∪ in(u) of the
+// cached G-u rows.
+func (dv *Deviator) weightedEval(strategy []int, w []int64) int64 {
+	n := dv.game.N()
+	cinf := int64(n) * int64(n)
+	rows, inMin := dv.rows, dv.inMin
+	var c int64
+	for x := 0; x < n; x++ {
+		if x == dv.u || w[x] == 0 {
+			continue
+		}
+		m := inMin[x]
+		for _, v := range strategy {
+			if r := rows[v*n+x]; r < m {
+				m = r
+			}
+		}
+		if m < graph.InfDist {
+			c += w[x] * int64(m+1)
+		} else {
+			c += w[x] * cinf
+		}
+	}
+	return c
 }
 
 // WeightedNashDeviation searches all alive vertices for an improving

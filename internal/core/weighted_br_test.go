@@ -113,3 +113,103 @@ func TestWeightedNashAfterFoldingBinaryTreeShape(t *testing.T) {
 		t.Fatalf("folded binary tree admits weighted deviation: %v", dev)
 	}
 }
+
+// withRebuildPath runs fn with the distance cache disabled, forcing
+// WeightedBestResponse onto the historical rebuild-per-candidate path.
+func withRebuildPath(fn func()) {
+	old := DefaultCacheBudget
+	DefaultCacheBudget = 0
+	defer func() { DefaultCacheBudget = old }()
+	fn()
+}
+
+// The cached weighted best response must agree with the rebuild path in
+// every field — cost, current cost, chosen strategy (tie-breaking
+// included) and candidate count — across random graphs, random positive
+// weights, and folded vertices.
+func TestWeightedBestResponseCachedMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		n := 5 + rng.Intn(5)
+		budgets := make([]int, n)
+		for i := range budgets {
+			budgets[i] = rng.Intn(3)
+		}
+		d := graph.RandomOutDigraph(budgets, rng)
+		wg := NewWeighted(d)
+		if trial%2 == 0 {
+			wg.FoldAllPoorLeaves()
+		}
+		for i := range wg.W {
+			if wg.W[i] > 0 {
+				wg.W[i] = 1 + int64(rng.Intn(5))
+			}
+		}
+		for u := 0; u < n; u++ {
+			if !wg.Alive(u) || wg.D.OutDegree(u) == 0 {
+				continue
+			}
+			cached, err := wg.WeightedBestResponse(u, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rebuilt BestResponse
+			withRebuildPath(func() {
+				rebuilt, err = wg.WeightedBestResponse(u, 0)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cached.Cost != rebuilt.Cost || cached.Current != rebuilt.Current ||
+				cached.Explored != rebuilt.Explored {
+				t.Fatalf("trial %d vertex %d: cached %+v, rebuild %+v", trial, u, cached, rebuilt)
+			}
+			if len(cached.Strategy) != len(rebuilt.Strategy) {
+				t.Fatalf("trial %d vertex %d: strategies differ: %v vs %v",
+					trial, u, cached.Strategy, rebuilt.Strategy)
+			}
+			for i := range cached.Strategy {
+				if cached.Strategy[i] != rebuilt.Strategy[i] {
+					t.Fatalf("trial %d vertex %d: strategies differ: %v vs %v",
+						trial, u, cached.Strategy, rebuilt.Strategy)
+				}
+			}
+		}
+	}
+}
+
+// The full weighted Nash search must agree across both paths too (it is
+// what the folding audits call).
+func TestWeightedNashDeviationCachedMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		n := 5 + rng.Intn(4)
+		budgets := make([]int, n)
+		for i := range budgets {
+			budgets[i] = rng.Intn(2)
+		}
+		d := graph.RandomOutDigraph(budgets, rng)
+		wg := NewWeighted(d)
+		wg.FoldAllPoorLeaves()
+		cachedDev, err := wg.WeightedNashDeviation(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rebuiltDev *Deviation
+		withRebuildPath(func() {
+			rebuiltDev, err = wg.WeightedNashDeviation(0)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (cachedDev == nil) != (rebuiltDev == nil) {
+			t.Fatalf("trial %d: cached deviation %v, rebuild %v", trial, cachedDev, rebuiltDev)
+		}
+		if cachedDev != nil {
+			if cachedDev.Vertex != rebuiltDev.Vertex || cachedDev.OldCost != rebuiltDev.OldCost ||
+				cachedDev.NewCost != rebuiltDev.NewCost {
+				t.Fatalf("trial %d: cached %+v, rebuild %+v", trial, cachedDev, rebuiltDev)
+			}
+		}
+	}
+}

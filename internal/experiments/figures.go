@@ -7,14 +7,33 @@ import (
 	"repro/internal/construct"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/runner"
 	"repro/internal/sweep"
 )
 
-// Figure1 reproduces the printed Figure 1 instance of Theorem 2.3 case 2
-// (n=22, z=16, t=19): it rebuilds the construction, lists the arcs by
-// construction phase, and verifies the result is a Nash equilibrium of
-// both versions with diameter <= 4.
-func Figure1() (*sweep.Table, error) {
+// The figure commands are single-point jobs: each point evaluates one
+// deterministic construction and stores the rows the printed figure is
+// rendered from, so `bbncg -out DIR all` checkpoints (and resumes past)
+// the figures exactly like the sweeps.
+
+// ---------------------------------------------------------------------
+// Figure 1
+
+type fig1Row struct {
+	Budgets []int   `json:"budgets"`
+	Arcs    [][]int `json:"arcs"`
+	Diam    int32   `json:"diam"`
+}
+
+func figure1Job(Effort, int64) runner.Job {
+	points := []runner.Point{{Exp: "fig1", Key: "n=22,z=16,t=19"}}
+	return runner.Job{Exp: "fig1", Points: points, Eval: evalFigure1}
+}
+
+// evalFigure1 rebuilds the printed Figure 1 instance of Theorem 2.3
+// case 2 (n=22, z=16, t=19) and verifies it as a Nash equilibrium of
+// both versions before emitting its arc list.
+func evalFigure1(runner.Point) (any, error) {
 	budgets := make([]int, 22)
 	budgets[16] = 2
 	for i := 17; i < 22; i++ {
@@ -23,21 +42,6 @@ func Figure1() (*sweep.Table, error) {
 	d, err := construct.Existence(budgets)
 	if err != nil {
 		return nil, err
-	}
-	t := sweep.NewTable("Figure 1: Theorem 2.3 case 2 equilibrium (n=22, z=16, t=19)",
-		"owner(v_i)", "arcs-to", "budget")
-	for u := 0; u < d.N(); u++ {
-		if d.OutDegree(u) == 0 {
-			continue
-		}
-		targets := ""
-		for i, v := range d.Out(u) {
-			if i > 0 {
-				targets += " "
-			}
-			targets += fmt.Sprintf("v%d", v+1)
-		}
-		t.Addf(fmt.Sprintf("v%d", u+1), targets, budgets[u])
 	}
 	for _, ver := range []core.Version{core.SUM, core.MAX} {
 		g := core.MustGame(budgets, ver)
@@ -49,14 +53,68 @@ func Figure1() (*sweep.Table, error) {
 			return nil, fmt.Errorf("figure 1 graph is not a %v equilibrium: %v", ver, dev)
 		}
 	}
-	diam := graph.Diameter(d.Underlying())
-	t.Addf("diameter", fmt.Sprintf("%d (paper: <= 4)", diam), "")
-	return t, nil
+	arcs := make([][]int, d.N())
+	for u := 0; u < d.N(); u++ {
+		arcs[u] = append([]int{}, d.Out(u)...)
+	}
+	return fig1Row{Budgets: budgets, Arcs: arcs, Diam: graph.Diameter(d.Underlying())}, nil
 }
 
-// Figure2 reproduces Figure 2 (the Theorem 3.2 spider) for one k,
-// reporting leg structure and the exact-verified equilibrium diameter.
-func Figure2(k int) (*sweep.Table, error) {
+func figure1Table(rows []fig1Row) *sweep.Table {
+	t := sweep.NewTable("Figure 1: Theorem 2.3 case 2 equilibrium (n=22, z=16, t=19)",
+		"owner(v_i)", "arcs-to", "budget")
+	for _, r := range rows {
+		for u, out := range r.Arcs {
+			if len(out) == 0 {
+				continue
+			}
+			targets := ""
+			for i, v := range out {
+				if i > 0 {
+					targets += " "
+				}
+				targets += fmt.Sprintf("v%d", v+1)
+			}
+			t.Addf(fmt.Sprintf("v%d", u+1), targets, r.Budgets[u])
+		}
+		t.Addf("diameter", fmt.Sprintf("%d (paper: <= 4)", r.Diam), "")
+	}
+	return t
+}
+
+// Figure1 reproduces the printed Figure 1 instance of Theorem 2.3 case 2
+// (n=22, z=16, t=19): it rebuilds the construction, lists the arcs by
+// construction phase, and verifies the result is a Nash equilibrium of
+// both versions with diameter <= 4.
+func Figure1() (*sweep.Table, error) {
+	rows, err := runRows[fig1Row](figure1Job(Quick, 0))
+	if err != nil {
+		return nil, err
+	}
+	return figure1Table(rows), nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 2
+
+type fig2Row struct {
+	K          int   `json:"k"`
+	N          int   `json:"n"`
+	Diam       int32 `json:"diam"`
+	Verified   bool  `json:"verified"`
+	CentreCost int64 `json:"centreCost"`
+	LegEndCost int64 `json:"legEndCost"`
+}
+
+func figure2Job(k int) runner.Job {
+	points := []runner.Point{{Exp: "fig2", Key: fmt.Sprintf("k=%d", k), Data: k}}
+	return runner.Job{Exp: "fig2", Points: points, Eval: evalFigure2}
+}
+
+// evalFigure2 builds the Theorem 3.2 spider for one k and verifies it
+// exactly as a MAX equilibrium.
+func evalFigure2(p runner.Point) (any, error) {
+	k := p.Data.(int)
 	d, budgets, err := construct.Spider(k)
 	if err != nil {
 		return nil, err
@@ -66,24 +124,56 @@ func Figure2(k int) (*sweep.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := sweep.NewTable(fmt.Sprintf("Figure 2: spider tree, k=%d (n=%d)", k, d.N()),
-		"quantity", "value")
-	t.Addf("legs", 3)
-	t.Addf("leg length", k)
-	t.Addf("diameter", graph.Diameter(d.Underlying()))
-	t.Addf("paper diameter", construct.SpiderDiameter(k))
-	t.Addf("MAX Nash verified", yesNo(dev == nil))
 	costs := g.AllCosts(d)
-	t.Addf("centre local diameter", costs[0])
-	t.Addf("leg-end local diameter", costs[k])
-	return t, nil
+	return fig2Row{K: k, N: d.N(), Diam: graph.Diameter(d.Underlying()),
+		Verified: dev == nil, CentreCost: costs[0], LegEndCost: costs[k]}, nil
 }
 
-// Figure3 reproduces the Figure 3 structure on the Theorem 3.4 binary
-// tree: subtree sizes a(i) along the longest path and the inequality (1)
-// audit, whose geometric growth is what caps SUM tree equilibria at
-// O(log n) diameter.
-func Figure3(k int) (*sweep.Table, error) {
+func figure2Table(rows []fig2Row) *sweep.Table {
+	r := rows[0]
+	t := sweep.NewTable(fmt.Sprintf("Figure 2: spider tree, k=%d (n=%d)", r.K, r.N),
+		"quantity", "value")
+	t.Addf("legs", 3)
+	t.Addf("leg length", r.K)
+	t.Addf("diameter", r.Diam)
+	t.Addf("paper diameter", construct.SpiderDiameter(r.K))
+	t.Addf("MAX Nash verified", yesNo(r.Verified))
+	t.Addf("centre local diameter", r.CentreCost)
+	t.Addf("leg-end local diameter", r.LegEndCost)
+	return t
+}
+
+// Figure2 reproduces Figure 2 (the Theorem 3.2 spider) for one k,
+// reporting leg structure and the exact-verified equilibrium diameter.
+func Figure2(k int) (*sweep.Table, error) {
+	rows, err := runRows[fig2Row](figure2Job(k))
+	if err != nil {
+		return nil, err
+	}
+	return figure2Table(rows), nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 3
+
+type fig3Row struct {
+	K            int   `json:"k"`
+	N            int   `json:"n"`
+	SubtreeSizes []int `json:"subtreeSizes"`
+	IneqOK       bool  `json:"ineqOK"`
+	Diameter     int   `json:"diameter"`
+	ImpliedBound int   `json:"impliedBound"`
+}
+
+func figure3Job(k int) runner.Job {
+	points := []runner.Point{{Exp: "fig3", Key: fmt.Sprintf("k=%d", k), Data: k}}
+	return runner.Job{Exp: "fig3", Points: points, Eval: evalFigure3}
+}
+
+// evalFigure3 audits the Theorem 3.4 binary tree's subtree weights
+// along a longest path (inequality (1)).
+func evalFigure3(p runner.Point) (any, error) {
+	k := p.Data.(int)
 	d, _, err := construct.PerfectBinaryTree(k)
 	if err != nil {
 		return nil, err
@@ -92,18 +182,37 @@ func Figure3(k int) (*sweep.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := sweep.NewTable(fmt.Sprintf("Figure 3: subtree weights along a longest path (binary tree k=%d, n=%d)", k, d.N()),
+	return fig3Row{K: k, N: d.N(), SubtreeSizes: audit.SubtreeSizes,
+		IneqOK: audit.InequalityOK, Diameter: audit.Diameter,
+		ImpliedBound: audit.ImpliedBound}, nil
+}
+
+func figure3Table(rows []fig3Row) *sweep.Table {
+	r := rows[0]
+	t := sweep.NewTable(fmt.Sprintf("Figure 3: subtree weights along a longest path (binary tree k=%d, n=%d)", r.K, r.N),
 		"i", "a(i)", "sum a(k), k>i")
 	suffix := 0
-	suffixes := make([]int, len(audit.SubtreeSizes)+1)
-	for i := len(audit.SubtreeSizes) - 1; i >= 0; i-- {
-		suffix += audit.SubtreeSizes[i]
+	suffixes := make([]int, len(r.SubtreeSizes)+1)
+	for i := len(r.SubtreeSizes) - 1; i >= 0; i-- {
+		suffix += r.SubtreeSizes[i]
 		suffixes[i] = suffix
 	}
-	for i, a := range audit.SubtreeSizes {
+	for i, a := range r.SubtreeSizes {
 		t.Addf(i, a, suffixes[i]-a)
 	}
-	t.Addf("ineq(1)", yesNo(audit.InequalityOK), "")
-	t.Addf("diameter", audit.Diameter, fmt.Sprintf("<= 2t = %d", audit.ImpliedBound))
-	return t, nil
+	t.Addf("ineq(1)", yesNo(r.IneqOK), "")
+	t.Addf("diameter", r.Diameter, fmt.Sprintf("<= 2t = %d", r.ImpliedBound))
+	return t
+}
+
+// Figure3 reproduces the Figure 3 structure on the Theorem 3.4 binary
+// tree: subtree sizes a(i) along the longest path and the inequality (1)
+// audit, whose geometric growth is what caps SUM tree equilibria at
+// O(log n) diameter.
+func Figure3(k int) (*sweep.Table, error) {
+	rows, err := runRows[fig3Row](figure3Job(k))
+	if err != nil {
+		return nil, err
+	}
+	return figure3Table(rows), nil
 }

@@ -3,8 +3,92 @@ package experiments
 import (
 	"repro/internal/core"
 	"repro/internal/enumerate"
+	"repro/internal/runner"
 	"repro/internal/sweep"
 )
+
+type fipInst struct {
+	budgets []int
+	version core.Version
+}
+
+func fipInsts(effort Effort) []fipInst {
+	insts := []fipInst{
+		{[]int{1, 1, 1}, core.SUM},
+		{[]int{1, 1, 1}, core.MAX},
+		{[]int{1, 1, 1, 1}, core.SUM},
+		{[]int{1, 1, 1, 1}, core.MAX},
+	}
+	if effort == Full {
+		insts = append(insts,
+			fipInst{[]int{2, 1, 0, 0}, core.SUM},
+			fipInst{[]int{2, 1, 0, 0}, core.MAX},
+			fipInst{[]int{2, 1, 1, 0}, core.SUM},
+			fipInst{[]int{2, 1, 1, 0}, core.MAX},
+			fipInst{[]int{1, 1, 1, 1, 1}, core.SUM},
+			fipInst{[]int{1, 1, 1, 1, 1}, core.MAX},
+			fipInst{[]int{2, 2, 1, 1}, core.SUM},
+			fipInst{[]int{2, 2, 1, 1}, core.MAX},
+		)
+	}
+	return insts
+}
+
+type fipRow struct {
+	Budgets    []int  `json:"budgets"`
+	Version    string `json:"version"`
+	Profiles   int64  `json:"profiles"`
+	Moves      int64  `json:"moves"`
+	Equilibria int64  `json:"equilibria"`
+	HasFIP     bool   `json:"hasFIP"`
+	// Tail is the longest improvement path when acyclic, else the
+	// verified cycle witness length.
+	Tail int `json:"tail"`
+}
+
+// fipJob enumerates one improvement graph per point; instances mean the
+// same computation at every effort, so Quick results are reused by Full.
+func fipJob(effort Effort) runner.Job {
+	insts := fipInsts(effort)
+	points := make([]runner.Point, len(insts))
+	for i, in := range insts {
+		points[i] = runner.Point{Exp: "fip",
+			Key:  "budgets=" + intsString(in.budgets) + ",ver=" + in.version.String(),
+			Data: in}
+	}
+	return runner.Job{Exp: "fip", Points: points, Eval: evalFIP}
+}
+
+// evalFIP builds one game's exact best-response improvement graph; a
+// cycle witness is re-verified step by step before being reported.
+func evalFIP(p runner.Point) (any, error) {
+	in := p.Data.(fipInst)
+	g := core.MustGame(in.budgets, in.version)
+	fip, err := enumerate.BestResponseImprovementGraph(g, 50_000_000)
+	if err != nil {
+		return nil, err
+	}
+	tail := fip.LongestPath
+	if !fip.HasFIP {
+		if err := enumerate.VerifyCycleWitness(g, fip.CycleWitness); err != nil {
+			return nil, err
+		}
+		tail = len(fip.CycleWitness)
+	}
+	return fipRow{Budgets: in.budgets, Version: in.version.String(),
+		Profiles: fip.Profiles, Moves: fip.Moves, Equilibria: fip.Equilibria,
+		HasFIP: fip.HasFIP, Tail: tail}, nil
+}
+
+func fipTable(rows []fipRow) *sweep.Table {
+	t := sweep.NewTable("Section 8 (exact): finite improvement property of best-response dynamics",
+		"budgets", "version", "profiles", "moves", "equilibria", "FIP", "longest-path/cycle-len")
+	for _, r := range rows {
+		t.Addf(intsString(r.Budgets), r.Version, r.Profiles,
+			r.Moves, r.Equilibria, yesNo(r.HasFIP), r.Tail)
+	}
+	return t
+}
 
 // FIP runs the exact finite-improvement-property analysis (Section 8):
 // for each small game the entire best-response improvement graph is
@@ -13,55 +97,11 @@ import (
 // counterexample. Cycle witnesses are re-verified step by step before
 // being reported.
 func FIP(effort Effort) (*sweep.Table, error) {
-	type inst struct {
-		budgets []int
-		version core.Version
+	rows, err := runRows[fipRow](fipJob(effort))
+	if err != nil {
+		return nil, err
 	}
-	insts := []inst{
-		{[]int{1, 1, 1}, core.SUM},
-		{[]int{1, 1, 1}, core.MAX},
-		{[]int{1, 1, 1, 1}, core.SUM},
-		{[]int{1, 1, 1, 1}, core.MAX},
-	}
-	if effort == Full {
-		insts = append(insts,
-			inst{[]int{2, 1, 0, 0}, core.SUM},
-			inst{[]int{2, 1, 0, 0}, core.MAX},
-			inst{[]int{2, 1, 1, 0}, core.SUM},
-			inst{[]int{2, 1, 1, 0}, core.MAX},
-			inst{[]int{1, 1, 1, 1, 1}, core.SUM},
-			inst{[]int{1, 1, 1, 1, 1}, core.MAX},
-			inst{[]int{2, 2, 1, 1}, core.SUM},
-			inst{[]int{2, 2, 1, 1}, core.MAX},
-		)
-	}
-	type row struct {
-		in  inst
-		fip enumerate.FIPResult
-		err error
-	}
-	rows := sweep.Parallel(insts, func(in inst) row {
-		g := core.MustGame(in.budgets, in.version)
-		fip, err := enumerate.BestResponseImprovementGraph(g, 50_000_000)
-		if err == nil && !fip.HasFIP {
-			err = enumerate.VerifyCycleWitness(g, fip.CycleWitness)
-		}
-		return row{in: in, fip: fip, err: err}
-	})
-	t := sweep.NewTable("Section 8 (exact): finite improvement property of best-response dynamics",
-		"budgets", "version", "profiles", "moves", "equilibria", "FIP", "longest-path/cycle-len")
-	for _, r := range rows {
-		if r.err != nil {
-			return nil, r.err
-		}
-		tail := r.fip.LongestPath
-		if !r.fip.HasFIP {
-			tail = len(r.fip.CycleWitness)
-		}
-		t.Addf(intsString(r.in.budgets), r.in.version.String(), r.fip.Profiles,
-			r.fip.Moves, r.fip.Equilibria, yesNo(r.fip.HasFIP), tail)
-	}
-	return t, nil
+	return fipTable(rows), nil
 }
 
 func intsString(s []int) string {

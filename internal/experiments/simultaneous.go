@@ -1,12 +1,107 @@
 package experiments
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/dynamics"
+	"repro/internal/runner"
 	"repro/internal/sweep"
 )
+
+type simulCell struct {
+	ver    core.Version
+	n      int
+	trials int
+}
+
+type simulRow struct {
+	Version     string `json:"version"`
+	N           int    `json:"n"`
+	Trials      int    `json:"trials"`
+	SeqConv     int    `json:"seqConv"`
+	SeqLoop     int    `json:"seqLoop"`
+	SeqTimeouts int    `json:"seqTimeouts"`
+	SimConv     int    `json:"simConv"`
+	SimLoop     int    `json:"simLoop"`
+	SimMisses   int    `json:"simMisses"`
+	MaxLoopLen  int    `json:"maxLoopLen"`
+}
+
+func simultaneousJob(effort Effort, seed int64) runner.Job {
+	ns := []int{5, 6}
+	trials := 10
+	if effort == Full {
+		ns = []int{5, 6, 8, 10, 12}
+		trials = 25
+	}
+	var points []runner.Point
+	for _, ver := range []core.Version{core.SUM, core.MAX} {
+		for _, n := range ns {
+			points = append(points, runner.Point{Exp: "simultaneous",
+				Key:  fmt.Sprintf("ver=%v,n=%d,trials=%d", ver, n, trials),
+				Seed: seed, Data: simulCell{ver: ver, n: n, trials: trials}})
+		}
+	}
+	return runner.Job{Exp: "simultaneous", Points: points, Eval: evalSimultaneous}
+}
+
+// evalSimultaneous feeds the same random starting profiles to
+// sequential and simultaneous dynamics for one (version, n) cell.
+func evalSimultaneous(p runner.Point) (any, error) {
+	c := p.Data.(simulCell)
+	rng := rand.New(rand.NewSource(p.Seed + int64(c.n)*1001 + int64(c.ver)))
+	g := core.UniformGame(c.n, 1, c.ver)
+	r := simulRow{Version: c.ver.String(), N: c.n, Trials: c.trials}
+	for trial := 0; trial < c.trials; trial++ {
+		start := dynamics.RandomProfile(g, rng)
+		seq, err := dynamics.Run(g, start, dynamics.Options{
+			Responder:   core.ExactResponder(0),
+			DetectLoops: true,
+			MaxRounds:   800,
+		})
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case seq.Converged:
+			r.SeqConv++
+		case seq.Loop:
+			r.SeqLoop++
+		default:
+			r.SeqTimeouts++
+		}
+		sim, err := dynamics.RunSimultaneous(g, start, dynamics.Options{
+			Responder: core.ExactResponder(0),
+			MaxRounds: 800,
+		})
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case sim.Converged:
+			r.SimConv++
+		case sim.Loop:
+			r.SimLoop++
+			if sim.LoopLength > r.MaxLoopLen {
+				r.MaxLoopLen = sim.LoopLength
+			}
+		default:
+			r.SimMisses++
+		}
+	}
+	return r, nil
+}
+
+func simultaneousTable(rows []simulRow) *sweep.Table {
+	t := sweep.NewTable("Section 8: sequential vs simultaneous best-response dynamics (unit budgets)",
+		"version", "n", "trials", "seq-converged", "seq-loops", "sim-converged", "sim-loops", "max-sim-loop-len")
+	for _, r := range rows {
+		t.Addf(r.Version, r.N, r.Trials, r.SeqConv, r.SeqLoop, r.SimConv, r.SimLoop, r.MaxLoopLen)
+	}
+	return t
+}
 
 // SimultaneousContrast compares sequential and simultaneous-move
 // best-response dynamics (Section 8 context): sequential dynamics
@@ -14,78 +109,9 @@ import (
 // let players chase each other and cycle. Loop lengths are exact
 // (profile-confirmed).
 func SimultaneousContrast(effort Effort, seed int64) (*sweep.Table, error) {
-	ns := []int{5, 6}
-	trials := 10
-	if effort == Full {
-		ns = []int{5, 6, 8, 10, 12}
-		trials = 25
+	rows, err := runRows[simulRow](simultaneousJob(effort, seed))
+	if err != nil {
+		return nil, err
 	}
-	type cell struct {
-		ver                    core.Version
-		n                      int
-		seqConv, seqLoop       int
-		simConv, simLoop       int
-		maxLoopLen             int
-		seqTimeouts, simMisses int
-		err                    error
-	}
-	var points []cell
-	for _, ver := range []core.Version{core.SUM, core.MAX} {
-		for _, n := range ns {
-			points = append(points, cell{ver: ver, n: n})
-		}
-	}
-	rows := sweep.Parallel(points, func(c cell) cell {
-		rng := rand.New(rand.NewSource(seed + int64(c.n)*1001 + int64(c.ver)))
-		g := core.UniformGame(c.n, 1, c.ver)
-		for trial := 0; trial < trials; trial++ {
-			start := dynamics.RandomProfile(g, rng)
-			seq, err := dynamics.Run(g, start, dynamics.Options{
-				Responder:   core.ExactResponder(0),
-				DetectLoops: true,
-				MaxRounds:   800,
-			})
-			if err != nil {
-				c.err = err
-				return c
-			}
-			switch {
-			case seq.Converged:
-				c.seqConv++
-			case seq.Loop:
-				c.seqLoop++
-			default:
-				c.seqTimeouts++
-			}
-			sim, err := dynamics.RunSimultaneous(g, start, dynamics.Options{
-				Responder: core.ExactResponder(0),
-				MaxRounds: 800,
-			})
-			if err != nil {
-				c.err = err
-				return c
-			}
-			switch {
-			case sim.Converged:
-				c.simConv++
-			case sim.Loop:
-				c.simLoop++
-				if sim.LoopLength > c.maxLoopLen {
-					c.maxLoopLen = sim.LoopLength
-				}
-			default:
-				c.simMisses++
-			}
-		}
-		return c
-	})
-	t := sweep.NewTable("Section 8: sequential vs simultaneous best-response dynamics (unit budgets)",
-		"version", "n", "trials", "seq-converged", "seq-loops", "sim-converged", "sim-loops", "max-sim-loop-len")
-	for _, c := range rows {
-		if c.err != nil {
-			return nil, c.err
-		}
-		t.Addf(c.ver.String(), c.n, trials, c.seqConv, c.seqLoop, c.simConv, c.simLoop, c.maxLoopLen)
-	}
-	return t, nil
+	return simultaneousTable(rows), nil
 }

@@ -8,16 +8,49 @@ import (
 	"repro/internal/sweep"
 )
 
+// Kind classifies a spec's artifact.
+type Kind int
+
+const (
+	// Sweep specs produce one or more table rows per point over a
+	// parameter sweep; they are what point-level sharding is for.
+	Sweep Kind = iota
+	// Figure specs reproduce one printed figure from a single
+	// deterministic construction (one point per job).
+	Figure
+)
+
+func (k Kind) String() string {
+	if k == Figure {
+		return "figure"
+	}
+	return "sweep"
+}
+
 // Spec presents one experiment in checkpointable runner form: a Job
 // factory (deterministic point list + pure evaluator, see
 // internal/runner) and a renderer from stored values back to the
-// experiment's tables. The CLI uses specs to stream sweep results into
-// a store, resume interrupted runs, and re-render tables from a store
-// without recomputing anything; the exported experiment functions are
-// wrappers that run the same job in memory, so both paths produce
-// byte-identical output.
+// experiment's tables, plus the metadata the CLI needs to dispatch,
+// document, and shard it. The registry (Specs) is the single source of
+// truth: the CLI's subcommand table, usage text, `list` output, and
+// `all` sequence are all derived from it, and the exported experiment
+// functions are wrappers that run the same jobs in memory, so
+// store-backed and direct runs produce byte-identical output.
 type Spec struct {
+	// Name is the canonical spec (and store shard) name.
 	Name string
+	// Desc is the one-line description shown by usage and `list`.
+	Desc string
+	// Aliases are alternate subcommand names resolving to this spec;
+	// the first alias, when present, is the primary CLI subcommand
+	// (e.g. spec "existence" runs as `bbncg exist`).
+	Aliases []string
+	// Seeded reports whether the point list or evaluation depends on
+	// the -seed flag (seed-sensitive experiments never share stored
+	// results across seeds; see runner.Point).
+	Seeded bool
+	// Kind classifies the artifact (sweep table vs printed figure).
+	Kind Kind
 	// Job builds the experiment's point list and evaluator for one
 	// (effort, seed). It must be deterministic: a resumed run
 	// regenerates the list and trusts point IDs to mean "same
@@ -28,13 +61,14 @@ type Spec struct {
 	Render func(values []json.RawMessage) ([]*sweep.Table, error)
 }
 
-// Specs lists every experiment available in runner form, in Table 1
-// order. Experiments whose artifacts are single constructions rather
-// than sweeps (the figures) stay outside the runner.
+// Specs lists every experiment in runner form — the full registry, in
+// Table 1 then paper order. Every bbncg subcommand dispatches to one or
+// more of these.
 func Specs() []Spec {
 	return []Spec{
 		{
 			Name: "table1-trees-max",
+			Desc: "Table 1 [Trees, MAX]: spider equilibria, PoA = Theta(n)",
 			Job:  func(e Effort, _ int64) runner.Job { return treesMAXJob(e) },
 			Render: renderRows(func(rows []treesMAXRow) ([]*sweep.Table, error) {
 				return []*sweep.Table{treesMAXTable(rows)}, nil
@@ -42,27 +76,33 @@ func Specs() []Spec {
 		},
 		{
 			Name: "table1-trees-sum",
+			Desc: "Table 1 [Trees, SUM]: binary-tree equilibria, PoA = Theta(log n)",
 			Job:  func(e Effort, _ int64) runner.Job { return treesSUMJob(e) },
 			Render: renderRows(func(rows []treesSUMRow) ([]*sweep.Table, error) {
 				return []*sweep.Table{treesSUMTable(rows)}, nil
 			}),
 		},
 		{
-			Name: "table1-unit-sum",
-			Job:  func(e Effort, s int64) runner.Job { return unitJob(core.SUM, e, s) },
+			Name:   "table1-unit-sum",
+			Desc:   "Table 1 [All-Unit, SUM]: unit-budget dynamics sweep (Theorem 4.1)",
+			Seeded: true,
+			Job:    func(e Effort, s int64) runner.Job { return unitJob(core.SUM, e, s) },
 			Render: renderRows(func(rows []UnitResult) ([]*sweep.Table, error) {
 				return []*sweep.Table{unitTable(core.SUM, rows)}, nil
 			}),
 		},
 		{
-			Name: "table1-unit-max",
-			Job:  func(e Effort, s int64) runner.Job { return unitJob(core.MAX, e, s) },
+			Name:   "table1-unit-max",
+			Desc:   "Table 1 [All-Unit, MAX]: unit-budget dynamics sweep (Theorem 4.2)",
+			Seeded: true,
+			Job:    func(e Effort, s int64) runner.Job { return unitJob(core.MAX, e, s) },
 			Render: renderRows(func(rows []UnitResult) ([]*sweep.Table, error) {
 				return []*sweep.Table{unitTable(core.MAX, rows)}, nil
 			}),
 		},
 		{
 			Name: "table1-positive-max",
+			Desc: "Table 1 [All-Positive, MAX]: shift-graph equilibria (Lemma 5.2)",
 			Job:  func(e Effort, _ int64) runner.Job { return positiveMAXJob(e) },
 			Render: renderRows(func(rows []positiveMAXRow) ([]*sweep.Table, error) {
 				return []*sweep.Table{positiveMAXTable(rows)}, nil
@@ -70,19 +110,66 @@ func Specs() []Spec {
 		},
 		{
 			Name:   "table1-general-sum",
+			Desc:   "Table 1 [General, SUM]: diameter upper-bound sweep (Theorem 6.9)",
+			Seeded: true,
 			Job:    generalSUMJob,
 			Render: renderRows(generalSUMTables),
 		},
 		{
-			Name: "existence",
-			Job:  existenceJob,
+			Name: "fig1",
+			Desc: "Figure 1: Theorem 2.3 case-2 equilibrium (n=22)",
+			Kind: Figure,
+			Job:  figure1Job,
+			Render: renderRows(func(rows []fig1Row) ([]*sweep.Table, error) {
+				return []*sweep.Table{figure1Table(rows)}, nil
+			}),
+		},
+		{
+			Name: "fig2",
+			Desc: "Figure 2: spider MAX tree equilibrium",
+			Kind: Figure,
+			Job: func(e Effort, _ int64) runner.Job {
+				k := 5
+				if e == Full {
+					k = 16
+				}
+				return figure2Job(k)
+			},
+			Render: renderRows(func(rows []fig2Row) ([]*sweep.Table, error) {
+				return []*sweep.Table{figure2Table(rows)}, nil
+			}),
+		},
+		{
+			Name: "fig3",
+			Desc: "Figure 3: subtree weights along a longest path",
+			Kind: Figure,
+			Job: func(e Effort, _ int64) runner.Job {
+				k := 4
+				if e == Full {
+					k = 7
+				}
+				return figure3Job(k)
+			},
+			Render: renderRows(func(rows []fig3Row) ([]*sweep.Table, error) {
+				return []*sweep.Table{figure3Table(rows)}, nil
+			}),
+		},
+		{
+			Name:    "existence",
+			Desc:    "existence & price of stability (Theorem 2.3)",
+			Aliases: []string{"exist"},
+			Seeded:  true,
+			Job:     existenceJob,
 			Render: renderRows(func(rows []existenceRow) ([]*sweep.Table, error) {
 				return []*sweep.Table{existenceTable(rows)}, nil
 			}),
 		},
 		{
-			Name: "reduction",
-			Job:  reductionJob,
+			Name:    "reduction",
+			Desc:    "NP-hardness reduction cross-check (Theorem 2.1)",
+			Aliases: []string{"nphard"},
+			Seeded:  true,
+			Job:     reductionJob,
 			Render: renderRows(func(rows []reductionRow) ([]*sweep.Table, error) {
 				t, err := reductionTable(rows)
 				if err != nil {
@@ -92,30 +179,200 @@ func Specs() []Spec {
 			}),
 		},
 		{
-			Name: "connectivity",
-			Job:  connectivityJob,
+			Name:    "connectivity",
+			Desc:    "connectivity dichotomy (Theorem 7.2)",
+			Aliases: []string{"conn"},
+			Seeded:  true,
+			Job:     connectivityJob,
 			Render: renderRows(func(rows []connectivityRow) ([]*sweep.Table, error) {
 				return []*sweep.Table{connectivityTable(rows)}, nil
 			}),
 		},
 		{
-			Name: "dynamics-stats",
-			Job:  dynamicsStatsJob,
+			Name:    "dynamics-stats",
+			Desc:    "convergence statistics (Section 8)",
+			Aliases: []string{"dyn"},
+			Seeded:  true,
+			Job:     dynamicsStatsJob,
 			Render: renderRows(func(rows []dynStatsRow) ([]*sweep.Table, error) {
 				return []*sweep.Table{dynamicsStatsTable(rows)}, nil
+			}),
+		},
+		{
+			Name:    "exact-poa",
+			Desc:    "exact PoA/PoS by exhaustive profile enumeration (small n)",
+			Aliases: []string{"poa"},
+			Job:     func(e Effort, _ int64) runner.Job { return exactPoAJob(e) },
+			Render: renderRows(func(rows []poaRow) ([]*sweep.Table, error) {
+				return []*sweep.Table{exactPoATable(rows)}, nil
+			}),
+		},
+		{
+			Name:    "uniform-budget",
+			Desc:    "the Section 8 uniform-budget (B > 1) open problem",
+			Aliases: []string{"uniform"},
+			Seeded:  true,
+			Job:     uniformBudgetJob,
+			Render: renderRows(func(rows []uniformRow) ([]*sweep.Table, error) {
+				return []*sweep.Table{uniformBudgetTable(rows)}, nil
+			}),
+		},
+		{
+			Name:   "baseline",
+			Desc:   "contrast with basic network creation games (Alon et al.)",
+			Seeded: true,
+			Job:    baselineJob,
+			Render: renderRows(func(rows [][]baselineRow) ([]*sweep.Table, error) {
+				return []*sweep.Table{baselineTable(flatten(rows))}, nil
+			}),
+		},
+		{
+			Name:    "weak-machinery",
+			Desc:    "Section 6 machinery audits (tree balls, rich leaves, folding)",
+			Aliases: []string{"weak"},
+			Seeded:  true,
+			Job:     weakMachineryJob,
+			Render: renderRows(func(rows [][]weakRow) ([]*sweep.Table, error) {
+				return []*sweep.Table{weakMachineryTable(flatten(rows))}, nil
+			}),
+		},
+		{
+			Name:    "simultaneous",
+			Desc:    "sequential vs simultaneous dynamics (Section 8)",
+			Aliases: []string{"simul"},
+			Seeded:  true,
+			Job:     simultaneousJob,
+			Render: renderRows(func(rows []simulRow) ([]*sweep.Table, error) {
+				return []*sweep.Table{simultaneousTable(rows)}, nil
+			}),
+		},
+		{
+			Name: "fip",
+			Desc: "exact finite-improvement-property analysis (Section 8)",
+			Job:  func(e Effort, _ int64) runner.Job { return fipJob(e) },
+			Render: renderRows(func(rows []fipRow) ([]*sweep.Table, error) {
+				return []*sweep.Table{fipTable(rows)}, nil
+			}),
+		},
+		{
+			Name:   "directed",
+			Desc:   "contrast with the directed BBC game (Laoutaris et al.)",
+			Seeded: true,
+			Job:    directedJob,
+			Render: renderRows(func(rows []directedRow) ([]*sweep.Table, error) {
+				return []*sweep.Table{directedTable(rows)}, nil
+			}),
+		},
+		{
+			Name:    "robustness",
+			Desc:    "dynamics robustness across initial overlay families",
+			Aliases: []string{"robust"},
+			Seeded:  true,
+			Job:     robustnessJob,
+			Render: renderRows(func(rows []robustRow) ([]*sweep.Table, error) {
+				return []*sweep.Table{robustnessTable(rows)}, nil
+			}),
+		},
+		{
+			Name:   "treedyn",
+			Desc:   "dynamics on random Tree-BG instances (Section 3 empirics)",
+			Seeded: true,
+			Job:    treeDynamicsJob,
+			Render: renderRows(func(rows []treedynRow) ([]*sweep.Table, error) {
+				return []*sweep.Table{treeDynamicsTable(rows)}, nil
 			}),
 		},
 	}
 }
 
-// SpecByName finds a spec in the registry.
+// SpecByName finds a spec by canonical name or alias.
 func SpecByName(name string) (Spec, bool) {
 	for _, s := range Specs() {
 		if s.Name == name {
 			return s, true
 		}
+		for _, a := range s.Aliases {
+			if a == name {
+				return s, true
+			}
+		}
 	}
 	return Spec{}, false
+}
+
+// Command is one CLI subcommand: a named, documented bundle of specs
+// rendered in order. Most commands wrap a single spec (their name is
+// the spec's primary alias); table1 and its row shortcuts bundle
+// several, and all bundles everything in paper order.
+type Command struct {
+	Name  string
+	Desc  string
+	Specs []string
+}
+
+// table1Specs is the Table 1 bundle, in printed row order.
+var table1Specs = []string{"table1-trees-max", "table1-trees-sum",
+	"table1-unit-sum", "table1-unit-max", "table1-positive-max",
+	"table1-general-sum"}
+
+// allOrder is the paper-order command sequence reproduced by `all`.
+var allOrder = []string{"fig1", "fig2", "fig3", "table1", "exist",
+	"nphard", "conn", "dyn", "poa", "uniform", "baseline", "weak",
+	"simul", "fip", "directed", "robust", "treedyn"}
+
+// Commands returns the CLI subcommand registry in usage order,
+// generated from the spec registry: single-spec commands inherit the
+// spec's primary alias and description, bundles are defined here.
+func Commands() []Command {
+	one := func(name string) Command {
+		s, ok := SpecByName(name)
+		if !ok {
+			panic("experiments: no spec behind command " + name)
+		}
+		cmd := Command{Name: s.Name, Desc: s.Desc, Specs: []string{s.Name}}
+		if len(s.Aliases) > 0 {
+			cmd.Name = s.Aliases[0]
+		}
+		return cmd
+	}
+	cmds := []Command{
+		{Name: "table1", Desc: "reproduce Table 1 (all rows, both versions)", Specs: table1Specs},
+		one("fig1"), one("fig2"), one("fig3"),
+		{Name: "unit", Desc: "all-unit-budget dynamics (Theorems 4.1/4.2)",
+			Specs: []string{"table1-unit-sum", "table1-unit-max"}},
+		{Name: "shift", Desc: "shift-graph lower bound (Lemma 5.2/Theorem 5.3)",
+			Specs: []string{"table1-positive-max"}},
+		{Name: "sumupper", Desc: "SUM diameter upper-bound sweep (Theorem 6.9)",
+			Specs: []string{"table1-general-sum"}},
+		one("exist"), one("nphard"), one("conn"), one("dyn"), one("poa"),
+		one("uniform"), one("baseline"), one("weak"), one("simul"),
+		one("fip"), one("directed"), one("robust"), one("treedyn"),
+	}
+	all := Command{Name: "all", Desc: "everything, in paper order"}
+	for _, name := range allOrder {
+		for _, c := range cmds {
+			if c.Name == name {
+				all.Specs = append(all.Specs, c.Specs...)
+				break
+			}
+		}
+	}
+	return append(cmds, all)
+}
+
+// CommandByName resolves a CLI subcommand: first the command registry,
+// then any spec by canonical name or alias (so every spec is directly
+// addressable, e.g. `bbncg table1-unit-sum`).
+func CommandByName(name string) (Command, bool) {
+	for _, c := range Commands() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	if s, ok := SpecByName(name); ok {
+		return Command{Name: s.Name, Desc: s.Desc, Specs: []string{s.Name}}, true
+	}
+	return Command{}, false
 }
 
 // renderRows adapts a typed row renderer to the Spec.Render signature.
@@ -129,11 +386,21 @@ func renderRows[T any](render func([]T) ([]*sweep.Table, error)) func([]json.Raw
 	}
 }
 
+// flatten joins per-point row slices (the shape of single-point jobs
+// whose one value is the whole row list) into one row list.
+func flatten[T any](rows [][]T) []T {
+	var out []T
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out
+}
+
 // runRows runs a job in memory and decodes its values; the common body
 // of the exported experiment functions. Results round-trip through JSON
 // exactly as store-backed runs do.
 func runRows[T any](job runner.Job) ([]T, error) {
-	rep, err := runner.Run(job, nil, 0)
+	rep, err := runner.Run(job, nil, runner.Options{})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -8,9 +9,94 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynamics"
 	"repro/internal/graph"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 )
+
+type treedynCell struct {
+	ver    core.Version
+	n      int
+	trials int
+}
+
+type treedynRow struct {
+	Version    string  `json:"version"`
+	N          int     `json:"n"`
+	Converged  int     `json:"converged"`
+	Trees      int     `json:"trees"`
+	IneqOK     int     `json:"ineqOK"`
+	Diams      []int64 `json:"diams"`
+	WorstRatio float64 `json:"worstRatio"`
+}
+
+func treeDynamicsJob(effort Effort, seed int64) runner.Job {
+	ns := []int{8, 12}
+	trials := 5
+	if effort == Full {
+		ns = []int{8, 12, 16, 24, 32}
+		trials = 12
+	}
+	var points []runner.Point
+	for _, ver := range []core.Version{core.SUM, core.MAX} {
+		for _, n := range ns {
+			points = append(points, runner.Point{Exp: "treedyn",
+				Key:  fmt.Sprintf("ver=%v,n=%d,trials=%d", ver, n, trials),
+				Seed: seed, Data: treedynCell{ver: ver, n: n, trials: trials}})
+		}
+	}
+	return runner.Job{Exp: "treedyn", Points: points, Eval: evalTreeDynamics}
+}
+
+// evalTreeDynamics drives random Tree-BG instances of one (version, n)
+// cell to equilibrium and audits every converged profile.
+func evalTreeDynamics(p runner.Point) (any, error) {
+	c := p.Data.(treedynCell)
+	rng := rand.New(rand.NewSource(p.Seed + int64(c.n)*17 + int64(c.ver)))
+	logBound := 2*math.Log2(float64(c.n)) + 2
+	r := treedynRow{Version: c.ver.String(), N: c.n}
+	for trial := 0; trial < c.trials; trial++ {
+		budgets := randomTreeBudgets(c.n, rng)
+		g := core.MustGame(budgets, c.ver)
+		out, err := dynamics.RunFromRandom(g, rng, dynamics.Options{
+			Responder:   core.ExactResponder(0),
+			DetectLoops: true,
+			MaxRounds:   1500,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !out.Converged {
+			continue
+		}
+		r.Converged++
+		a := out.Final.Underlying()
+		diam := graph.Diameter(a)
+		r.Diams = append(r.Diams, int64(diam))
+		isTree := graph.IsConnected(a) && a.EdgeCount() == c.n-1 && len(out.Final.Braces()) == 0
+		if isTree {
+			r.Trees++
+			audit, err := analysis.AuditTreeSumPath(out.Final)
+			if err == nil && audit.InequalityOK {
+				r.IneqOK++
+			}
+		}
+		if ratio := float64(diam) / logBound; ratio > r.WorstRatio {
+			r.WorstRatio = ratio
+		}
+	}
+	return r, nil
+}
+
+func treeDynamicsTable(rows []treedynRow) *sweep.Table {
+	t := sweep.NewTable("Tree-BG dynamics: random budget vectors with total n-1",
+		"version", "n", "converged", "trees", "ineq(1)-holds", "diameter", "2log2(n)+2", "worst/bound")
+	for _, r := range rows {
+		t.Addf(r.Version, r.N, r.Converged, r.Trees, r.IneqOK,
+			stats.Summarize(r.Diams).MeanStd(), 2*math.Log2(float64(r.N))+2, r.WorstRatio)
+	}
+	return t
+}
 
 // TreeDynamics probes the Trees row of Table 1 beyond the two canonical
 // constructions: random Tree-BG budget vectors (total exactly n-1) are
@@ -20,78 +106,11 @@ import (
 // the O(log n) regime; MAX equilibria are reported for contrast (they
 // may legally be much deeper — the spider shows Theta(n) is possible).
 func TreeDynamics(effort Effort, seed int64) (*sweep.Table, error) {
-	ns := []int{8, 12}
-	trials := 5
-	if effort == Full {
-		ns = []int{8, 12, 16, 24, 32}
-		trials = 12
+	rows, err := runRows[treedynRow](treeDynamicsJob(effort, seed))
+	if err != nil {
+		return nil, err
 	}
-	type cell struct {
-		ver core.Version
-		n   int
-	}
-	var points []cell
-	for _, ver := range []core.Version{core.SUM, core.MAX} {
-		for _, n := range ns {
-			points = append(points, cell{ver: ver, n: n})
-		}
-	}
-	type row struct {
-		ver        core.Version
-		n          int
-		converged  int
-		trees      int
-		ineqOK     int
-		diams      []int64
-		logBound   float64
-		worstRatio float64
-		err        error
-	}
-	rows := sweep.Parallel(points, func(c cell) row {
-		rng := rand.New(rand.NewSource(seed + int64(c.n)*17 + int64(c.ver)))
-		r := row{ver: c.ver, n: c.n, logBound: 2*math.Log2(float64(c.n)) + 2}
-		for trial := 0; trial < trials; trial++ {
-			budgets := randomTreeBudgets(c.n, rng)
-			g := core.MustGame(budgets, c.ver)
-			out, err := dynamics.RunFromRandom(g, rng, dynamics.Options{
-				Responder:   core.ExactResponder(0),
-				DetectLoops: true,
-				MaxRounds:   1500,
-			})
-			if err != nil {
-				return row{err: err}
-			}
-			if !out.Converged {
-				continue
-			}
-			r.converged++
-			a := out.Final.Underlying()
-			diam := graph.Diameter(a)
-			r.diams = append(r.diams, int64(diam))
-			isTree := graph.IsConnected(a) && a.EdgeCount() == c.n-1 && len(out.Final.Braces()) == 0
-			if isTree {
-				r.trees++
-				audit, err := analysis.AuditTreeSumPath(out.Final)
-				if err == nil && audit.InequalityOK {
-					r.ineqOK++
-				}
-			}
-			if ratio := float64(diam) / r.logBound; ratio > r.worstRatio {
-				r.worstRatio = ratio
-			}
-		}
-		return r
-	})
-	t := sweep.NewTable("Tree-BG dynamics: random budget vectors with total n-1",
-		"version", "n", "converged", "trees", "ineq(1)-holds", "diameter", "2log2(n)+2", "worst/bound")
-	for _, r := range rows {
-		if r.err != nil {
-			return nil, r.err
-		}
-		t.Addf(r.ver.String(), r.n, r.converged, r.trees, r.ineqOK,
-			stats.Summarize(r.diams).MeanStd(), r.logBound, r.worstRatio)
-	}
-	return t, nil
+	return treeDynamicsTable(rows), nil
 }
 
 // randomTreeBudgets splits n-1 budget units over n players uniformly at

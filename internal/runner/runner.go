@@ -3,10 +3,11 @@
 // store (internal/store) as they finish, and skips already-stored
 // points on restart, so an interrupted sweep resumes instead of
 // restarting. The evaluation fan-out reuses sweep.ParallelN; the
-// runner adds only identity, durability, and resume bookkeeping — the
-// foundation for sharding one sweep across machines, where every
-// worker runs the same point list against its own shard directory and
-// a merge renders the union.
+// runner adds identity, durability, resume bookkeeping, and the shard
+// filter (shard.go) that splits one sweep across machines: every
+// worker runs the same point list with a distinct -shard i/k against
+// its own store directory, the directories are concatenated
+// (store.Concat), and a merge renders the union.
 //
 // Determinism contract: a Job's point list must be a pure function of
 // (experiment, effort, seed), and Eval must be a pure function of the
@@ -57,26 +58,44 @@ type Job struct {
 	Eval   func(p Point) (any, error)
 }
 
+// Options configures one Run.
+type Options struct {
+	// Workers bounds the evaluation fan-out; <= 0 means GOMAXPROCS,
+	// matching sweep.Parallel.
+	Workers int
+	// Shard restricts the run to one i-of-k partition of the point
+	// list (see Shard); points outside the shard are neither evaluated
+	// nor required from the store. The zero value runs every point.
+	Shard Shard
+}
+
 // Report is the outcome of one Run.
 type Report struct {
 	// Values holds each point's result in point-list order, as
-	// canonical JSON.
+	// canonical JSON. Points filtered out by a shard stay nil, so a
+	// sharded report cannot be rendered — only its store matters.
 	Values []json.RawMessage
 	// Evaluated counts points computed by this run; Skipped counts
-	// points served from the store. Evaluated+Skipped = len(Points).
+	// points served from the store; Filtered counts points excluded by
+	// the shard. Evaluated+Skipped+Filtered = len(Points).
 	Evaluated int
 	Skipped   int
+	Filtered  int
 }
 
-// Run evaluates every point of job not already present in st, fanning
-// the missing ones out over at most workers goroutines (workers <= 0
-// means GOMAXPROCS, matching sweep.Parallel), appending each result to
-// st as it completes. st may be nil for a purely in-memory run. The
-// returned values are in point order regardless of what was skipped.
-func Run(job Job, st *store.Store, workers int) (*Report, error) {
+// Run evaluates every in-shard point of job not already present in st,
+// fanning the missing ones out over a bounded worker pool and appending
+// each result to st as it completes. st may be nil for a purely
+// in-memory run. The returned values are in point order regardless of
+// what was skipped.
+func Run(job Job, st *store.Store, opt Options) (*Report, error) {
 	rep := &Report{Values: make([]json.RawMessage, len(job.Points))}
 	var missing []int
 	for i, p := range job.Points {
+		if !opt.Shard.Contains(p.ID()) {
+			rep.Filtered++
+			continue
+		}
 		if st != nil {
 			if rec, ok := st.Get(p.ID()); ok {
 				rep.Values[i] = rec.Value
@@ -86,6 +105,7 @@ func Run(job Job, st *store.Store, workers int) (*Report, error) {
 		}
 		missing = append(missing, i)
 	}
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -53,7 +53,7 @@ func TestPointIDDeterministic(t *testing.T) {
 
 func TestRunInMemory(t *testing.T) {
 	var evals int64
-	rep, err := Run(testJob(10, &evals), nil, 4)
+	rep, err := Run(testJob(10, &evals), nil, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestRunStoresAndResumes(t *testing.T) {
 		t.Fatal(err)
 	}
 	var evals int64
-	rep1, err := Run(testJob(8, &evals), st, 2)
+	rep1, err := Run(testJob(8, &evals), st, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestRunStoresAndResumes(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	rep2, err := Run(testJob(8, &evals), st2, 2)
+	rep2, err := Run(testJob(8, &evals), st2, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestRunStoresAndResumes(t *testing.T) {
 	}
 
 	// A grown point list evaluates exactly the new points.
-	rep3, err := Run(testJob(12, &evals), st2, 2)
+	rep3, err := Run(testJob(12, &evals), st2, Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestMerge(t *testing.T) {
 	if _, err := Merge(job, st); err == nil {
 		t.Fatal("merge of an empty store succeeded")
 	}
-	if _, err := Run(job, st, 0); err != nil {
+	if _, err := Run(job, st, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := Merge(job, st)
@@ -161,7 +161,7 @@ func TestCrashMidSweepThenResume(t *testing.T) {
 		}
 		return goodEval(p)
 	}
-	if _, err := Run(job, st, 1); err == nil {
+	if _, err := Run(job, st, Options{Workers: 1}); err == nil {
 		t.Fatal("crashing run succeeded")
 	}
 	if err := st.Close(); err != nil {
@@ -178,7 +178,7 @@ func TestCrashMidSweepThenResume(t *testing.T) {
 		t.Fatalf("store kept %d records after crash", survived)
 	}
 	evals = 0
-	rep, err := Run(testJob(6, &evals), st2, 1)
+	rep, err := Run(testJob(6, &evals), st2, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestRunEvalError(t *testing.T) {
 		Points: []Point{{Exp: "bad", Key: "k=0", Seed: 1}},
 		Eval:   func(Point) (any, error) { return nil, fmt.Errorf("boom") },
 	}
-	if _, err := Run(job, nil, 1); err == nil {
+	if _, err := Run(job, nil, Options{Workers: 1}); err == nil {
 		t.Fatal("eval error swallowed")
 	}
 }

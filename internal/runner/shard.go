@@ -1,0 +1,69 @@
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+)
+
+// Shard is a deterministic i-of-k partition of a job's point list, the
+// unit of scale-out across machines: every worker runs the same command
+// with a distinct shard into its own store directory, and the shards are
+// fetched into one directory and merged afterwards.
+//
+// Partitioning contract: point p belongs to shard i of k iff
+// FNV-1a64(p.ID()) mod k == i. Because the ID is a pure function of
+// (experiment, key, seed), the partition depends only on the point list
+// — never on evaluation order, worker count, or which machine runs it —
+// and for any k the shards are pairwise disjoint and jointly complete by
+// construction.
+type Shard struct {
+	// Index is the zero-based shard number, Count the total number of
+	// shards. The zero value (Count 0) and 1-sharding select every point.
+	Index, Count int
+}
+
+// ParseShard parses the CLI form "i/k" (e.g. "0/3"). An empty string is
+// the no-sharding zero value. A misparsed shard would silently evaluate
+// the wrong partition, so anything but exactly two integers is an error.
+func ParseShard(s string) (Shard, error) {
+	if s == "" {
+		return Shard{}, nil
+	}
+	i, k, ok := strings.Cut(s, "/")
+	var sh Shard
+	var err error
+	if sh.Index, err = strconv.Atoi(i); !ok || err != nil {
+		return Shard{}, fmt.Errorf("runner: shard %q is not of the form i/k", s)
+	}
+	if sh.Count, err = strconv.Atoi(k); err != nil {
+		return Shard{}, fmt.Errorf("runner: shard %q is not of the form i/k", s)
+	}
+	if sh.Count < 1 || sh.Index < 0 || sh.Index >= sh.Count {
+		return Shard{}, fmt.Errorf("runner: shard %d/%d out of range (need 0 <= i < k)", sh.Index, sh.Count)
+	}
+	return sh, nil
+}
+
+// Active reports whether the shard actually filters anything (k > 1).
+func (sh Shard) Active() bool { return sh.Count > 1 }
+
+// Contains reports whether the point with the given ID belongs to this
+// shard. An inactive shard contains every point.
+func (sh Shard) Contains(id string) bool {
+	if !sh.Active() {
+		return true
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int(h.Sum64()%uint64(sh.Count)) == sh.Index
+}
+
+// String renders the CLI form.
+func (sh Shard) String() string {
+	if !sh.Active() {
+		return "0/1"
+	}
+	return fmt.Sprintf("%d/%d", sh.Index, sh.Count)
+}

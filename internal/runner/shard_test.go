@@ -1,0 +1,160 @@
+package runner
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func TestParseShard(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		want    Shard
+		wantErr bool
+	}{
+		{"", Shard{}, false},
+		{"0/1", Shard{0, 1}, false},
+		{"0/3", Shard{0, 3}, false},
+		{"2/3", Shard{2, 3}, false},
+		{"3/3", Shard{}, true},
+		{"-1/3", Shard{}, true},
+		{"1/0", Shard{}, true},
+		{"1", Shard{}, true},
+		{"a/b", Shard{}, true},
+		{"0/2x", Shard{}, true},
+		{"1/2/4", Shard{}, true},
+		{" 0/2", Shard{}, true},
+		{"0/2 ", Shard{}, true},
+	} {
+		got, err := ParseShard(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParseShard(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseShard(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// The partitioning contract: for every k, each point belongs to exactly
+// one of the k shards (disjoint and complete), deterministically.
+func TestShardPartitionDisjointComplete(t *testing.T) {
+	var evals int64
+	job := testJob(97, &evals)
+	for k := 1; k <= 6; k++ {
+		for _, p := range job.Points {
+			id := p.ID()
+			owners := 0
+			for i := 0; i < k; i++ {
+				sh := Shard{Index: i, Count: k}
+				if sh.Contains(id) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("k=%d: point %s owned by %d shards", k, p.Key, owners)
+			}
+		}
+	}
+}
+
+// Sharding must spread points: with 97 points over 3 shards every shard
+// gets a non-trivial slice (a degenerate hash would put everything in
+// one shard and turn scale-out into a no-op).
+func TestShardSpread(t *testing.T) {
+	var evals int64
+	job := testJob(97, &evals)
+	counts := make([]int, 3)
+	for _, p := range job.Points {
+		for i := range counts {
+			if (Shard{Index: i, Count: 3}).Contains(p.ID()) {
+				counts[i]++
+			}
+		}
+	}
+	for i, c := range counts {
+		if c < 10 {
+			t.Fatalf("shard %d/3 got %d of 97 points: %v", i, c, counts)
+		}
+	}
+}
+
+// Running every shard of a job into its own store, concatenating the
+// stores, and merging must reproduce the unsharded values exactly, with
+// each point evaluated exactly once across all shards.
+func TestShardedRunConcatMerge(t *testing.T) {
+	const n, k = 20, 3
+	var direct int64
+	full, err := Run(testJob(n, &direct), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var evals int64
+	dirs := make([]string, k)
+	for i := 0; i < k; i++ {
+		dirs[i] = t.TempDir()
+		st, err := store.Open(dirs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(testJob(n, &evals), st, Options{Shard: Shard{Index: i, Count: k}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Evaluated+rep.Filtered != n || rep.Skipped != 0 {
+			t.Fatalf("shard %d report = %+v", i, rep)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if evals != n {
+		t.Fatalf("shards evaluated %d points in total, want %d", evals, n)
+	}
+
+	merged := t.TempDir()
+	added, err := store.Concat(merged, dirs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != n {
+		t.Fatalf("Concat added %d records, want %d", added, n)
+	}
+	st, err := store.Open(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rep, err := Merge(testJob(n, &evals), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Values {
+		if string(rep.Values[i]) != string(full.Values[i]) {
+			t.Fatalf("value %d differs after shard+concat+merge:\n%s\n%s",
+				i, rep.Values[i], full.Values[i])
+		}
+	}
+}
+
+// A merge over a store missing one shard must fail and name the gap.
+func TestMergeMissingShardFails(t *testing.T) {
+	var evals int64
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := Run(testJob(10, &evals), st, Options{Shard: Shard{Index: 0, Count: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(testJob(10, &evals), st); err == nil {
+		t.Fatal("merge succeeded with a missing shard")
+	} else if got := fmt.Sprint(err); got == "" {
+		t.Fatal("empty error")
+	}
+}

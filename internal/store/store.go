@@ -215,6 +215,66 @@ func (s *Store) Get(id string) (Record, bool) {
 	return rec, ok
 }
 
+// Records returns every stored record in deterministic order
+// (experiment, then key, then ID) — the iteration side of Concat and of
+// external tooling that post-processes a store.
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := make([]Record, 0, len(s.index))
+	for _, rec := range s.index {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Exp != recs[j].Exp {
+			return recs[i].Exp < recs[j].Exp
+		}
+		if recs[i].Key != recs[j].Key {
+			return recs[i].Key < recs[j].Key
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	return recs
+}
+
+// Concat appends every record of the source store directories into dst
+// (created if missing), skipping records dst already holds — the fetch
+// step of a sharded run: each machine's -shard i/k store directory is
+// copied somewhere local and concatenated into one store, which Merge
+// then renders. Records already present in dst (same ID) are skipped,
+// so concatenating overlapping or repeated sources is safe. It returns
+// the number of records added.
+func Concat(dst string, srcs ...string) (int, error) {
+	d, err := Open(dst)
+	if err != nil {
+		return 0, err
+	}
+	added := 0
+	for _, src := range srcs {
+		s, err := Open(src)
+		if err != nil {
+			d.Close()
+			return added, err
+		}
+		for _, rec := range s.Records() {
+			if d.Has(rec.ID) {
+				continue
+			}
+			if err := d.Append(rec); err != nil {
+				s.Close()
+				d.Close()
+				return added, err
+			}
+			added++
+		}
+		if err := s.Close(); err != nil {
+			d.Close()
+			return added, err
+		}
+	}
+	return added, d.Close()
+}
+
 // Experiments lists the experiments with at least one record, sorted.
 func (s *Store) Experiments() []string {
 	s.mu.Lock()

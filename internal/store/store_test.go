@@ -308,3 +308,91 @@ func TestConcurrentAppend(t *testing.T) {
 		t.Fatalf("concurrent append lost records: Len = %d, want 400", s2.Len())
 	}
 }
+
+func TestRecordsDeterministicOrder(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Append out of order; Records must come back sorted by (exp, key, id).
+	for _, r := range []Record{
+		rec("id3", "beta", "k=2", 3),
+		rec("id1", "alpha", "k=9", 1),
+		rec("id2", "beta", "k=1", 2),
+	} {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Records()
+	want := []string{"id1", "id2", "id3"}
+	if len(got) != len(want) {
+		t.Fatalf("Records returned %d records, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("Records[%d].ID = %s, want %s", i, got[i].ID, id)
+		}
+	}
+}
+
+func TestConcatDisjointAndOverlapping(t *testing.T) {
+	srcA, srcB := t.TempDir(), t.TempDir()
+	a, err := Open(srcA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Record{rec("a1", "e", "k=1", 1), rec("a2", "e", "k=2", 2)} {
+		if err := a.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(srcB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b overlaps a on a2 and adds b1 in another experiment.
+	for _, r := range []Record{rec("a2", "e", "k=2", 2), rec("b1", "f", "k=1", 9)} {
+		if err := b.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := t.TempDir()
+	added, err := Concat(dst, srcA, srcB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 3 {
+		t.Fatalf("Concat added %d, want 3 (overlap deduplicated)", added)
+	}
+	// Concatenating again adds nothing.
+	added, err = Concat(dst, srcA, srcB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Fatalf("second Concat added %d, want 0", added)
+	}
+	d, err := Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Len() != 3 {
+		t.Fatalf("dst has %d records, want 3", d.Len())
+	}
+	for _, id := range []string{"a1", "a2", "b1"} {
+		if !d.Has(id) {
+			t.Fatalf("dst missing record %s", id)
+		}
+	}
+}
