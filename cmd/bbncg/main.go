@@ -33,6 +33,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/runner"
 	"repro/internal/store"
@@ -46,17 +47,26 @@ func main() {
 	out := flag.String("out", "", "stream sweep results into a checkpoint store at this directory")
 	resume := flag.Bool("resume", false, "continue an existing store: skip already-evaluated points")
 	shardFlag := flag.String("shard", "", "evaluate only partition i of k (\"i/k\") of every point list")
+	poolMB := flag.Int64("poolmb", 0, "dynamics distance-cache pool budget in MiB (0 = default 1024; MAX games add level sets worth ~(diam+1)/32 of it on top; see docs/RUNNER.md)")
 	flag.Usage = usage
 	flag.Parse()
 	effort := experiments.Quick
 	if *full {
 		effort = experiments.Full
 	}
+	if *poolMB > 0 {
+		core.DefaultPoolBudget = *poolMB << 20
+	}
 	shard, err := runner.ParseShard(*shardFlag)
 	if err != nil {
 		fatal(err)
 	}
 	app := &app{out: os.Stdout, effort: effort, csv: *csv, seed: *seed, shard: shard}
+	if *out != "" {
+		// Long checkpointed sweeps get progress/ETA lines on stderr;
+		// rendered output on stdout is untouched.
+		app.progress = os.Stderr
+	}
 
 	cmd := flag.Arg(0)
 	want := 1
@@ -127,6 +137,10 @@ func main() {
 				line += fmt.Sprintf(", %d outside shard %s", app.filtered, app.shard)
 			}
 			fmt.Fprintln(os.Stderr, line)
+			if app.shard.Active() && len(app.shardCounts) > 0 {
+				fmt.Fprintf(os.Stderr, "runner: shard point counts: %s (this shard: %d)\n",
+					intsLine(app.shardCounts), app.shard.Index)
+			}
 		}
 	}
 	if err != nil {
@@ -163,18 +177,21 @@ commands:
 	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "fetch", "concatenate shard stores (e.g. from -shard runs) into -out")
 	fmt.Fprintf(os.Stderr, `
 Any spec name from `+"`bbncg list`"+` is also a command. -out DIR
-checkpoints results per point; -resume continues an interrupted -out
-run; -shard i/k evaluates one deterministic partition of every point
-list (run all k shards, fetch, then merge). See docs/RUNNER.md.
+checkpoints results per point (with progress/ETA on stderr); -resume
+continues an interrupted -out run; -shard i/k evaluates one
+deterministic partition of every point list (run all k shards, fetch,
+then merge). -poolmb caps the incremental dynamics cache pool
+(BBNCG_INCREMENTAL=0 disables it). See docs/RUNNER.md.
 `)
 }
 
 type app struct {
-	out    io.Writer
-	effort experiments.Effort
-	csv    bool
-	seed   int64
-	shard  runner.Shard
+	out      io.Writer
+	effort   experiments.Effort
+	csv      bool
+	seed     int64
+	shard    runner.Shard
+	progress io.Writer // stderr for -out runs; nil otherwise
 
 	// Checkpointing state (nil/false without -out).
 	st    *store.Store
@@ -183,6 +200,18 @@ type app struct {
 	evaluated int
 	skipped   int
 	filtered  int
+	// Per-partition point counts summed over the run's specs (sharded
+	// runs only).
+	shardCounts []int
+}
+
+// intsLine renders shard counts as a space-separated list.
+func intsLine(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, " ")
 }
 
 func (a *app) emit(t *sweep.Table) error {
@@ -214,7 +243,7 @@ func (a *app) runSpecs(names ...string) error {
 		if a.merge {
 			rep, err = runner.Merge(job, a.st)
 		} else {
-			rep, err = runner.Run(job, a.st, runner.Options{Shard: a.shard})
+			rep, err = runner.Run(job, a.st, runner.Options{Shard: a.shard, Progress: a.progress})
 		}
 		if err != nil {
 			return err
@@ -222,6 +251,14 @@ func (a *app) runSpecs(names ...string) error {
 		a.evaluated += rep.Evaluated
 		a.skipped += rep.Skipped
 		a.filtered += rep.Filtered
+		if rep.ShardCounts != nil {
+			if a.shardCounts == nil {
+				a.shardCounts = make([]int, len(rep.ShardCounts))
+			}
+			for i, c := range rep.ShardCounts {
+				a.shardCounts[i] += c
+			}
+		}
 		if a.shard.Active() {
 			continue
 		}

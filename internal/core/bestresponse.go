@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
 
@@ -72,14 +73,24 @@ func (g *Game) GreedyBestResponse(d *graph.Digraph, u int) BestResponse {
 	dv := NewDeviator(g, d, u)
 	defer dv.release()
 	dv.EnsureCache(DefaultCacheBudget)
+	return g.greedyOn(dv, d)
+}
+
+// greedyOn runs the greedy rounds on a prepared Deviator (cached or
+// not; possibly pooled). All paths produce identical responses.
+func (g *Game) greedyOn(dv *Deviator, d *graph.Digraph) BestResponse {
+	u := dv.u
 	cur := append([]int(nil), d.Out(u)...)
 	res := BestResponse{Current: dv.Eval(cur)}
 
 	b := g.Budgets[u]
 	var chosen []int
-	if dv.HasCache() {
+	switch {
+	case dv.useLevels():
+		chosen = greedyLevels(dv, b, &res)
+	case dv.HasCache():
 		chosen = greedyCached(dv, b, &res)
-	} else {
+	default:
 		chosen = greedyBFS(dv, b, &res)
 	}
 	res.Strategy = chosen
@@ -92,6 +103,56 @@ func (g *Game) GreedyBestResponse(d *graph.Digraph, u int) BestResponse {
 		res.Cost = res.Current
 	}
 	return res
+}
+
+// eccResult converts a level-union covering radius and covered count
+// into the BFS aggregates the MAX cost consumes, mirroring maxKernel:
+// anchor distances are one hop from the source, and an anchorless
+// source is isolated (eccentricity 0, itself reached).
+func eccResult(k int32, covered int) graph.BFSResult {
+	r := graph.BFSResult{Ecc: k + 1, Reached: covered + 1}
+	if covered == 0 {
+		r.Ecc = 0
+	}
+	return r
+}
+
+// greedyLevels is the MAX-version greedy on the bitset eccentricity
+// kernel: the running state is the level-set union of the chosen
+// anchors, and each candidate costs O(log(diam) · n/64) words instead
+// of an n-entry row scan.
+func greedyLevels(dv *Deviator, b int, res *BestResponse) []int {
+	dv.ensureLevels()
+	n := dv.game.N()
+	lu := graph.NewLevelUnion(n)
+	lu.CopyFrom(dv.inLv)
+	reach := dv.newTouched()
+	chosen := make([]int, 0, b)
+	inChosen := make([]bool, n)
+	for round := 0; round < b; round++ {
+		bestV, bestC := -1, int64(math.MaxInt64)
+		for v := 0; v < n; v++ {
+			if v == dv.u || inChosen[v] {
+				continue
+			}
+			res.Explored++
+			k, cov := lu.AggregateWith(dv.lc, v)
+			if c := dv.costOf(eccResult(k, cov), reach.with(v)); c < bestC {
+				bestC = c
+				bestV = v
+			}
+		}
+		if bestV < 0 {
+			// Degenerate budget (b >= n-1): every target is already
+			// chosen, so the full target set is the strategy.
+			break
+		}
+		chosen = append(chosen, bestV)
+		inChosen[bestV] = true
+		reach.mark(bestV)
+		lu.Merge(dv.lc, bestV)
+	}
+	return chosen
 }
 
 // greedyCached runs the marginal-cost rounds on the distance cache,
@@ -167,10 +228,17 @@ func greedyBFS(dv *Deviator, b int, res *BestResponse) []int {
 // With the distance cache each arc slot builds a leave-one-out min-vector
 // once, after which every replacement target costs one O(n) pass.
 func (g *Game) BestSwap(d *graph.Digraph, u int) BestResponse {
-	n := g.N()
 	dv := NewDeviator(g, d, u)
 	defer dv.release()
 	dv.EnsureCache(DefaultCacheBudget)
+	return g.swapOn(dv, d)
+}
+
+// swapOn runs the swap scan on a prepared Deviator (cached or not;
+// possibly pooled). All paths produce identical responses.
+func (g *Game) swapOn(dv *Deviator, d *graph.Digraph) BestResponse {
+	n := g.N()
+	u := dv.u
 	cur := append([]int(nil), d.Out(u)...)
 	res := BestResponse{Strategy: cur, Current: dv.Eval(cur)}
 	res.Cost = res.Current
@@ -180,6 +248,40 @@ func (g *Game) BestSwap(d *graph.Digraph, u int) BestResponse {
 		have[v] = true
 	}
 	trial := make([]int, len(cur))
+	if dv.useLevels() {
+		// Bitset eccentricity kernel: each arc slot builds a leave-one-out
+		// level union once, then every replacement target is one
+		// O(log(diam) · n/64) probe.
+		dv.ensureLevels()
+		lu := graph.NewLevelUnion(n)
+		reach := dv.newTouched()
+		for i := range cur {
+			copy(trial, cur)
+			lu.CopyFrom(dv.inLv)
+			if i > 0 {
+				reach.reset()
+			}
+			for j, v := range cur {
+				if j != i {
+					lu.Merge(dv.lc, v)
+					reach.mark(v)
+				}
+			}
+			for w := 0; w < n; w++ {
+				if w == u || have[w] {
+					continue
+				}
+				trial[i] = w
+				res.Explored++
+				k, cov := lu.AggregateWith(dv.lc, w)
+				if c := dv.costOf(eccResult(k, cov), reach.with(w)); c < res.Cost {
+					res.Cost = c
+					res.Strategy = append([]int(nil), trial...)
+				}
+			}
+		}
+		return res
+	}
 	if dv.HasCache() {
 		vec := getInt32(n)
 		defer putInt32(vec)
@@ -234,6 +336,14 @@ func (g *Game) BestSwap(d *graph.Digraph, u int) BestResponse {
 // graph, which is what dynamics.Options.Parallel relies on.
 type Responder func(g *Game, d *graph.Digraph, u int) BestResponse
 
+// DeviatorResponder is the pooled form of a Responder: it evaluates on a
+// Deviator prepared by the caller — in the dynamics engines, a
+// CachePool-owned Deviator whose distance cache survives (repaired, not
+// refilled) across movers and rounds. A DeviatorResponder must compute
+// exactly the response its plain counterpart computes; every built-in
+// pair here does, which the equivalence suites pin.
+type DeviatorResponder func(g *Game, d *graph.Digraph, dv *Deviator) BestResponse
+
 // ExactResponder enumerates the full strategy space (panics if it exceeds
 // maxCandidates; use in controlled sweeps only).
 func ExactResponder(maxCandidates int64) Responder {
@@ -254,4 +364,36 @@ func GreedyResponder(g *Game, d *graph.Digraph, u int) BestResponse {
 // SwapResponder performs the best single-arc swap.
 func SwapResponder(g *Game, d *graph.Digraph, u int) BestResponse {
 	return g.BestSwap(d, u)
+}
+
+// ExactDeviatorResponder is the pooled counterpart of ExactResponder.
+func ExactDeviatorResponder(maxCandidates int64) DeviatorResponder {
+	return func(g *Game, d *graph.Digraph, dv *Deviator) BestResponse {
+		n, b := g.N(), g.Budgets[dv.u]
+		space := StrategySpaceSize(n, b)
+		if maxCandidates > 0 && space > maxCandidates {
+			panic(fmt.Errorf("core: strategy space C(%d,%d) = %d exceeds budget %d candidates",
+				n-1, b, space, maxCandidates))
+		}
+		if !dv.HasCache() && space >= int64(n) {
+			dv.EnsureCache(DefaultCacheBudget)
+		}
+		return g.exactOn(dv, d)
+	}
+}
+
+// GreedyDeviatorResponder is the pooled counterpart of GreedyResponder.
+func GreedyDeviatorResponder(g *Game, d *graph.Digraph, dv *Deviator) BestResponse {
+	if !dv.HasCache() {
+		dv.EnsureCache(DefaultCacheBudget)
+	}
+	return g.greedyOn(dv, d)
+}
+
+// SwapDeviatorResponder is the pooled counterpart of SwapResponder.
+func SwapDeviatorResponder(g *Game, d *graph.Digraph, dv *Deviator) BestResponse {
+	if !dv.HasCache() {
+		dv.EnsureCache(DefaultCacheBudget)
+	}
+	return g.swapOn(dv, d)
 }

@@ -15,16 +15,19 @@ func (g *Game) Cost(d *graph.Digraph, u int) int64 {
 	return g.costFromBFS(s.BFS(a, u), componentCount(a))
 }
 
-// AllCosts returns every vertex's cost in one pass (shared component
-// count, one BFS per vertex).
+// AllCosts returns every vertex's cost in one pass: a shared component
+// count plus one batched aggregate BFS (graph.AggregateBFS) that
+// computes every source's eccentricity, distance sum and reach without
+// materialising per-pair distances.
 func (g *Game) AllCosts(d *graph.Digraph) []int64 {
 	n := d.N()
 	a := d.Underlying()
 	_, kappa := graph.Components(a)
+	ecc, sums, reached := graph.AggregateBFS(a)
 	costs := make([]int64, n)
-	s := graph.NewScratch(n)
 	for u := 0; u < n; u++ {
-		costs[u] = g.costFromBFS(s.BFS(a, u), kappa)
+		r := graph.BFSResult{Ecc: ecc[u], Sum: sums[u], Reached: int(reached[u])}
+		costs[u] = g.costFromBFS(r, kappa)
 	}
 	return costs
 }
@@ -87,7 +90,26 @@ type Deviator struct {
 	// Distance cache (nil until EnsureCache succeeds; see distcache.go).
 	rows  []int32 // flat n×n: rows[v*n+w] = dist_{G-u}(v, w), InfDist if unreachable
 	inMin []int32 // per-vertex min over the rows of in(u) (InfDist when in(u) is empty)
+
+	// Bitset level cache for the MAX eccentricity kernel (nil until
+	// ensureLevels; shadows rows exactly, patched row-wise on Repair).
+	lc   *graph.LevelCache
+	inLv *graph.LevelUnion // union of the in(u) anchors' level sets
+
+	// Incremental-repair state (see Repair and pool.go). pool is non-nil
+	// while the Deviator's matrices are owned by a CachePool, in which
+	// case Release leaves them to the pool instead of recycling them
+	// globally. stable counts consecutive acquisitions whose rows
+	// survived (un- or cheaply repaired); full refills zero it — the
+	// hysteresis that keeps level sets from churning in heavy-move
+	// phases.
+	ds     *graph.DeltaScratch
+	pool   *CachePool
+	stable int8
 }
+
+// U returns the player this Deviator evaluates deviations for.
+func (dv *Deviator) U() int { return dv.u }
 
 // NewDeviator prepares deviation evaluation for player u in realization d.
 func NewDeviator(g *Game, d *graph.Digraph, u int) *Deviator {

@@ -72,36 +72,152 @@ func (dv *Deviator) EnsureCache(budgetBytes int64) bool {
 	csr := graph.NewCSRExcluding(dv.base, dv.u)
 	rows := getInt32(n * n)
 	csr.DistanceRowsInto(rows)
-	inMin := getInt32(n)
+	dv.rows = rows
+	dv.inMin = getInt32(n)
+	dv.rebuildInMin()
+	return true
+}
+
+// rebuildInMin recomputes the folded in(u) anchor row from the cached
+// matrix (after a fill, or after Repair changed rows or in(u)).
+func (dv *Deviator) rebuildInMin() {
+	n := dv.game.N()
+	inMin := dv.inMin
 	for i := range inMin {
 		inMin[i] = graph.InfDist
 	}
 	for _, v := range dv.in {
-		row := rows[v*n : (v+1)*n]
+		row := dv.rows[v*n : (v+1)*n]
 		for w, r := range row {
 			if r < inMin[w] {
 				inMin[w] = r
 			}
 		}
 	}
-	dv.rows, dv.inMin = rows, inMin
-	return true
+}
+
+// Repair brings the Deviator in sync with d after the underlying graph
+// changed (any number of players rewired their arcs since the Deviator
+// was built or last repaired). The fixed adjacency, in(u) anchors and
+// G-u component structure are rebuilt outright — they are O(n+m) — while
+// the expensive distance matrix is repaired in place by the delta-BFS
+// layer (graph.RepairRows) over the diff of the old and new adjacency:
+// rows untouched by the changed edges are kept as they are, rows that
+// can only have improved are patched by an improvement-only BFS, and
+// only genuinely damaged rows are recomputed (with a batched full refill
+// past the damage threshold). The repaired state is bit-identical to a
+// freshly built cache; dynamics pins this with repair-vs-refill tests.
+func (dv *Deviator) Repair(d *graph.Digraph) graph.RepairStats {
+	n := dv.game.N()
+	newBase := d.UnderlyingWithout(dv.u)
+	var st graph.RepairStats
+	if dv.rows != nil {
+		removed, added := graph.DiffUnd(dv.base, newBase, dv.u)
+		if len(removed)+len(added) == 0 {
+			// Nothing in G-u moved: the matrix is already exact — the
+			// strongest stability evidence (over-invalidation lands here).
+			dv.noteStable()
+		}
+		if len(removed)+len(added) > 0 {
+			csr := graph.NewCSRExcluding(newBase, dv.u)
+			if dv.ds == nil {
+				dv.ds = graph.NewDeltaScratch(n)
+			}
+			st = csr.RepairRows(dv.rows, removed, added, dv.ds)
+			if st.FullRefill {
+				// The whole matrix moved: re-levelling it would cost more
+				// than the bitset kernel saves this round. Drop the level
+				// cache and reset the stability streak; the MAX responders
+				// run the row kernel until the rows settle again.
+				dv.lc = nil
+				dv.stable = 0
+			} else {
+				dv.noteStable()
+				if dv.lc != nil {
+					for _, s := range st.Changed {
+						dv.lc.SetRow(int(s), dv.rows[int(s)*n:(int(s)+1)*n])
+					}
+				}
+			}
+		}
+	}
+	dv.base = newBase
+	dv.in = d.In(dv.u)
+	dv.label, dv.comps = graph.ComponentsExcluding(newBase, dv.u)
+	dv.seen = make([]bool, dv.comps+1)
+	dv.inLv = nil // in(u) may have changed; rebuilt lazily
+	if dv.rows != nil {
+		dv.rebuildInMin()
+	}
+	return st
+}
+
+// noteStable records one acquisition that kept the rows intact (or
+// cheaply repaired); the streak saturates low so one full refill always
+// re-triggers the row-kernel phase.
+func (dv *Deviator) noteStable() {
+	if dv.stable < 4 {
+		dv.stable++
+	}
+}
+
+// useLevels reports whether the MAX responders should evaluate on the
+// bitset eccentricity kernel: only for pool-owned Deviators whose rows
+// have stayed stable for a couple of acquisitions (or once the cache
+// exists already), because building the level sets costs about as much
+// as one full greedy scan saves — it pays off precisely when it
+// survives across movers and rounds and is patched, not rebuilt, after
+// each move. Heavy-move phases (full refills on every repair) stay on
+// the row kernel.
+func (dv *Deviator) useLevels() bool {
+	if dv.game.Version != MAX || dv.rows == nil {
+		return false
+	}
+	return dv.lc != nil || (dv.pool != nil && dv.stable >= 2)
+}
+
+// ensureLevels builds the bitset level cache of the distance matrix and
+// the in(u) level union — the state of the MAX eccentricity kernel. It
+// is lazy: one-shot SUM responders never pay for it, and pooled MAX
+// Deviators build it once and keep it patched across repairs.
+func (dv *Deviator) ensureLevels() {
+	n := dv.game.N()
+	if dv.lc == nil {
+		lc := graph.NewLevelCache(n)
+		for s := 0; s < n; s++ {
+			lc.SetRow(s, dv.rows[s*n:(s+1)*n])
+		}
+		dv.lc = lc
+	}
+	if dv.inLv == nil {
+		lu := graph.NewLevelUnion(n)
+		for _, v := range dv.in {
+			lu.Merge(dv.lc, v)
+		}
+		dv.inLv = lu
+	}
 }
 
 // HasCache reports whether the distance cache is active.
 func (dv *Deviator) HasCache() bool { return dv.rows != nil }
 
-// Release returns the cache matrices to the pool; the Deviator falls
-// back to BFS evaluation (still bit-identical) afterwards. External
-// enumeration harnesses (internal/enumerate) that cache explicitly via
-// EnsureCache call it when done; the in-package responders use the
-// unexported form.
+// Release hands the cache back to its owner. For a plain Deviator that
+// recycles the matrices into the global pool and drops back to BFS
+// evaluation (still bit-identical). For a Deviator owned by a CachePool
+// it is a no-op: the matrices stay alive in the pool — and must,
+// because the pool will repair and reuse them for later rounds, and
+// recycling them into the global sync.Pool mid-round would hand the
+// backing array to a concurrent responder (only CachePool.Close
+// recycles pool-owned matrices).
 func (dv *Deviator) Release() { dv.release() }
 
 // release returns the cache matrices to the pool. Callers that own the
 // Deviator (the responders) release on exit; any clones sharing the
 // matrices must be done first.
 func (dv *Deviator) release() {
+	if dv.pool != nil {
+		return // pool-owned: recycled only by CachePool.Close
+	}
 	if dv.rows != nil {
 		putInt32(dv.rows)
 		dv.rows = nil
@@ -110,6 +226,14 @@ func (dv *Deviator) release() {
 		putInt32(dv.inMin)
 		dv.inMin = nil
 	}
+	dv.lc, dv.inLv = nil, nil
+}
+
+// releaseOwned force-recycles the matrices regardless of pool
+// membership; only the pool itself calls it, on eviction and Close.
+func (dv *Deviator) releaseOwned() {
+	dv.pool = nil
+	dv.release()
 }
 
 // clone returns a Deviator with private mutable scratch state sharing the

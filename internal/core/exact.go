@@ -47,6 +47,17 @@ func (g *Game) ExactBestResponse(d *graph.Digraph, u int, maxCandidates int64) (
 		// for itself.
 		dv.EnsureCache(DefaultCacheBudget)
 	}
+	return g.exactOn(dv, d), nil
+}
+
+// exactOn enumerates on a prepared Deviator (cached or not; possibly
+// pooled). Results — minimiser, tie-breaking, explored count — are
+// identical on every path.
+func (g *Game) exactOn(dv *Deviator, d *graph.Digraph) BestResponse {
+	n := g.N()
+	u := dv.u
+	b := g.Budgets[u]
+	space := StrategySpaceSize(n, b)
 	cur := append([]int(nil), d.Out(u)...)
 	best := BestResponse{Strategy: cur, Current: dv.Eval(cur)}
 	best.Cost = best.Current
@@ -59,10 +70,10 @@ func (g *Game) ExactBestResponse(d *graph.Digraph, u int, maxCandidates int64) (
 	}
 	if b == 0 {
 		best.Explored = 1 // the single empty strategy, already played
-		return best, nil
+		return best
 	}
 	if b > len(targets) {
-		return best, nil // degenerate budget: no strategy of size b exists
+		return best // degenerate budget: no strategy of size b exists
 	}
 	firsts := len(targets) - b + 1
 	workers := runtime.GOMAXPROCS(0)
@@ -75,7 +86,7 @@ func (g *Game) ExactBestResponse(d *graph.Digraph, u int, maxCandidates int64) (
 			e.run(i0)
 		}
 		mergeExact(&best, e)
-		return best, nil
+		return best
 	}
 	locals := make([]*exactLocal, workers)
 	var next int64
@@ -97,7 +108,7 @@ func (g *Game) ExactBestResponse(d *graph.Digraph, u int, maxCandidates int64) (
 	}
 	wg.Wait()
 	mergeExact(&best, locals...)
-	return best, nil
+	return best
 }
 
 // exactLocal is one enumeration worker: a combination walker with a stack

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"os"
+
+	"repro/internal/graph"
+)
+
+// Round-level distance-cache reuse. The PR 1 engine refills dist_{G-u}
+// from scratch for every best-response call, so a dynamics round at n
+// players pays n full matrix fills even when nothing moved. A CachePool
+// keeps one cached Deviator per player alive across movers and rounds
+// and lazily repairs it (Deviator.Repair: delta BFS over the edges that
+// actually changed) when the graph has moved on since the entry was last
+// used. Converged and converging rounds — the bulk of any dynamics run —
+// then cost zero fills: each acquisition is a version check plus, at
+// most, a repair proportional to the damage of the accepted moves.
+//
+// Admission is static: players are pooled first-come within the byte
+// budget, and everyone else gets a plain per-call Deviator. Dynamics
+// visit players cyclically, for which any evict-on-admission policy
+// (LRU included) degenerates to zero hits plus churn; a static resident
+// set keeps budget/per players at full repair speed and leaves the rest
+// exactly as fast as the refill baseline.
+//
+// Concurrency contract: all pool methods are single-goroutine (the
+// dynamics engine's main loop). Acquired Deviators may be handed to
+// concurrent workers — each is used by exactly one goroutine — and the
+// pool never touches an entry's matrices between Acquire waves (only
+// Close recycles them), so a worker can never observe its matrix being
+// repaired or recycled mid-response.
+
+// DefaultPoolBudget caps the total bytes of distance matrices a
+// CachePool keeps alive: 1 GiB, i.e. every player of an n ≈ 500 game or
+// the first ~budget/(4n²) players beyond that. The bbncg -poolmb flag
+// overrides it. The budget charges the matrices (rows + inMin) only;
+// stable MAX entries additionally hold bitset level sets — about
+// (diam+1)/32 of the matrix bytes on top — so operators sizing the
+// budget to a machine should leave that headroom.
+var DefaultPoolBudget int64 = 1 << 30
+
+// IncrementalEnabled reports whether the incremental cache-reuse path
+// is on (the default). Setting BBNCG_INCREMENTAL=0 disables it — the
+// engines fall back to refill-per-mover — for A/B benchmarking; results
+// are identical either way.
+func IncrementalEnabled() bool { return os.Getenv("BBNCG_INCREMENTAL") != "0" }
+
+// PoolStats counts what a CachePool did over its lifetime.
+type PoolStats struct {
+	Acquires int64 // total Acquire calls
+	Hits     int64 // acquisitions served from a live entry
+	Fills    int64 // entries built by a full matrix fill
+	Repairs  int64 // acquisitions that ran a Repair
+	Unpooled int64 // acquisitions served by a plain Deviator (over budget)
+
+	RowsPatched  int64 // matrix rows repaired by improvement-only BFS
+	RowsRefilled int64 // matrix rows recomputed by fresh BFS
+	FullRefills  int64 // repairs that fell back to a whole-matrix refill
+}
+
+// CachePool keeps per-player cached Deviators alive across the rounds of
+// a dynamics run (or any other sequence of locally-mutated graphs).
+type CachePool struct {
+	game    *Game
+	budget  int64
+	per     int64 // bytes per cached player: 4·n·(n+1)
+	used    int64
+	version int64 // bumped by Invalidate
+	entries map[int]*poolEntry
+	stats   PoolStats
+}
+
+type poolEntry struct {
+	dv      *Deviator
+	version int64
+}
+
+// NewCachePool returns a pool for g bounded by budgetBytes (<= 0 means
+// DefaultPoolBudget).
+func NewCachePool(g *Game, budgetBytes int64) *CachePool {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultPoolBudget
+	}
+	n := int64(g.N())
+	return &CachePool{
+		game:    g,
+		budget:  budgetBytes,
+		per:     4 * n * (n + 1),
+		entries: make(map[int]*poolEntry),
+	}
+}
+
+// Invalidate marks the graph as changed — an accepted move, or a whole
+// graph swap in the profile-enumeration harnesses: every pooled entry
+// is stale and will be repaired on its next acquisition. Staleness is
+// pool-wide, not per-mover (repairs diff the actual adjacency, so
+// over-invalidation costs only an O(n+m) diff). Nil-safe so
+// disabled-pool call sites stay branchless.
+func (p *CachePool) Invalidate() {
+	if p != nil {
+		p.version++
+	}
+}
+
+// Acquire returns a Deviator for player u evaluating against d, synced
+// to d's current state: a pooled entry is repaired in place if stale, a
+// new entry is built if the budget still has room, and a plain uncached
+// Deviator is returned otherwise. The caller must Release the Deviator
+// when done with it and must not use it across the pool's next Acquire
+// wave for the same player.
+func (p *CachePool) Acquire(d *graph.Digraph, u int) *Deviator {
+	p.stats.Acquires++
+	if e, ok := p.entries[u]; ok {
+		if e.version != p.version {
+			st := e.dv.Repair(d)
+			e.version = p.version
+			p.stats.Repairs++
+			p.stats.RowsPatched += int64(st.RowsPatched)
+			p.stats.RowsRefilled += int64(st.RowsRefilled)
+			if st.FullRefill {
+				p.stats.FullRefills++
+			}
+		} else {
+			e.dv.noteStable() // untouched graph: strongest stability signal
+		}
+		p.stats.Hits++
+		return e.dv
+	}
+	dv := NewDeviator(p.game, d, u)
+	if p.used+p.per > p.budget || !dv.EnsureCache(p.per) {
+		p.stats.Unpooled++
+		return dv // over budget: behaves like a plain Deviator
+	}
+	dv.pool = p
+	p.used += p.per
+	p.entries[u] = &poolEntry{dv: dv, version: p.version}
+	p.stats.Fills++
+	return dv
+}
+
+// Close recycles every pooled matrix into the global allocator. Nil-safe.
+func (p *CachePool) Close() {
+	if p == nil {
+		return
+	}
+	for u, e := range p.entries {
+		e.dv.releaseOwned()
+		delete(p.entries, u)
+	}
+	p.used = 0
+}
+
+// Stats returns the pool's lifetime counters.
+func (p *CachePool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	return p.stats
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// mutateRandomPlayer rewires one random player's out-set to a fresh
+// random strategy of the same budget.
+func mutateRandomPlayer(g *Game, d *graph.Digraph, rng *rand.Rand) int {
+	n := g.N()
+	m := rng.Intn(n)
+	d.SetOut(m, randomStrategy(n, m, g.Budgets[m], rng))
+	return m
+}
+
+// Repair after arbitrary accumulated moves must leave the Deviator
+// bit-identical to one built fresh against the mutated graph: matrix,
+// inMin, component structure, and every evaluation — across all 8
+// generator families and both versions.
+func TestPropertyRepairMatchesRebuildAcrossGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(8001))
+	for round := 0; round < 4; round++ {
+		for _, inst := range generatorCorpus(rng) {
+			for _, version := range []Version{SUM, MAX} {
+				g := GameOf(inst.d, version)
+				n := g.N()
+				d := inst.d.Clone()
+				u := rng.Intn(n)
+				dv := NewDeviator(g, d, u)
+				if !dv.EnsureCache(1 << 40) {
+					t.Fatalf("%s: cache refused", inst.name)
+				}
+				dv.ensureLevels() // force the MAX level cache through repairs too
+				for step := 0; step < 4; step++ {
+					moves := 1 + rng.Intn(3)
+					for i := 0; i < moves; i++ {
+						mutateRandomPlayer(g, d, rng)
+					}
+					dv.Repair(d)
+					fresh := NewDeviator(g, d, u)
+					if !fresh.EnsureCache(1 << 40) {
+						t.Fatalf("%s: fresh cache refused", inst.name)
+					}
+					for i := range fresh.rows {
+						if dv.rows[i] != fresh.rows[i] {
+							t.Fatalf("%s %v u=%d step=%d: repaired rows[%d,%d]=%d, fresh=%d",
+								inst.name, version, u, step, i/n, i%n, dv.rows[i], fresh.rows[i])
+						}
+					}
+					for i := range fresh.inMin {
+						if dv.inMin[i] != fresh.inMin[i] {
+							t.Fatalf("%s %v u=%d step=%d: repaired inMin[%d]=%d, fresh=%d",
+								inst.name, version, u, step, i, dv.inMin[i], fresh.inMin[i])
+						}
+					}
+					if dv.comps != fresh.comps {
+						t.Fatalf("%s %v u=%d: repaired comps=%d, fresh=%d", inst.name, version, u, dv.comps, fresh.comps)
+					}
+					plain := NewDeviator(g, d, u)
+					for k := 0; k <= 3 && k <= n-1; k++ {
+						s := randomStrategy(n, u, k, rng)
+						if got, want := dv.Eval(s), plain.Eval(s); got != want {
+							t.Fatalf("%s %v u=%d s=%v: repaired eval %d, BFS %d",
+								inst.name, version, u, s, got, want)
+						}
+					}
+					fresh.Release()
+				}
+				dv.Release()
+			}
+		}
+	}
+}
+
+// The pooled responders must return exactly what the plain responders
+// return, move for move, as the profile evolves.
+func TestPooledRespondersMatchPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(8002))
+	for _, inst := range generatorCorpus(rng) {
+		for _, version := range []Version{SUM, MAX} {
+			g := GameOf(inst.d, version)
+			d := inst.d.Clone()
+			pool := NewCachePool(g, 0)
+			for step := 0; step < 6; step++ {
+				u := rng.Intn(g.N())
+				if g.Budgets[u] == 0 {
+					continue
+				}
+				dv := pool.Acquire(d, u)
+				var pooled, plain BestResponse
+				switch step % 3 {
+				case 0:
+					pooled, plain = GreedyDeviatorResponder(g, d, dv), GreedyResponder(g, d, u)
+				case 1:
+					pooled, plain = SwapDeviatorResponder(g, d, dv), SwapResponder(g, d, u)
+				default:
+					pooled, plain = ExactDeviatorResponder(0)(g, d, dv), ExactResponder(0)(g, d, u)
+				}
+				dv.Release()
+				if pooled.Cost != plain.Cost || pooled.Current != plain.Current ||
+					pooled.Explored != plain.Explored || !equalInts(pooled.Strategy, plain.Strategy) {
+					t.Fatalf("%s %v u=%d step=%d: pooled %+v, plain %+v", inst.name, version, u, step, pooled, plain)
+				}
+				if plain.Improves() {
+					d.SetOut(u, plain.Strategy)
+					pool.Invalidate()
+				}
+			}
+			pool.Close()
+		}
+	}
+}
+
+// Releasing a pooled Deviator must keep its matrices alive in the pool
+// (round-scoped reuse), not recycle them into the global allocator.
+func TestPooledReleaseKeepsCache(t *testing.T) {
+	g := UniformGame(12, 2, SUM)
+	rng := rand.New(rand.NewSource(8003))
+	d := graph.RandomOutDigraph(g.Budgets, rng)
+	pool := NewCachePool(g, 0)
+	defer pool.Close()
+	dv := pool.Acquire(d, 3)
+	if !dv.HasCache() {
+		t.Fatal("pooled Deviator has no cache")
+	}
+	rows := &dv.rows[0]
+	dv.Release()
+	if !dv.HasCache() {
+		t.Fatal("Release dropped a pooled cache")
+	}
+	again := pool.Acquire(d, 3)
+	if again != dv || &again.rows[0] != rows {
+		t.Fatal("re-acquire did not return the pooled entry")
+	}
+	st := pool.Stats()
+	if st.Fills != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 fill and 1 hit", st)
+	}
+}
+
+// A pool with room for a single matrix must pool exactly one player
+// (static admission: dynamics visit players cyclically, where eviction
+// policies degenerate to churn) and serve everyone else with plain,
+// still-correct Deviators.
+func TestPoolAdmissionUnderPressure(t *testing.T) {
+	g := UniformGame(10, 1, SUM)
+	rng := rand.New(rand.NewSource(8004))
+	d := graph.RandomOutDigraph(g.Budgets, rng)
+	per := 4 * int64(10) * int64(11)
+	pool := NewCachePool(g, per) // exactly one pooled matrix
+	defer pool.Close()
+	a := pool.Acquire(d, 0)
+	if !a.HasCache() {
+		t.Fatal("first entry not pooled")
+	}
+	a.Release()
+	b := pool.Acquire(d, 1) // budget is spent: b stays unpooled
+	if b.HasCache() {
+		t.Fatal("second entry pooled beyond the budget")
+	}
+	b.Release()
+	again := pool.Acquire(d, 0) // the resident player keeps hitting
+	if again != a || !again.HasCache() {
+		t.Fatal("resident entry lost")
+	}
+	st := pool.Stats()
+	if st.Fills != 1 || st.Hits != 1 || st.Unpooled != 1 {
+		t.Fatalf("stats = %+v, want 1 fill, 1 hit, 1 unpooled", st)
+	}
+	// The unpooled Deviator must still evaluate correctly.
+	plain := NewDeviator(g, d, 1)
+	s := randomStrategy(10, 1, 1, rng)
+	if b.Eval(s) != plain.Eval(s) {
+		t.Fatal("unpooled Deviator evaluates wrong")
+	}
+}

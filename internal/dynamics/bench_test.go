@@ -1,11 +1,165 @@
 package dynamics
 
 import (
+	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 )
+
+// BenchmarkDynamicsRoundIncremental is the headline A/B of this layer:
+// one full greedy dynamics round with the incremental path (round-level
+// cache pool + delta-BFS repair + bitset MAX kernel) against the PR 1
+// cached path (refill-per-mover, BBNCG_INCREMENTAL=0). The measured op
+// is one round over a profile the dynamics have settled into — the
+// regime that dominates converging runs, and exactly the shape ISSUE 4
+// targets: the refill path rebuilds every player's dist_{G-u} from
+// scratch although (almost) nothing moved, the incremental path serves
+// every player from its repaired pool entry. The n=128 case doubles as
+// a CI regression guard by asserting both modes produce identical
+// results before timing.
+func BenchmarkDynamicsRoundIncremental(b *testing.B) {
+	for _, cfg := range []struct {
+		n    int
+		ver  core.Version
+		pool int64 // pool budget bytes; 0 = DefaultPoolBudget
+		tag  string
+	}{
+		{128, core.MAX, 0, ""},
+		{512, core.MAX, 0, ""},
+		{512, core.SUM, 0, ""},
+		// At n=1024 the default 1 GiB budget pools ~244 of 1024 players;
+		// the fullpool variant (-poolmb 5120 equivalent) pools everyone —
+		// ~4.3 GiB resident, so it only runs when explicitly requested
+		// (BENCH_FULLPOOL=1), keeping the CI bench smoke small-memory.
+		{1024, core.MAX, 0, ""},
+		{1024, core.MAX, 5 << 30, "-fullpool"},
+	} {
+		cfg := cfg
+		// One nested level per config, so -bench filters (e.g. the CI
+		// n=128 gate) prune the expensive settle runs of the other sizes.
+		b.Run(fmt.Sprintf("n=%d/%v%s", cfg.n, cfg.ver, cfg.tag), func(b *testing.B) {
+			if cfg.pool > 0 && os.Getenv("BENCH_FULLPOOL") == "" {
+				b.Skip("set BENCH_FULLPOOL=1 to run the 4.3 GiB full-pool variant")
+			}
+			if cfg.n >= 512 && os.Getenv("BENCH_LARGE") == "" {
+				// Keep the generic `-bench . -benchtime=1x` CI smoke a
+				// smoke: the large configs cost ~40s of settle/warm-up and
+				// a multi-hundred-MB pool per run (BENCH_2.json runs them
+				// with BENCH_LARGE=1 locally).
+				b.Skip("set BENCH_LARGE=1 to run the n>=512 configs")
+			}
+			g := core.UniformGame(cfg.n, 2, cfg.ver)
+			start := RandomProfile(g, rand.New(rand.NewSource(9)))
+			// Settle: a few rounds of (incremental) dynamics move the
+			// profile into the converging regime; the settled graph is the
+			// bench input.
+			pre, err := Run(g, start, Options{
+				Responder: core.GreedyResponder, Cached: core.GreedyDeviatorResponder, MaxRounds: 4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			settled := pre.Final
+			opts := Options{
+				Responder: core.GreedyResponder,
+				Cached:    core.GreedyDeviatorResponder,
+				MaxRounds: 1,
+			}
+			if cfg.n == 128 {
+				assertModesAgree(b, g, settled, opts)
+			}
+			for _, mode := range []struct{ name, env string }{
+				{"incremental", "1"},
+				{"refill", "0"},
+			} {
+				if cfg.tag != "" && mode.env == "0" {
+					continue // the refill baseline does not depend on the pool budget
+				}
+				b.Run(mode.name, func(b *testing.B) {
+					b.Setenv("BBNCG_INCREMENTAL", mode.env)
+					runOpts := opts
+					if mode.env == "1" {
+						// The pool is the round-level state under test: share
+						// it across the measured rounds the way one long Run
+						// shares it across its rounds. The untimed warm-up
+						// rounds fill the matrices and pass the stability
+						// hysteresis that gates the bitset MAX kernel.
+						runOpts.Pool = core.NewCachePool(g, cfg.pool)
+						defer runOpts.Pool.Close()
+						for i := 0; i < 3; i++ {
+							if _, err := Run(g, settled, runOpts); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res, err := Run(g, settled, runOpts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if res.Rounds == 0 {
+							b.Fatal("no rounds executed")
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkDynamicsRunIncremental measures whole bounded runs from a
+// random profile — the adversarial mix for the pool: the early rounds
+// carry heavy move traffic (repairs degrade to refills plus bookkeeping)
+// before the converging tail starts paying. Kept honest alongside the
+// settled-round headline.
+func BenchmarkDynamicsRunIncremental(b *testing.B) {
+	g := core.UniformGame(256, 2, core.MAX)
+	start := RandomProfile(g, rand.New(rand.NewSource(9)))
+	opts := Options{
+		Responder: core.GreedyResponder,
+		Cached:    core.GreedyDeviatorResponder,
+		MaxRounds: 6,
+	}
+	for _, mode := range []struct{ name, env string }{
+		{"incremental", "1"},
+		{"refill", "0"},
+	} {
+		b.Run(fmt.Sprintf("n=256/MAX/%s", mode.name), func(b *testing.B) {
+			b.Setenv("BBNCG_INCREMENTAL", mode.env)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(g, start, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// assertModesAgree fails the benchmark if the incremental and refill
+// paths diverge — the CI bench smoke runs one iteration of every
+// benchmark, so a repair-path regression fails fast here.
+func assertModesAgree(b *testing.B, g *core.Game, start *graph.Digraph, opts Options) {
+	b.Helper()
+	b.Setenv("BBNCG_INCREMENTAL", "1")
+	inc, err := Run(g, start, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Setenv("BBNCG_INCREMENTAL", "0")
+	ref, err := Run(g, start, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if inc.Moves != ref.Moves || inc.Rounds != ref.Rounds || !inc.Final.Equal(ref.Final) {
+		b.Fatalf("incremental and refill dynamics diverge:\nincremental %+v\nrefill      %+v", inc, ref)
+	}
+}
 
 func BenchmarkRunUnitExact(b *testing.B) {
 	g := core.UniformGame(32, 1, core.SUM)

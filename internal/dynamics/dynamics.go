@@ -75,6 +75,58 @@ type Options struct {
 	// concurrent invocation against a fixed graph — all responders in
 	// package core are.
 	Parallel bool
+	// Cached is the pooled (Deviator) form of Responder. When set — and
+	// the incremental path is enabled (core.IncrementalEnabled; disable
+	// with BBNCG_INCREMENTAL=0 for A/B benching) — the engine keeps one
+	// cached Deviator per player in a core.CachePool for the whole run:
+	// after each accepted move the pool is invalidated and each player's
+	// dist_{G-u} matrix is lazily *repaired* (delta BFS over the edges
+	// the movers actually changed) on its next use instead of refilled
+	// from scratch, which removes the dominant O(n²)-fill-per-mover cost
+	// of cached dynamics. Cached must compute exactly the same response
+	// as Responder; the built-in core pairs do, pinned by equivalence
+	// tests. Results are identical with and without it.
+	Cached core.DeviatorResponder
+	// PoolBudget caps the cache pool size in bytes; 0 means
+	// core.DefaultPoolBudget.
+	PoolBudget int64
+	// Pool supplies an external cache pool that survives across engine
+	// calls (it is not Closed by the run); the caller owns its lifetime
+	// and must have built it for the same game. When nil — the normal
+	// case — the engine creates a pool per run. Useful to amortise
+	// warm caches over many short runs of the same instance.
+	Pool *core.CachePool
+}
+
+// newPool resolves the run's cache pool: nil when the incremental path
+// is off (no Cached responder, or disabled by environment), the
+// caller's external pool when supplied, else a fresh run-owned pool.
+// owned reports whether the run must Close it.
+func (opts Options) newPool(g *core.Game) (pool *core.CachePool, owned bool) {
+	if opts.Cached == nil || !core.IncrementalEnabled() {
+		return nil, false
+	}
+	if opts.Pool != nil {
+		return opts.Pool, false
+	}
+	return core.NewCachePool(g, opts.PoolBudget), true
+}
+
+// respondWith returns the per-player response function of a run: the
+// pooled path (acquire → evaluate on the repaired cache → unpin) when
+// pool is live, the plain Responder otherwise.
+func respondWith(g *core.Game, pool *core.CachePool, opts Options) func(d *graph.Digraph, u int) core.BestResponse {
+	if pool == nil {
+		return func(d *graph.Digraph, u int) core.BestResponse {
+			return opts.Responder(g, d, u)
+		}
+	}
+	return func(d *graph.Digraph, u int) core.BestResponse {
+		dv := pool.Acquire(d, u)
+		br := opts.Cached(g, d, dv)
+		dv.Release()
+		return br
+	}
 }
 
 // Result summarises a dynamics run.
@@ -108,6 +160,17 @@ func Run(g *core.Game, start *graph.Digraph, opts Options) (Result, error) {
 	n := g.N()
 	order := make([]int, n)
 	res := Result{}
+	pool, ownedPool := opts.newPool(g)
+	if ownedPool {
+		defer pool.Close()
+	} else {
+		// An external pool may have been repaired toward some other
+		// graph since its last use here; force the first acquisition of
+		// every entry to re-diff against this run's start (a no-op diff
+		// when nothing actually changed).
+		pool.Invalidate()
+	}
+	respond := respondWith(g, pool, opts)
 	var seen map[uint64][]seenProfile
 	if opts.DetectLoops {
 		seen = make(map[uint64][]seenProfile)
@@ -121,7 +184,11 @@ func Run(g *core.Game, start *graph.Digraph, opts Options) (Result, error) {
 			// Speculation only pays when the precompute actually runs on
 			// spare cores; on one core it would double the work of every
 			// round that contains a move.
-			speculative = responsesAgainst(g, d, order, opts.Responder)
+			if pool != nil {
+				speculative = pooledResponsesAgainst(g, d, order, pool, opts.Cached)
+			} else {
+				speculative = responsesAgainst(g, d, order, opts.Responder)
+			}
 		}
 		for idx, u := range order {
 			if g.Budgets[u] == 0 {
@@ -133,10 +200,14 @@ func Run(g *core.Game, start *graph.Digraph, opts Options) (Result, error) {
 				// precomputed against the round-start profile is exact.
 				br = speculative[idx]
 			} else {
-				br = opts.Responder(g, d, u)
+				// Either no speculation ran or a move landed: the pooled
+				// path re-acquires the player's cache, repairing it
+				// against the winners' deltas.
+				br = respond(d, u)
 			}
 			if br.Improves() {
 				d.SetOut(u, br.Strategy)
+				pool.Invalidate()
 				res.Moves++
 				changed = true
 			}
@@ -173,6 +244,49 @@ func Run(g *core.Game, start *graph.Digraph, opts Options) (Result, error) {
 // cached responder holds a 4·n·(n+1)-byte matrix, so an unbounded
 // GOMAXPROCS fan-out would multiply the budget by the worker count.
 func responsesAgainst(g *core.Game, d *graph.Digraph, players []int, respond core.Responder) []core.BestResponse {
+	return sweep.ParallelN(players, responseWorkers(g), func(u int) core.BestResponse {
+		if g.Budgets[u] == 0 {
+			return core.BestResponse{}
+		}
+		return respond(g, d, u)
+	})
+}
+
+// pooledResponsesAgainst is the speculative map over a live cache pool:
+// every player's entry is acquired (and repaired) serially — the pool is
+// single-goroutine — then the responders run on the worker pool, each on
+// its own pinned Deviator, and the entries are unpinned afterwards.
+func pooledResponsesAgainst(g *core.Game, d *graph.Digraph, players []int, pool *core.CachePool, respond core.DeviatorResponder) []core.BestResponse {
+	dvs := make([]*core.Deviator, len(players))
+	for i, u := range players {
+		if g.Budgets[u] != 0 {
+			dvs[i] = pool.Acquire(d, u)
+		}
+	}
+	idx := make([]int, len(players))
+	for i := range idx {
+		idx[i] = i
+	}
+	return sweep.ParallelN(idx, responseWorkers(g), func(i int) core.BestResponse {
+		if dvs[i] == nil {
+			return core.BestResponse{}
+		}
+		br := respond(g, d, dvs[i])
+		// Release inside the worker: a no-op for pool-owned entries, and
+		// for over-budget players it recycles the matrix their responder
+		// filled as soon as they finish, keeping the wave's live matrices
+		// bounded by the worker count (the invariant responseWorkers is
+		// sized around) instead of by the player count.
+		dvs[i].Release()
+		return br
+	})
+}
+
+// responseWorkers bounds the speculative fan-out so that the distance
+// caches of concurrently running responders stay within
+// core.DefaultCacheBudget in aggregate (pool-owned matrices are
+// preallocated, but unpooled players still fill their own).
+func responseWorkers(g *core.Game) int {
 	workers := runtime.GOMAXPROCS(0)
 	if budget := core.DefaultCacheBudget; budget > 0 {
 		n := int64(g.N())
@@ -185,12 +299,7 @@ func responsesAgainst(g *core.Game, d *graph.Digraph, players []int, respond cor
 	if workers < 1 {
 		workers = 1
 	}
-	return sweep.ParallelN(players, workers, func(u int) core.BestResponse {
-		if g.Budgets[u] == 0 {
-			return core.BestResponse{}
-		}
-		return respond(g, d, u)
-	})
+	return workers
 }
 
 type seenProfile struct {

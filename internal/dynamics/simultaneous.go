@@ -32,6 +32,17 @@ func RunSimultaneous(g *core.Game, start *graph.Digraph, opts Options) (Result, 
 	d := start.Clone()
 	n := g.N()
 	res := Result{}
+	pool, ownedPool := opts.newPool(g)
+	if ownedPool {
+		defer pool.Close()
+	} else {
+		// An external pool may have been repaired toward some other
+		// graph since its last use here; force the first acquisition of
+		// every entry to re-diff against this run's start (a no-op diff
+		// when nothing actually changed).
+		pool.Invalidate()
+	}
+	respond := respondWith(g, pool, opts)
 	seen := make(map[uint64][]seenProfile)
 	recordProfile(seen, core.ProfileOf(d), 0)
 	next := make([][]int, n)
@@ -47,7 +58,13 @@ func RunSimultaneous(g *core.Game, start *graph.Digraph, opts Options) (Result, 
 		if opts.Parallel {
 			// Every response is computed against the same fixed profile,
 			// so the simultaneous round is embarrassingly parallel.
-			for u, br := range responsesAgainst(g, d, players, opts.Responder) {
+			var brs []core.BestResponse
+			if pool != nil {
+				brs = pooledResponsesAgainst(g, d, players, pool, opts.Cached)
+			} else {
+				brs = responsesAgainst(g, d, players, opts.Responder)
+			}
+			for u, br := range brs {
 				next[u] = nil
 				if g.Budgets[u] != 0 && br.Improves() {
 					next[u] = br.Strategy
@@ -59,7 +76,7 @@ func RunSimultaneous(g *core.Game, start *graph.Digraph, opts Options) (Result, 
 				if g.Budgets[u] == 0 {
 					continue
 				}
-				br := opts.Responder(g, d, u)
+				br := respond(d, u)
 				if br.Improves() {
 					next[u] = br.Strategy
 				}
@@ -68,6 +85,7 @@ func RunSimultaneous(g *core.Game, start *graph.Digraph, opts Options) (Result, 
 		for u, s := range next {
 			if s != nil {
 				d.SetOut(u, s)
+				pool.Invalidate()
 				res.Moves++
 				changed = true
 			}
@@ -113,6 +131,17 @@ func WelfareTrace(g *core.Game, start *graph.Digraph, opts Options) ([]int64, Re
 	d := start.Clone()
 	n := g.N()
 	order := make([]int, n)
+	pool, ownedPool := opts.newPool(g)
+	if ownedPool {
+		defer pool.Close()
+	} else {
+		// An external pool may have been repaired toward some other
+		// graph since its last use here; force the first acquisition of
+		// every entry to re-diff against this run's start (a no-op diff
+		// when nothing actually changed).
+		pool.Invalidate()
+	}
+	respond := respondWith(g, pool, opts)
 	welfare := func() int64 {
 		var total int64
 		for _, c := range g.AllCosts(d) {
@@ -129,9 +158,10 @@ func WelfareTrace(g *core.Game, start *graph.Digraph, opts Options) ([]int64, Re
 			if g.Budgets[u] == 0 {
 				continue
 			}
-			br := opts.Responder(g, d, u)
+			br := respond(d, u)
 			if br.Improves() {
 				d.SetOut(u, br.Strategy)
+				pool.Invalidate()
 				res.Moves++
 				changed = true
 			}

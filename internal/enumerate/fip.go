@@ -49,18 +49,33 @@ func BestResponseImprovementGraph(g *core.Game, cap int64) (FIPResult, error) {
 	// strategy that achieves the player's optimal deviation cost.
 	adj := make([][]int32, len(profiles))
 	n := g.N()
+	// Consecutive profiles of the lexicographic enumeration differ in
+	// very few players' strategies, so a cache pool repairs each player's
+	// distance matrix across profiles (delta BFS over the changed edges)
+	// instead of refilling it per (profile, player) pair.
+	var pool *core.CachePool
+	if core.IncrementalEnabled() {
+		pool = core.NewCachePool(g, 0)
+		defer pool.Close()
+	}
 	for pi, p := range profiles {
 		d := p.Realize()
+		pool.Invalidate()
 		isSink := true
 		for u := 0; u < n; u++ {
 			if g.Budgets[u] == 0 {
 				continue
 			}
-			dv := core.NewDeviator(g, d, u)
-			if core.StrategySpaceSize(n, g.Budgets[u]) >= int64(n) {
-				// Amortise one cache fill over the full candidate scan:
-				// each Eval below becomes an O(n) min-merge, not a BFS.
-				dv.EnsureCache(core.DefaultCacheBudget)
+			var dv *core.Deviator
+			if pool != nil {
+				dv = pool.Acquire(d, u)
+			} else {
+				dv = core.NewDeviator(g, d, u)
+				if core.StrategySpaceSize(n, g.Budgets[u]) >= int64(n) {
+					// Amortise one cache fill over the full candidate scan:
+					// each Eval below becomes an O(n) min-merge, not a BFS.
+					dv.EnsureCache(core.DefaultCacheBudget)
+				}
 			}
 			cur := dv.Eval(p[u])
 			best := cur

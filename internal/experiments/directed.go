@@ -58,6 +58,7 @@ func evalDirected(p runner.Point) (any, error) {
 		start := dynamics.RandomProfile(und, rng)
 		uRes, err := dynamics.Run(und, start, dynamics.Options{
 			Responder:   core.ExactResponder(0),
+			Cached:      core.ExactDeviatorResponder(0),
 			DetectLoops: true,
 			MaxRounds:   600,
 		})

@@ -181,6 +181,7 @@ func evalUniformBudget(p runner.Point) (any, error) {
 	for trial := 0; trial < 6; trial++ {
 		out, err := dynamics.RunFromRandom(g, rng, dynamics.Options{
 			Responder:   core.GreedyResponder,
+			Cached:      core.GreedyDeviatorResponder,
 			DetectLoops: true,
 			MaxRounds:   300,
 		})
@@ -357,7 +358,8 @@ func evalWeakMachinery(p runner.Point) (any, error) {
 	for _, n := range ns {
 		g := core.UniformGame(n, 1, core.SUM)
 		out, err := dynamics.RunFromRandom(g, rng, dynamics.Options{
-			Responder: core.ExactResponder(0), DetectLoops: true, MaxRounds: 1000,
+			Responder: core.ExactResponder(0), Cached: core.ExactDeviatorResponder(0),
+			DetectLoops: true, MaxRounds: 1000,
 		})
 		if err != nil {
 			return nil, err

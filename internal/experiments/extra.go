@@ -247,11 +247,14 @@ func evalConnectivity(p runner.Point) (any, error) {
 	r := connectivityRow{N: n, K: k}
 	for trial := 0; trial < trials; trial++ {
 		responder := core.Responder(core.GreedyResponder)
+		cached := core.DeviatorResponder(core.GreedyDeviatorResponder)
 		if core.StrategySpaceSize(n, k) <= 3000 {
 			responder = core.ExactResponder(0)
+			cached = core.ExactDeviatorResponder(0)
 		}
 		out, err := dynamics.RunFromRandom(g, rng, dynamics.Options{
 			Responder:   responder,
+			Cached:      cached,
 			DetectLoops: true,
 			MaxRounds:   300,
 		})
@@ -353,6 +356,7 @@ func evalDynamicsStats(trials int, p runner.Point) (any, error) {
 		}
 		out, err := dynamics.RunFromRandom(g, rng, dynamics.Options{
 			Responder:   core.ExactResponder(0),
+			Cached:      core.ExactDeviatorResponder(0),
 			Scheduler:   sched,
 			DetectLoops: true,
 			MaxRounds:   1500,

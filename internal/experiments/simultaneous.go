@@ -58,6 +58,7 @@ func evalSimultaneous(p runner.Point) (any, error) {
 		start := dynamics.RandomProfile(g, rng)
 		seq, err := dynamics.Run(g, start, dynamics.Options{
 			Responder:   core.ExactResponder(0),
+			Cached:      core.ExactDeviatorResponder(0),
 			DetectLoops: true,
 			MaxRounds:   800,
 		})
@@ -74,6 +75,7 @@ func evalSimultaneous(p runner.Point) (any, error) {
 		}
 		sim, err := dynamics.RunSimultaneous(g, start, dynamics.Options{
 			Responder: core.ExactResponder(0),
+			Cached:    core.ExactDeviatorResponder(0),
 			MaxRounds: 800,
 		})
 		if err != nil {

@@ -60,6 +60,7 @@ func evalTreeDynamics(p runner.Point) (any, error) {
 		g := core.MustGame(budgets, c.ver)
 		out, err := dynamics.RunFromRandom(g, rng, dynamics.Options{
 			Responder:   core.ExactResponder(0),
+			Cached:      core.ExactDeviatorResponder(0),
 			DetectLoops: true,
 			MaxRounds:   1500,
 		})

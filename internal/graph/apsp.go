@@ -50,46 +50,34 @@ func Diameter(a Und) int32 {
 }
 
 // Eccentricities returns every vertex's eccentricity (max distance within
-// its reached set) and whether the whole graph is connected.
+// its reached set) and whether the whole graph is connected. It runs on
+// the batched eccentricity-only kernel (ecc.go): word-parallel BFS with
+// no distance matrix.
 func Eccentricities(a Und) (eccs []int32, connected bool) {
-	n := len(a)
-	eccs = make([]int32, n)
-	reached := make([]int, n)
-	parallelSources(n, func(s *Scratch, src int) {
-		r := s.BFS(a, src)
-		eccs[src] = r.Ecc
-		reached[src] = r.Reached
-	})
-	connected = n > 0
-	for _, r := range reached {
-		if r != n {
-			connected = false
-			break
-		}
-	}
-	return eccs, connected
+	eccs, _, reached := AggregateBFS(a)
+	return eccs, allReach(reached, len(a))
 }
 
 // TotalDistances returns for every source the sum of distances to all
 // reachable vertices, plus a connectivity flag. This is the SUM-version
 // cost without the disconnection penalty.
 func TotalDistances(a Und) (sums []int64, connected bool) {
-	n := len(a)
-	sums = make([]int64, n)
-	reached := make([]int, n)
-	parallelSources(n, func(s *Scratch, src int) {
-		r := s.BFS(a, src)
-		sums[src] = r.Sum
-		reached[src] = r.Reached
-	})
-	connected = n > 0
+	_, sums, reached := AggregateBFS(a)
+	return sums, allReach(reached, len(a))
+}
+
+// allReach reports whether every source reached all n vertices (false
+// for the empty graph, matching the historical connectivity convention).
+func allReach(reached []int32, n int) bool {
+	if n == 0 {
+		return false
+	}
 	for _, r := range reached {
-		if r != n {
-			connected = false
-			break
+		if int(r) != n {
+			return false
 		}
 	}
-	return sums, connected
+	return true
 }
 
 // parallelSources invokes fn once per source vertex on a pool of workers,

@@ -138,7 +138,8 @@ func newMaskScratch(n int) *maskScratch {
 }
 
 // fillBatch runs the 64 simultaneous BFS of sources [batch*64, ...) and
-// writes their distance rows.
+// writes their distance rows. (Frontier-loop triplet with fillRowsSubset
+// below and aggBatch in ecc.go; propagation fixes apply to all three.)
 func (c *CSR) fillBatch(dst []int32, batch int, ms *maskScratch) {
 	n := c.N()
 	base := batch * 64
@@ -187,6 +188,62 @@ func (c *CSR) fillBatch(dst []int32, batch int, ms *maskScratch) {
 			col := dst[int(w)*n+base:]
 			for rem := nb; rem != 0; rem &= rem - 1 {
 				col[bits.TrailingZeros64(rem)] = d
+			}
+		}
+	}
+}
+
+// fillRowsSubset recomputes the rows of up to 64 arbitrary sources by
+// one word-parallel BFS pass, writing each source's full row (row-major,
+// no symmetry trick: the subset is not a contiguous column block). The
+// repair path uses it to refill damaged rows at batch cost instead of
+// one scalar BFS per row.
+//
+// NOTE: the frontier loop is a deliberate triplet with fillBatch
+// (above) and aggBatch (ecc.go) — same reach/acc/front propagation,
+// different seeding and per-newly-reached action. The hot inner loops
+// cannot afford a per-edge closure, so a fix to the propagation must
+// be applied to all three.
+func (c *CSR) fillRowsSubset(srcs []int32, dst []int32, ms *maskScratch) {
+	n := c.N()
+	for i := range ms.reach {
+		ms.reach[i] = 0
+		ms.acc[i] = 0
+	}
+	ms.list = ms.list[:0]
+	for i, s := range srcs {
+		row := dst[int(s)*n : (int(s)+1)*n]
+		for w := range row {
+			row[w] = InfDist
+		}
+		row[s] = 0
+		ms.reach[s] |= 1 << i
+		ms.front[s] = ms.reach[s]
+		ms.list = append(ms.list, s)
+	}
+	for d := int32(1); len(ms.list) > 0; d++ {
+		ms.next = ms.next[:0]
+		for _, v := range ms.list {
+			m := ms.front[v]
+			for _, w := range c.Nbrs[c.Indptr[v]:c.Indptr[v+1]] {
+				if ms.acc[w] == 0 {
+					ms.next = append(ms.next, w)
+				}
+				ms.acc[w] |= m
+			}
+		}
+		ms.list = ms.list[:0]
+		for _, w := range ms.next {
+			nb := ms.acc[w] &^ ms.reach[w]
+			ms.acc[w] = 0
+			if nb == 0 {
+				continue
+			}
+			ms.reach[w] |= nb
+			ms.front[w] = nb
+			ms.list = append(ms.list, w)
+			for rem := nb; rem != 0; rem &= rem - 1 {
+				dst[int(srcs[bits.TrailingZeros64(rem)])*n+int(w)] = d
 			}
 		}
 	}

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomDigraphFor returns a random out-digraph on n vertices with the
+// given budget ceiling, for repair tests.
+func randomDigraphFor(n, maxB int, rng *rand.Rand) *Digraph {
+	budgets := make([]int, n)
+	for i := range budgets {
+		budgets[i] = rng.Intn(maxB + 1)
+		if budgets[i] > n-1 {
+			budgets[i] = n - 1
+		}
+	}
+	return RandomOutDigraph(budgets, rng)
+}
+
+// mutateOneOwner rewires one random vertex's entire out-set.
+func mutateOneOwner(d *Digraph, rng *rand.Rand) int {
+	n := d.N()
+	m := rng.Intn(n)
+	b := d.OutDegree(m)
+	if b == 0 {
+		b = rng.Intn(2) // removing nothing, adding up to one arc
+	}
+	seen := map[int]bool{}
+	var out []int
+	for len(out) < b {
+		v := rng.Intn(n)
+		if v != m && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	d.SetOut(m, out)
+	return m
+}
+
+func checkRepairAgainstRefill(t *testing.T, old, cur Und, skip int) {
+	t.Helper()
+	n := len(old)
+	var oldCSR, newCSR *CSR
+	if skip >= 0 {
+		oldCSR, newCSR = NewCSRExcluding(old, skip), NewCSRExcluding(cur, skip)
+	} else {
+		oldCSR, newCSR = NewCSR(old), NewCSR(cur)
+	}
+	rows := oldCSR.DistanceRows()
+	removed, added := DiffUnd(old, cur, skip)
+	st := newCSR.RepairRows(rows, removed, added, NewDeltaScratch(n))
+	want := newCSR.DistanceRows()
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("repair mismatch at cell (%d,%d): got %d want %d (removed=%v added=%v stats=%+v)",
+				i/n, i%n, rows[i], want[i], removed, added, st)
+		}
+	}
+}
+
+// Repairing a cached matrix after a single-owner rewiring must agree
+// exactly with a fresh refill, with and without an excluded vertex, at
+// every damage level (the refill-fraction fallback included).
+func TestRepairRowsMatchesRefill(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(40)
+		d := randomDigraphFor(n, 3, rng)
+		old := d.Underlying()
+		mutateOneOwner(d, rng)
+		cur := d.Underlying()
+		checkRepairAgainstRefill(t, old, cur, -1)
+		checkRepairAgainstRefill(t, old, cur, rng.Intn(n))
+	}
+}
+
+// Several accumulated moves form one composite delta — the lazy-repair
+// shape the dynamics cache pool produces.
+func TestRepairRowsCompositeDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(32)
+		d := randomDigraphFor(n, 2, rng)
+		old := d.Underlying()
+		for moves := 1 + rng.Intn(4); moves > 0; moves-- {
+			mutateOneOwner(d, rng)
+		}
+		cur := d.Underlying()
+		checkRepairAgainstRefill(t, old, cur, -1)
+		checkRepairAgainstRefill(t, old, cur, rng.Intn(n))
+	}
+}
+
+// Forcing the refill threshold to zero exercises the full-refill path on
+// every damaged repair; forcing it to 1 forbids it. Both must agree.
+func TestRepairRowsThresholdPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	defer func(f float64) { RepairRefillFraction = f }(RepairRefillFraction)
+	for _, frac := range []float64{0, 1} {
+		RepairRefillFraction = frac
+		for trial := 0; trial < 60; trial++ {
+			n := 2 + rng.Intn(24)
+			d := randomDigraphFor(n, 2, rng)
+			old := d.Underlying()
+			mutateOneOwner(d, rng)
+			checkRepairAgainstRefill(t, old, d.Underlying(), -1)
+		}
+	}
+}
+
+func TestDiffUnd(t *testing.T) {
+	d := NewDigraph(5)
+	d.AddArc(0, 1)
+	d.AddArc(1, 2)
+	d.AddArc(3, 4)
+	old := d.Underlying()
+	d.RemoveArc(1, 2)
+	d.AddArc(1, 3)
+	d.AddArc(2, 1) // re-adds edge {1,2} from the other side: no net change
+	cur := d.Underlying()
+	removed, added := DiffUnd(old, cur, -1)
+	if len(removed) != 0 {
+		t.Fatalf("removed = %v, want none (edge {1,2} is re-owned, not removed)", removed)
+	}
+	if len(added) != 1 || added[0] != [2]int32{1, 3} {
+		t.Fatalf("added = %v, want [{1 3}]", added)
+	}
+	removed, added = DiffUnd(old, cur, 3)
+	if len(removed) != 0 || len(added) != 0 {
+		t.Fatalf("with skip=3: removed=%v added=%v, want none", removed, added)
+	}
+}
+
+// The no-op delta must not touch the matrix.
+func TestRepairRowsNoDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	d := randomDigraphFor(12, 2, rng)
+	c := NewCSR(d.Underlying())
+	rows := c.DistanceRows()
+	before := append([]int32(nil), rows...)
+	st := c.RepairRows(rows, nil, nil, NewDeltaScratch(12))
+	if st.RowsPatched+st.RowsRefilled != 0 || st.FullRefill {
+		t.Fatalf("empty delta did work: %+v", st)
+	}
+	for i := range rows {
+		if rows[i] != before[i] {
+			t.Fatalf("empty delta changed cell %d", i)
+		}
+	}
+}

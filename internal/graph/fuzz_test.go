@@ -193,3 +193,54 @@ func FuzzDeviationCSR(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDeltaBFS drives the incremental repair path: decode a graph,
+// rewire one fuzz-chosen vertex's out-set, and require the repaired
+// distance matrix (RepairRows over the DiffUnd edge delta) to equal a
+// fresh refill — both for the plain CSR and for a CSR with an excluded
+// vertex, the exact shape the deviation-cache pool repairs.
+func FuzzDeltaBFS(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, d := decodeGraph(data)
+		if d == nil {
+			return
+		}
+		n := d.N()
+		old := d.Underlying()
+		// Consume the tail as (mover, new out-set) and apply the move.
+		m := 0
+		var out []int
+		if len(data) > 1 {
+			m = int(data[1]) % n
+			have := make([]bool, n)
+			for _, b := range data[2:] {
+				v := int(b) % n
+				if v != m && !have[v] {
+					have[v] = true
+					out = append(out, v)
+				}
+			}
+		}
+		d.SetOut(m, out)
+		cur := d.Underlying()
+		for _, skip := range []int{-1, m % n} {
+			var oldCSR, newCSR *CSR
+			if skip >= 0 {
+				oldCSR, newCSR = NewCSRExcluding(old, skip), NewCSRExcluding(cur, skip)
+			} else {
+				oldCSR, newCSR = NewCSR(old), NewCSR(cur)
+			}
+			rows := oldCSR.DistanceRows()
+			removed, added := DiffUnd(old, cur, skip)
+			newCSR.RepairRows(rows, removed, added, NewDeltaScratch(n))
+			want := newCSR.DistanceRows()
+			for i := range want {
+				if rows[i] != want[i] {
+					t.Fatalf("skip=%d cell (%d,%d): repaired %d, refilled %d (removed=%v added=%v)",
+						skip, i/n, i%n, rows[i], want[i], removed, added)
+				}
+			}
+		}
+	})
+}

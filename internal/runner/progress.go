@@ -1,0 +1,65 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress reporting for long sweeps: the evaluation fan-out counts
+// completed points and, throttled to progressInterval, writes one line
+// with the completion fraction and an ETA extrapolated linearly from
+// the elapsed wall time. Indirections over the clock and interval keep
+// the output deterministic under test.
+
+var (
+	timeNow          = time.Now
+	progressInterval = time.Second
+)
+
+// progressMeter is the shared completion counter of one Run. Totals
+// cover the whole in-shard point list, so a resumed run reports "18/20
+// (90%)" rather than the fraction of the remainder; the ETA is
+// extrapolated from this run's evaluation rate only (points served
+// from the store cost nothing and must not deflate it). A nil writer
+// yields a no-op meter so the hot path stays branch-cheap.
+type progressMeter struct {
+	w     io.Writer
+	exp   string
+	base  int // points already in the store at run start
+	total int // base + points this run must evaluate
+
+	mu    sync.Mutex
+	done  int // points evaluated by this run
+	start time.Time
+	last  time.Time
+}
+
+func newProgressMeter(w io.Writer, exp string, stored, missing int) *progressMeter {
+	if w == nil || missing == 0 {
+		return nil
+	}
+	now := timeNow()
+	return &progressMeter{w: w, exp: exp, base: stored, total: stored + missing, start: now, last: now}
+}
+
+// step records one completed point, emitting a progress line when the
+// throttle allows it (and always on the final point).
+func (m *progressMeter) step() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.done++
+	at := m.base + m.done
+	now := timeNow()
+	if at < m.total && now.Sub(m.last) < progressInterval {
+		return
+	}
+	m.last = now
+	eta := now.Sub(m.start) / time.Duration(m.done) * time.Duration(m.total-at)
+	fmt.Fprintf(m.w, "runner: %s %d/%d point(s) (%d%%), eta %s\n",
+		m.exp, at, m.total, 100*at/m.total, eta.Round(time.Second))
+}

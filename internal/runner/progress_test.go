@@ -1,0 +1,158 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// fakeClock advances a deterministic amount on every reading, so ETA
+// lines are exact.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	tick time.Duration
+}
+
+func (c *fakeClock) read() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.tick)
+	return c.now
+}
+
+func progressJob(n int) Job {
+	points := make([]Point, n)
+	for i := range points {
+		points[i] = Point{Exp: "prog", Key: fmt.Sprintf("i=%d", i)}
+	}
+	return Job{Exp: "prog", Points: points, Eval: func(p Point) (any, error) {
+		return map[string]string{"k": p.Key}, nil
+	}}
+}
+
+// Run must emit throttled progress lines with an ETA, ending on a final
+// 100% line.
+func TestRunProgressETA(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0), tick: 2 * time.Second}
+	defer func(n func() time.Time, iv time.Duration) { timeNow, progressInterval = n, iv }(timeNow, progressInterval)
+	timeNow = clock.read
+	progressInterval = time.Second // every tick exceeds it: one line per point
+
+	var sb strings.Builder
+	rep, err := Run(progressJob(4), nil, Options{Workers: 1, Progress: &sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evaluated != 4 {
+		t.Fatalf("evaluated %d, want 4", rep.Evaluated)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d progress lines, want 4:\n%s", len(lines), sb.String())
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "runner: prog ") || !strings.Contains(line, "eta ") {
+			t.Fatalf("malformed progress line %q", line)
+		}
+	}
+	if want := "runner: prog 4/4 point(s) (100%), eta 0s"; lines[3] != want {
+		t.Fatalf("final line %q, want %q", lines[3], want)
+	}
+	// With one point done every 2s, 3 remain after the first: eta 6s.
+	if want := "eta 6s"; !strings.Contains(lines[0], want) {
+		t.Fatalf("first line %q does not contain %q", lines[0], want)
+	}
+}
+
+// A resumed run must report progress over the whole point list (stored
+// points count as done), with the ETA extrapolated from this run's
+// evaluation rate only.
+func TestRunProgressResumed(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(2000, 0), tick: 2 * time.Second}
+	defer func(n func() time.Time, iv time.Duration) { timeNow, progressInterval = n, iv }(timeNow, progressInterval)
+	timeNow = clock.read
+	progressInterval = time.Second
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := Run(progressJob(4), st, Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	rep, err := Run(progressJob(6), st, Options{Workers: 1, Progress: &sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != 4 || rep.Evaluated != 2 {
+		t.Fatalf("skipped %d evaluated %d, want 4 and 2", rep.Skipped, rep.Evaluated)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d progress lines, want 2:\n%s", len(lines), sb.String())
+	}
+	// First evaluated point: 5 of 6 done overall; one point left at one
+	// point per 2s.
+	if want := "runner: prog 5/6 point(s) (83%), eta 2s"; lines[0] != want {
+		t.Fatalf("first line %q, want %q", lines[0], want)
+	}
+	if want := "runner: prog 6/6 point(s) (100%), eta 0s"; lines[1] != want {
+		t.Fatalf("final line %q, want %q", lines[1], want)
+	}
+}
+
+// No Progress writer, no output path exercised: the meter must be a
+// no-op and Run must behave exactly as before.
+func TestRunProgressDisabled(t *testing.T) {
+	rep, err := Run(progressJob(3), nil, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evaluated != 3 || rep.ShardCounts != nil {
+		t.Fatalf("unexpected report %+v", rep)
+	}
+}
+
+// A sharded Run must report the size of every partition of the full
+// point list; partitions are disjoint and complete, and the filtered
+// count agrees with the out-of-shard partitions.
+func TestRunShardCounts(t *testing.T) {
+	job := progressJob(20)
+	const k = 3
+	var reports []*Report
+	total := 0
+	for i := 0; i < k; i++ {
+		rep, err := Run(job, nil, Options{Workers: 1, Shard: Shard{Index: i, Count: k}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+		if len(rep.ShardCounts) != k {
+			t.Fatalf("shard %d: ShardCounts = %v, want %d entries", i, rep.ShardCounts, k)
+		}
+		if got := rep.ShardCounts[i]; got != rep.Evaluated {
+			t.Fatalf("shard %d: counts[%d] = %d, evaluated %d", i, i, got, rep.Evaluated)
+		}
+		if rep.Evaluated+rep.Filtered != len(job.Points) {
+			t.Fatalf("shard %d: evaluated %d + filtered %d != %d", i, rep.Evaluated, rep.Filtered, len(job.Points))
+		}
+		total += rep.Evaluated
+	}
+	for i := 1; i < k; i++ {
+		for j := range reports[i].ShardCounts {
+			if reports[i].ShardCounts[j] != reports[0].ShardCounts[j] {
+				t.Fatalf("shard %d reports counts %v, shard 0 reports %v", i, reports[i].ShardCounts, reports[0].ShardCounts)
+			}
+		}
+	}
+	if total != len(job.Points) {
+		t.Fatalf("shards evaluated %d points in total, want %d", total, len(job.Points))
+	}
+}

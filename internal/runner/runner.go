@@ -23,6 +23,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"runtime"
 
 	"repro/internal/store"
@@ -67,6 +68,12 @@ type Options struct {
 	// list (see Shard); points outside the shard are neither evaluated
 	// nor required from the store. The zero value runs every point.
 	Shard Shard
+	// Progress, when non-nil, receives coarse progress lines while
+	// points evaluate — completion counts plus an ETA extrapolated from
+	// the elapsed wall time — throttled to roughly one line per
+	// progressInterval. Intended for os.Stderr on long sweeps; it never
+	// touches the rendered output.
+	Progress io.Writer
 }
 
 // Report is the outcome of one Run.
@@ -81,6 +88,11 @@ type Report struct {
 	Evaluated int
 	Skipped   int
 	Filtered  int
+	// ShardCounts, present only under an active shard, holds the size
+	// of every partition of the job's full point list (index = shard
+	// number): the balance check for planning a k-machine run. Its sum
+	// is len(Points).
+	ShardCounts []int
 }
 
 // Run evaluates every in-shard point of job not already present in st,
@@ -90,14 +102,21 @@ type Report struct {
 // what was skipped.
 func Run(job Job, st *store.Store, opt Options) (*Report, error) {
 	rep := &Report{Values: make([]json.RawMessage, len(job.Points))}
+	if opt.Shard.Active() {
+		rep.ShardCounts = make([]int, opt.Shard.Count)
+	}
 	var missing []int
 	for i, p := range job.Points {
-		if !opt.Shard.Contains(p.ID()) {
+		id := p.ID()
+		if rep.ShardCounts != nil {
+			rep.ShardCounts[opt.Shard.IndexOf(id)]++
+		}
+		if !opt.Shard.Contains(id) {
 			rep.Filtered++
 			continue
 		}
 		if st != nil {
-			if rec, ok := st.Get(p.ID()); ok {
+			if rec, ok := st.Get(id); ok {
 				rep.Values[i] = rec.Value
 				rep.Skipped++
 				continue
@@ -109,6 +128,7 @@ func Run(job Job, st *store.Store, opt Options) (*Report, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	meter := newProgressMeter(opt.Progress, job.Exp, rep.Skipped, len(missing))
 	type outcome struct {
 		raw json.RawMessage
 		err error
@@ -128,6 +148,7 @@ func Run(job Job, st *store.Store, opt Options) (*Report, error) {
 				return outcome{err: err}
 			}
 		}
+		meter.step()
 		return outcome{raw: raw}
 	})
 	for k, o := range outs {

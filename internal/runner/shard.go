@@ -52,12 +52,20 @@ func (sh Shard) Active() bool { return sh.Count > 1 }
 // Contains reports whether the point with the given ID belongs to this
 // shard. An inactive shard contains every point.
 func (sh Shard) Contains(id string) bool {
+	return !sh.Active() || sh.IndexOf(id) == sh.Index
+}
+
+// IndexOf returns the partition number the point with the given ID
+// falls into under this shard's k-way split (always 0 when inactive).
+// It is what Report.ShardCounts tallies: the per-shard point counts an
+// operator uses to check a planned k-way run is balanced.
+func (sh Shard) IndexOf(id string) int {
 	if !sh.Active() {
-		return true
+		return 0
 	}
 	h := fnv.New64a()
 	h.Write([]byte(id))
-	return int(h.Sum64()%uint64(sh.Count)) == sh.Index
+	return int(h.Sum64() % uint64(sh.Count))
 }
 
 // String renders the CLI form.
