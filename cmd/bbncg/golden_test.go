@@ -46,6 +46,15 @@ func checkGolden(t *testing.T, name, got string) {
 		t.Fatal(err)
 	}
 	if got != string(want) {
+		// In CI the got/want pair is uploaded as a workflow artifact
+		// (GOLDEN_DIFF_DIR is set by ci.yml), so golden drifts are
+		// debuggable without reproducing the run locally.
+		if dir := os.Getenv("GOLDEN_DIFF_DIR"); dir != "" {
+			if err := os.MkdirAll(dir, 0o777); err == nil {
+				_ = os.WriteFile(filepath.Join(dir, name+".got"), []byte(got), 0o666)
+				_ = os.WriteFile(filepath.Join(dir, name+".want"), want, 0o666)
+			}
+		}
 		t.Errorf("%s: output differs from %s (run with -update after intentional changes)\n--- got ---\n%s\n--- want ---\n%s",
 			name, path, got, want)
 	}

@@ -89,7 +89,7 @@ func (g *Game) greedyOn(dv *Deviator, d *graph.Digraph) BestResponse {
 	case dv.useLevels():
 		chosen = greedyLevels(dv, b, &res)
 	case dv.HasCache():
-		chosen = greedyCached(dv, b, &res)
+		chosen = greedyCached(dv, b, cur, &res)
 	default:
 		chosen = greedyBFS(dv, b, &res)
 	}
@@ -156,8 +156,9 @@ func greedyLevels(dv *Deviator, b int, res *BestResponse) []int {
 }
 
 // greedyCached runs the marginal-cost rounds on the distance cache,
-// keeping the running min-vector of the chosen anchor set.
-func greedyCached(dv *Deviator, b int, res *BestResponse) []int {
+// keeping the running min-vector of the chosen anchor set. cur (the
+// currently played targets) seeds the SUM pruning budget.
+func greedyCached(dv *Deviator, b int, cur []int, res *BestResponse) []int {
 	n := dv.game.N()
 	vec := getInt32(n)
 	defer putInt32(vec)
@@ -165,16 +166,101 @@ func greedyCached(dv *Deviator, b int, res *BestResponse) []int {
 	reach := dv.newTouched()
 	chosen := make([]int, 0, b)
 	inChosen := make([]bool, n)
+	prune := dv.sumPruneScan()
+	var memo *sumMemo
+	if prune {
+		// Pool-owned Deviators persist across movers and rounds, so their
+		// candidate costs are worth remembering: Repair keeps the memo
+		// exact (see sumkernel.go), and a settled scan is then mostly
+		// memo reads.
+		if dv.memo == nil || len(dv.memo.rounds) != b {
+			dv.memo = newSumMemo(b, n)
+		}
+		memo = dv.memo
+	}
 	for round := 0; round < b; round++ {
 		bestV, bestC := -1, int64(math.MaxInt64)
-		for v := 0; v < n; v++ {
-			if v == dv.u || inChosen[v] {
-				continue
+		if prune {
+			// SUM pruning round: memoised candidates cost one read; the
+			// rest run the bounded kernel against the running incumbent.
+			// The budget is seeded with the currently played targets —
+			// near convergence they are (close to) optimal, so even the
+			// first candidates scan against a tight bound. Pruned
+			// candidates are certified strictly worse than an evaluated
+			// one, so the winner and the lowest-id tie break are identical
+			// to the unpruned scan, and Explored still counts them.
+			var mr *sumMemoRound
+			if memo != nil {
+				mr = &memo.rounds[round]
 			}
-			res.Explored++
-			if c := dv.costOf(dv.aggregate(vec, v), reach.with(v)); c < bestC {
-				bestC = c
-				bestV = v
+			filled := false
+			eval := func(v int, budget int64) (int64, bool) {
+				if mr != nil {
+					switch c := mr.costs[v]; {
+					case c >= 0:
+						return c, false
+					case c != memoStale && memoBoundOf(c) >= budget:
+						// Certified cost > stored bound >= budget: re-prune
+						// without touching the row.
+						return 0, true
+					}
+				}
+				if !filled {
+					dv.fillSumBounds(vec)
+					filled = true
+				}
+				c, p := dv.sumEvalBounded(vec, v, dv.sufFor(vec, v), budget)
+				if mr != nil {
+					if p {
+						mr.costs[v] = memoBound(budget)
+					} else {
+						mr.costs[v] = c
+					}
+				}
+				return c, p
+			}
+			budget := int64(math.MaxInt64)
+			for _, v := range cur {
+				if v == dv.u || v < 0 || v >= n || inChosen[v] {
+					continue
+				}
+				if c, p := eval(v, budget); !p && c < budget {
+					budget = c
+				}
+			}
+			for v := 0; v < n; v++ {
+				if v == dv.u || inChosen[v] {
+					continue
+				}
+				res.Explored++
+				c, p := eval(v, budget)
+				if p {
+					continue
+				}
+				if c < bestC {
+					bestC = c
+					bestV = v
+				}
+				if c < budget {
+					budget = c
+				}
+			}
+			if mr != nil && mr.chosen != bestV {
+				// A different winner invalidates every later round's
+				// running-min vector.
+				memo.clearFrom(round + 1)
+				mr.chosen = bestV
+			}
+		} else {
+			for v := 0; v < n; v++ {
+				if v == dv.u || inChosen[v] {
+					continue
+				}
+				res.Explored++
+				if c := dv.costOf(dv.aggregate(vec, v), reach.with(v)); c < bestC {
+					bestC = c
+					bestV = v
+				}
 			}
 		}
 		if bestV < 0 {
@@ -275,6 +361,41 @@ func (g *Game) swapOn(dv *Deviator, d *graph.Digraph) BestResponse {
 				res.Explored++
 				k, cov := lu.AggregateWith(dv.lc, w)
 				if c := dv.costOf(eccResult(k, cov), reach.with(w)); c < res.Cost {
+					res.Cost = c
+					res.Strategy = append([]int(nil), trial...)
+				}
+			}
+		}
+		return res
+	}
+	if dv.sumPruneScan() {
+		// SUM pruning scan: the leave-one-out min-vector of each arc slot
+		// gets its own suffix bound, and every replacement target runs the
+		// bounded kernel against the incumbent best (already tight from
+		// the start: res.Cost is the currently played cost). SUM ignores
+		// the component count, so no touched tracker is needed.
+		vec := getInt32(n)
+		defer putInt32(vec)
+		for i := range cur {
+			copy(trial, cur)
+			copy(vec, dv.inMin)
+			for j, v := range cur {
+				if j != i {
+					dv.mergeRow(vec, v)
+				}
+			}
+			dv.fillSumBounds(vec)
+			for w := 0; w < n; w++ {
+				if w == u || have[w] {
+					continue
+				}
+				trial[i] = w
+				res.Explored++
+				c, pruned := dv.sumEvalBounded(vec, w, dv.sufFor(vec, w), res.Cost)
+				if pruned {
+					continue
+				}
+				if c < res.Cost {
 					res.Cost = c
 					res.Strategy = append([]int(nil), trial...)
 				}

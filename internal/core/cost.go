@@ -106,6 +106,19 @@ type Deviator struct {
 	ds     *graph.DeltaScratch
 	pool   *CachePool
 	stable int8
+
+	// SUM evaluation kernel state (see sumkernel.go). sumOn snapshots
+	// SumKernelEnabled at construction; colMin is an entrywise lower
+	// bound of every cached row (exact after fill/refill, folded — and
+	// possibly slack — after row repairs); sumSufT holds the per-scan
+	// tiered suffix-bound scratch and sumSufIn the memoised inMin-only
+	// bound for EvalBounded (valid while sumSufInOK).
+	sumOn      bool
+	colMin     []int32
+	sumSufT    [][]int64
+	sumSufIn   []int64
+	sumSufInOK bool
+	memo       *sumMemo // pooled greedy candidate-cost memo (SUM only)
 }
 
 // U returns the player this Deviator evaluates deviations for.
@@ -124,6 +137,7 @@ func NewDeviator(g *Game, d *graph.Digraph, u int) *Deviator {
 		comps: comps,
 		seen:  make([]bool, comps+1),
 		s:     graph.NewScratch(d.N()),
+		sumOn: SumKernelEnabled(),
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sync"
 
 	"repro/internal/graph"
@@ -79,7 +80,8 @@ func (dv *Deviator) EnsureCache(budgetBytes int64) bool {
 }
 
 // rebuildInMin recomputes the folded in(u) anchor row from the cached
-// matrix (after a fill, or after Repair changed rows or in(u)).
+// matrix (after a fill, or after Repair changed rows or in(u)). Any
+// such change also stales the memoised inMin pruning bound.
 func (dv *Deviator) rebuildInMin() {
 	n := dv.game.N()
 	inMin := dv.inMin
@@ -94,6 +96,7 @@ func (dv *Deviator) rebuildInMin() {
 			}
 		}
 	}
+	dv.sumSufInOK = false
 }
 
 // Repair brings the Deviator in sync with d after the underlying graph
@@ -110,6 +113,8 @@ func (dv *Deviator) rebuildInMin() {
 func (dv *Deviator) Repair(d *graph.Digraph) graph.RepairStats {
 	n := dv.game.N()
 	newBase := d.UnderlyingWithout(dv.u)
+	newIn := d.In(dv.u)
+	inSame := slices.Equal(dv.in, newIn)
 	var st graph.RepairStats
 	if dv.rows != nil {
 		removed, added := graph.DiffUnd(dv.base, newBase, dv.u)
@@ -117,6 +122,9 @@ func (dv *Deviator) Repair(d *graph.Digraph) graph.RepairStats {
 			// Nothing in G-u moved: the matrix is already exact — the
 			// strongest stability evidence (over-invalidation lands here).
 			dv.noteStable()
+			if !inSame {
+				dv.memo = nil // inMin changes under intact rows
+			}
 		}
 		if len(removed)+len(added) > 0 {
 			csr := graph.NewCSRExcluding(newBase, dv.u)
@@ -124,6 +132,8 @@ func (dv *Deviator) Repair(d *graph.Digraph) graph.RepairStats {
 				dv.ds = graph.NewDeltaScratch(n)
 			}
 			st = csr.RepairRows(dv.rows, removed, added, dv.ds)
+			dv.repairColMin(st)
+			dv.memoRepair(st, inSame)
 			if st.FullRefill {
 				// The whole matrix moved: re-levelling it would cost more
 				// than the bitset kernel saves this round. Drop the level
@@ -142,7 +152,7 @@ func (dv *Deviator) Repair(d *graph.Digraph) graph.RepairStats {
 		}
 	}
 	dv.base = newBase
-	dv.in = d.In(dv.u)
+	dv.in = newIn
 	dv.label, dv.comps = graph.ComponentsExcluding(newBase, dv.u)
 	dv.seen = make([]bool, dv.comps+1)
 	dv.inLv = nil // in(u) may have changed; rebuilt lazily
@@ -226,6 +236,12 @@ func (dv *Deviator) release() {
 		putInt32(dv.inMin)
 		dv.inMin = nil
 	}
+	if dv.colMin != nil {
+		putInt32(dv.colMin)
+		dv.colMin = nil
+	}
+	dv.sumSufT, dv.sumSufIn, dv.sumSufInOK = nil, nil, false
+	dv.memo = nil
 	dv.lc, dv.inLv = nil, nil
 }
 
@@ -241,16 +257,18 @@ func (dv *Deviator) releaseOwned() {
 // one worker goroutine of the parallel exact responder.
 func (dv *Deviator) clone() *Deviator {
 	return &Deviator{
-		game:  dv.game,
-		u:     dv.u,
-		base:  dv.base,
-		in:    dv.in,
-		label: dv.label,
-		comps: dv.comps,
-		seen:  make([]bool, dv.comps+1),
-		s:     graph.NewScratch(dv.game.N()),
-		rows:  dv.rows,
-		inMin: dv.inMin,
+		game:   dv.game,
+		u:      dv.u,
+		base:   dv.base,
+		in:     dv.in,
+		label:  dv.label,
+		comps:  dv.comps,
+		seen:   make([]bool, dv.comps+1),
+		s:      graph.NewScratch(dv.game.N()),
+		rows:   dv.rows,
+		inMin:  dv.inMin,
+		sumOn:  dv.sumOn,
+		colMin: dv.colMin, // immutable while clones are live; suffix scratch stays private
 	}
 }
 
@@ -270,6 +288,11 @@ func (dv *Deviator) aggregate(vec []int32, extra int) graph.BFSResult {
 	}
 	switch dv.game.Version {
 	case SUM:
+		// The plain scan stays on the scalar pass: it compiles to a
+		// branchless ~2-cycle/entry loop that the strip-structured kernel
+		// cannot beat (measured in BENCH_3.json's methodology); the
+		// blocked kernel earns its keep only where the pruning bound
+		// checks need its strip structure (sumEvalBounded).
 		return sumKernel(vec, row)
 	case MAX:
 		return maxKernel(vec, row)
@@ -431,6 +454,29 @@ func (dv *Deviator) evalCached(strategy []int) int64 {
 			strategy = filtered
 			break
 		}
+	}
+	if dv.sumOn && dv.game.Version == SUM {
+		// SUM never reads the eccentricity or the component count, so the
+		// whole evaluation is one (or, past two anchors, a merged) blocked
+		// kernel pass instead of the per-vertex strategy loop below.
+		var s int64
+		var reached int
+		switch len(strategy) {
+		case 0:
+			s, reached = graph.SumMerge(dv.inMin, nil)
+		case 1:
+			s, reached = graph.SumMerge(dv.inMin, dv.rows[strategy[0]*n:(strategy[0]+1)*n])
+		default:
+			vec := getInt32(n)
+			copy(vec, dv.inMin)
+			for _, v := range strategy[:len(strategy)-1] {
+				graph.MinInto(vec, dv.rows[v*n:(v+1)*n])
+			}
+			last := strategy[len(strategy)-1]
+			s, reached = graph.SumMerge(vec, dv.rows[last*n:(last+1)*n])
+			putInt32(vec)
+		}
+		return dv.game.costFromBFS(graph.BFSResult{Sum: s, Reached: reached + 1}, 1)
 	}
 	var sum int64
 	var ecc int32

@@ -75,6 +75,11 @@ func (g *Game) exactOn(dv *Deviator, d *graph.Digraph) BestResponse {
 	if b > len(targets) {
 		return best // degenerate budget: no strategy of size b exists
 	}
+	if dv.sumPrune() {
+		// Build the shared column-min bound once, before any clone: the
+		// workers' pruning suffixes all derive from it.
+		dv.ensureColMin()
+	}
 	firsts := len(targets) - b + 1
 	workers := runtime.GOMAXPROCS(0)
 	if workers > firsts {
@@ -119,6 +124,8 @@ type exactLocal struct {
 	targets  []int
 	b        int
 	cached   bool
+	prune    bool      // SUM bounded-kernel leaves (see sumkernel.go)
+	suf      []int64   // leaf pruning bound: suffix sums against inMin
 	strategy []int     // combination prefix as vertex ids
 	vecs     [][]int32 // vecs[k]: min-vector of in(u) + first k chosen anchors; vecs[0] aliases inMin
 	reach    *touched  // component labels touched by in(u) + prefix
@@ -146,6 +153,14 @@ func newExactLocal(dv *Deviator, targets []int, b int, current int64) *exactLoca
 			e.vecs[k] = getInt32(n)
 		}
 		e.reach = dv.newTouched()
+		if dv.sumPrune() {
+			// The inMin suffix bound is valid for every leaf: each
+			// partial min-vector only shrinks entries below inMin, never
+			// below min(inMin, colMin). It is worker-local scratch
+			// (clones share colMin but fill their own suffix).
+			e.prune = true
+			e.suf = dv.inMinSuffix()
+		}
 	}
 	return e
 }
@@ -195,10 +210,21 @@ func (e *exactLocal) leaf(t int) {
 	e.explored++
 	e.strategy[e.b-1] = t
 	var c int64
-	if e.cached {
+	switch {
+	case e.prune:
+		// The worker-local incumbent is the pruning budget: a pruned leaf
+		// is certified strictly worse, so the kept minimiser (and the
+		// lexicographic tie-breaking, which only ever compares strict
+		// improvements) is identical to the full enumeration.
+		var pruned bool
+		c, pruned = e.dv.sumEvalBounded(e.vecs[e.b-1], t, e.suf, e.bestCost)
+		if pruned {
+			return
+		}
+	case e.cached:
 		r := e.dv.aggregate(e.vecs[e.b-1], t)
 		c = e.dv.costOf(r, e.reach.with(t))
-	} else {
+	default:
 		c = e.dv.Eval(e.strategy)
 	}
 	// Strict improvement only: within a worker enumeration is

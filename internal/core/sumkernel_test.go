@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Equivalence and soundness of the SUM evaluation kernel (sumkernel.go):
+// the blocked min-merge plus the candidate-pruning bounds must leave
+// every responder's output — cost, strategy, tie-breaking, Explored —
+// bit-identical to the scalar paths, across all 8 generator families,
+// and a pruned evaluation must always certify a cost strictly above the
+// budget (the bound never rejects a true best candidate).
+
+// withSumKernel runs fn with BBNCG_SUMKERNEL pinned to on/off (the flag
+// is snapshotted per Deviator, so fn sees it on every Deviator it
+// creates).
+func withSumKernel(on bool, fn func()) {
+	old, had := os.LookupEnv("BBNCG_SUMKERNEL")
+	val := "0"
+	if on {
+		val = "1"
+	}
+	os.Setenv("BBNCG_SUMKERNEL", val)
+	defer func() {
+		if had {
+			os.Setenv("BBNCG_SUMKERNEL", old)
+		} else {
+			os.Unsetenv("BBNCG_SUMKERNEL")
+		}
+	}()
+	fn()
+}
+
+func sameBR(t *testing.T, ctx string, a, b BestResponse) {
+	t.Helper()
+	if a.Cost != b.Cost || a.Current != b.Current || a.Explored != b.Explored {
+		t.Fatalf("%s: kernel %+v, scalar %+v", ctx, a, b)
+	}
+	if !equalInts(a.Strategy, b.Strategy) {
+		t.Fatalf("%s: kernel strategy %v, scalar %v", ctx, a.Strategy, b.Strategy)
+	}
+}
+
+// TestPropertySumKernelRespondersAcrossGenerators pins every responder
+// pair (greedy, swap, exact) with the kernel on against the scalar path
+// on every generator family. The pruning bound rejecting a true best
+// candidate would surface here as a cost or tie-break divergence.
+func TestPropertySumKernelRespondersAcrossGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(7101))
+	for round := 0; round < 3; round++ {
+		for _, inst := range generatorCorpus(rng) {
+			g := GameOf(inst.d, SUM)
+			for u := 0; u < g.N(); u++ {
+				var gOn, gOff, sOn, sOff, eOn, eOff BestResponse
+				var errOn, errOff error
+				withSumKernel(true, func() {
+					gOn = g.GreedyBestResponse(inst.d, u)
+					sOn = g.BestSwap(inst.d, u)
+					eOn, errOn = g.ExactBestResponse(inst.d, u, 0)
+				})
+				withSumKernel(false, func() {
+					gOff = g.GreedyBestResponse(inst.d, u)
+					sOff = g.BestSwap(inst.d, u)
+					eOff, errOff = g.ExactBestResponse(inst.d, u, 0)
+				})
+				if errOn != nil || errOff != nil {
+					t.Fatal(errOn, errOff)
+				}
+				sameBR(t, inst.name+" greedy", gOn, gOff)
+				sameBR(t, inst.name+" swap", sOn, sOff)
+				sameBR(t, inst.name+" exact", eOn, eOff)
+			}
+		}
+	}
+}
+
+// TestPropertyPooledScanAcrossGenerators pins the full pruning
+// machinery — tier bounds, budget seeding, and the candidate memo of
+// pool-owned Deviators past the stability hysteresis — against the
+// scalar responders, on every generator family. Each pooled responder
+// runs twice: the second scan is served from the memo and must agree
+// byte for byte as well.
+func TestPropertyPooledScanAcrossGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(7105))
+	for _, inst := range generatorCorpus(rng) {
+		g := GameOf(inst.d, SUM)
+		pool := NewCachePool(g, 0)
+		for u := 0; u < g.N(); u++ {
+			dv := pool.Acquire(inst.d, u)
+			dv.sumOn = true
+			dv.stable = 4
+			if !dv.HasCache() {
+				t.Fatalf("%s: pool refused u=%d", inst.name, u)
+			}
+			var gOff, sOff BestResponse
+			withSumKernel(false, func() {
+				gOff = g.GreedyBestResponse(inst.d, u)
+				sOff = g.BestSwap(inst.d, u)
+			})
+			for pass := 0; pass < 2; pass++ {
+				sameBR(t, inst.name+" pooled greedy", g.greedyOn(dv, inst.d), gOff)
+			}
+			sameBR(t, inst.name+" pooled swap", g.swapOn(dv, inst.d), sOff)
+			dv.Release()
+		}
+		pool.Close()
+	}
+}
+
+// TestPropertyEvalBoundedSound pins the EvalBounded contract on every
+// generator family: pruned implies the true cost strictly exceeds the
+// bound; not pruned implies the exact Eval cost.
+func TestPropertyEvalBoundedSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7102))
+	for _, inst := range generatorCorpus(rng) {
+		g := GameOf(inst.d, SUM)
+		n := g.N()
+		for u := 0; u < n; u++ {
+			dv := NewDeviator(g, inst.d, u)
+			dv.sumOn = true
+			if !dv.EnsureCache(1 << 40) {
+				t.Fatalf("%s: cache refused", inst.name)
+			}
+			for k := 0; k <= 3 && k <= n-1; k++ {
+				s := randomStrategy(n, u, k, rng)
+				want := dv.Eval(s)
+				for _, bound := range []int64{0, want - 1, want, want + 1, 1 << 40} {
+					c, pruned := dv.EvalBounded(s, bound)
+					if pruned {
+						if want <= bound {
+							t.Fatalf("%s u=%d s=%v: pruned although cost %d <= bound %d",
+								inst.name, u, s, want, bound)
+						}
+						continue
+					}
+					if c != want {
+						t.Fatalf("%s u=%d s=%v: bounded cost %d, Eval %d", inst.name, u, s, c, want)
+					}
+				}
+			}
+			dv.Release()
+		}
+	}
+}
+
+// TestSumKernelColMinRepair drives a pooled SUM Deviator through a
+// sequence of rewires and checks the repaired column-min bound stays a
+// sound lower bound of every row (the invariant all pruning rests on),
+// and that responders on the repaired pool still match a fresh scalar
+// Deviator exactly.
+func TestSumKernelColMinRepair(t *testing.T) {
+	rng := rand.New(rand.NewSource(7103))
+	g := UniformGame(24, 2, SUM)
+	d := graph.RandomOutDigraph(g.Budgets, rng)
+	withSumKernel(true, func() {
+		pool := NewCachePool(g, 0)
+		defer pool.Close()
+		for step := 0; step < 12; step++ {
+			// Rewire a random player, acquire a random other player.
+			mover := rng.Intn(g.N())
+			d.SetOut(mover, randomStrategy(g.N(), mover, g.Budgets[mover], rng))
+			pool.Invalidate()
+			u := rng.Intn(g.N())
+			dv := pool.Acquire(d, u)
+			br := g.greedyOn(dv, d)
+			dv.Release()
+
+			if dv.colMin != nil {
+				n := g.N()
+				for v := 0; v < n; v++ {
+					if v == u {
+						continue
+					}
+					for w := 0; w < n; w++ {
+						if dv.colMin[w] > dv.rows[v*n+w] {
+							t.Fatalf("step %d: colMin[%d]=%d above row %d entry %d",
+								step, w, dv.colMin[w], v, dv.rows[v*n+w])
+						}
+					}
+				}
+			}
+
+			var want BestResponse
+			withSumKernel(false, func() {
+				want = g.GreedyBestResponse(d, u)
+			})
+			sameBR(t, "pooled greedy after repair", br, want)
+		}
+	})
+}
+
+// TestWeightedKernelEquivalence pins the weighted prefix-stack kernel
+// against the scalar weighted evaluation, including after folds change
+// the weight vector.
+func TestWeightedKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7104))
+	for trial := 0; trial < 6; trial++ {
+		budgets := make([]int, 10)
+		for i := range budgets {
+			budgets[i] = 1 + rng.Intn(2)
+		}
+		d := graph.RandomOutDigraph(budgets, rng)
+		wg := NewWeighted(d)
+		// Shift some weight around like the folding proofs do.
+		for i := 0; i < 3; i++ {
+			from, to := rng.Intn(10), rng.Intn(10)
+			if from != to && wg.W[from] > 0 {
+				wg.W[to] += wg.W[from]
+				wg.W[from] = 0
+			}
+		}
+		for u := 0; u < d.N(); u++ {
+			if !wg.Alive(u) {
+				continue
+			}
+			var on, off BestResponse
+			var errOn, errOff error
+			withSumKernel(true, func() { on, errOn = wg.WeightedBestResponse(u, 0) })
+			withSumKernel(false, func() { off, errOff = wg.WeightedBestResponse(u, 0) })
+			if errOn != nil || errOff != nil {
+				t.Fatal(errOn, errOff)
+			}
+			sameBR(t, "weighted", on, off)
+		}
+	}
+}

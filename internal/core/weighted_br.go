@@ -52,6 +52,29 @@ func (wg *WeightedGraph) WeightedBestResponse(u int, maxCandidates int64) (BestR
 	}
 	res.Cost = res.Current
 
+	// With the kernel on, the enumeration keeps a stack of partial
+	// min-vectors over the combination prefix (exactly like the exact
+	// responder), so a leaf costs one fused O(n) weighted pass instead of
+	// re-merging all b rows; BBNCG_SUMKERNEL=0 restores the historical
+	// per-candidate weightedEval. Both paths are bit-identical.
+	n := wg.D.N()
+	kernel := cached && dv.sumOn
+	var vecs [][]int32
+	var w0 []int64
+	if kernel {
+		w0 = append([]int64(nil), wg.W...)
+		w0[u] = 0 // the source never pays for itself; vec[u] is InfDist
+		vecs = make([][]int32, b)
+		if b > 0 {
+			vecs[0] = dv.inMin
+			for k := 1; k < b; k++ {
+				vecs[k] = getInt32(n)
+				defer putInt32(vecs[k])
+			}
+		}
+	}
+	cinf := int64(n) * int64(n)
+
 	comb := make([]int, b)
 	trial := make([]int, b)
 	var rec func(start, at int)
@@ -61,9 +84,17 @@ func (wg *WeightedGraph) WeightedBestResponse(u int, maxCandidates int64) (BestR
 				trial[i] = targets[idx]
 			}
 			var c int64
-			if cached {
+			switch {
+			case kernel:
+				if b == 0 {
+					c = graph.WeightedSumMerge(dv.inMin, nil, w0, cinf)
+				} else {
+					last := trial[b-1]
+					c = graph.WeightedSumMerge(vecs[b-1], dv.rows[last*n:(last+1)*n], w0, cinf)
+				}
+			case cached:
 				c = dv.weightedEval(trial, wg.W)
-			} else {
+			default:
 				wg.D.SetOut(u, trial)
 				c = wg.Cost(u)
 			}
@@ -76,6 +107,11 @@ func (wg *WeightedGraph) WeightedBestResponse(u int, maxCandidates int64) (BestR
 		}
 		for i := start; i <= len(targets)-(b-at); i++ {
 			comb[at] = i
+			if kernel && at < b-1 {
+				copy(vecs[at+1], vecs[at])
+				v := targets[i]
+				graph.MinInto(vecs[at+1], dv.rows[v*n:(v+1)*n])
+			}
 			rec(i+1, at+1)
 		}
 	}

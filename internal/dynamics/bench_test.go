@@ -112,6 +112,112 @@ func BenchmarkDynamicsRoundIncremental(b *testing.B) {
 	}
 }
 
+// BenchmarkDynamicsRoundSUM is the headline A/B of the SUM evaluation
+// kernel (ISSUE 5): one full greedy dynamics round over a settled SUM
+// profile, with the incremental pool on in both modes, comparing the
+// blocked min-merge + candidate-pruning kernel (BBNCG_SUMKERNEL=1,
+// the default) against the scalar min-merge paths it replaced
+// (BBNCG_SUMKERNEL=0). The settled round is the regime the kernel
+// targets: the pool already removed the matrix refills, so the scalar
+// O(n) min-merge per candidate is what dominates — exactly the cost the
+// pruning bounds cut. The n=128 case doubles as a CI regression guard
+// by asserting both modes produce identical dynamics before timing.
+func BenchmarkDynamicsRoundSUM(b *testing.B) {
+	for _, cfg := range []struct{ n int }{{128}, {512}} {
+		cfg := cfg
+		b.Run(fmt.Sprintf("n=%d", cfg.n), func(b *testing.B) {
+			if cfg.n >= 512 && os.Getenv("BENCH_LARGE") == "" {
+				b.Skip("set BENCH_LARGE=1 to run the n>=512 configs")
+			}
+			g := core.UniformGame(cfg.n, 2, core.SUM)
+			start := RandomProfile(g, rand.New(rand.NewSource(9)))
+			pre, err := Run(g, start, Options{
+				Responder: core.GreedyResponder, Cached: core.GreedyDeviatorResponder, MaxRounds: 4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			settled := pre.Final
+			opts := Options{
+				Responder: core.GreedyResponder,
+				Cached:    core.GreedyDeviatorResponder,
+				MaxRounds: 1,
+			}
+			if cfg.n == 128 {
+				assertSumModesAgree(b, g, settled, opts)
+			}
+			for _, mode := range []struct{ name, env string }{
+				{"kernel", "1"},
+				{"scalar", "0"},
+			} {
+				b.Run(mode.name, func(b *testing.B) {
+					b.Setenv("BBNCG_SUMKERNEL", mode.env)
+					runOpts := opts
+					// The pool is shared across measured rounds the way one
+					// long run shares it across its rounds; the untimed
+					// warm-up rounds fill the matrices (and, in kernel mode,
+					// the column-min pruning bounds).
+					runOpts.Pool = core.NewCachePool(g, 0)
+					defer runOpts.Pool.Close()
+					for i := 0; i < 3; i++ {
+						if _, err := Run(g, settled, runOpts); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res, err := Run(g, settled, runOpts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if res.Rounds == 0 {
+							b.Fatal("no rounds executed")
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// assertSumModesAgree fails the benchmark if the blocked SUM kernel and
+// the scalar min-merge paths diverge — the CI SUM bench gate runs this
+// at n=128 before timing, so a pruning-soundness regression fails fast
+// instead of surfacing as a golden drift. Each mode runs several rounds
+// over a pool shared across runs, exactly like the timed loops: the
+// pruning machinery only engages for pool-owned Deviators past the
+// stability hysteresis, so a single cold run would compare two copies
+// of the trivial path and assert nothing about the bounds or the memo.
+// Every run of the sequence is compared pairwise, covering the cold
+// (fill), warming (bounds built) and warm (memo-served) rounds.
+func assertSumModesAgree(b *testing.B, g *core.Game, start *graph.Digraph, opts Options) {
+	b.Helper()
+	runs := func(env string) []Result {
+		b.Setenv("BBNCG_SUMKERNEL", env)
+		o := opts
+		o.Pool = core.NewCachePool(g, 0)
+		defer o.Pool.Close()
+		var out []Result
+		for i := 0; i < 4; i++ {
+			res, err := Run(g, start, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+	kernel := runs("1")
+	scalar := runs("0")
+	for i := range kernel {
+		if kernel[i].Moves != scalar[i].Moves || kernel[i].Rounds != scalar[i].Rounds ||
+			!kernel[i].Final.Equal(scalar[i].Final) {
+			b.Fatalf("SUM kernel and scalar dynamics diverge on run %d:\nkernel %+v\nscalar %+v",
+				i, kernel[i], scalar[i])
+		}
+	}
+}
+
 // BenchmarkDynamicsRunIncremental measures whole bounded runs from a
 // random profile — the adversarial mix for the pool: the early rounds
 // carry heavy move traffic (repairs degrade to refills plus bookkeeping)

@@ -157,7 +157,11 @@ func isEquilibrium(g *core.Game, d *graph.Digraph) (bool, error) {
 		}
 		cur := dv.Eval(d.Out(u))
 		improved := forEachStrategyUntil(n, u, b, func(s []int) bool {
-			return dv.Eval(s) < cur
+			// Bounded evaluation (SUM pruning kernel): pruning against
+			// cur-1 certifies cost >= cur, i.e. not improving — the
+			// early-exit decision is identical to the full scan.
+			c, pruned := dv.EvalBounded(s, cur-1)
+			return !pruned && c < cur
 		})
 		dv.Release()
 		if improved {

@@ -81,7 +81,14 @@ func BestResponseImprovementGraph(g *core.Game, cap int64) (FIPResult, error) {
 			best := cur
 			var bests [][]int
 			forEachStrategy(n, u, g.Budgets[u], func(s []int) {
-				c := dv.Eval(s)
+				// Bounded evaluation (SUM pruning kernel): a pruned
+				// candidate is certified strictly worse than best, so it
+				// can neither improve best nor tie it — the arc set is
+				// identical to the full-evaluation scan.
+				c, pruned := dv.EvalBounded(s, best)
+				if pruned {
+					return
+				}
 				if c < best {
 					best = c
 					bests = bests[:0]

@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// scalarSumMerge is the reference the blocked kernel must match: the
+// pre-kernel per-entry loop, kept here verbatim as the oracle.
+func scalarSumMerge(vec, row []int32) (sum int64, reached int) {
+	for w, m := range vec {
+		if row != nil {
+			if r := row[w]; r < m {
+				m = r
+			}
+		}
+		if m < InfDist {
+			sum += int64(m) + 1
+			reached++
+		}
+	}
+	return sum, reached
+}
+
+// randVec draws a distance vector with a mixture of small distances and
+// InfDist sentinels (the shapes real rows have).
+func randVec(n int, rng *rand.Rand) []int32 {
+	v := make([]int32, n)
+	for i := range v {
+		switch rng.Intn(4) {
+		case 0:
+			v[i] = InfDist
+		default:
+			v[i] = int32(rng.Intn(n + 2))
+		}
+	}
+	return v
+}
+
+func TestSumMergeMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{0, 1, 3, 4, 5, 7, 8, 63, 64, 65, 200, 513} {
+		for trial := 0; trial < 20; trial++ {
+			vec := randVec(n, rng)
+			row := randVec(n, rng)
+			gotS, gotR := SumMerge(vec, row)
+			wantS, wantR := scalarSumMerge(vec, row)
+			if gotS != wantS || gotR != wantR {
+				t.Fatalf("n=%d merged: got (%d,%d), want (%d,%d)", n, gotS, gotR, wantS, wantR)
+			}
+			gotS, gotR = SumMerge(vec, nil)
+			wantS, wantR = scalarSumMerge(vec, nil)
+			if gotS != wantS || gotR != wantR {
+				t.Fatalf("n=%d vec-only: got (%d,%d), want (%d,%d)", n, gotS, gotR, wantS, wantR)
+			}
+		}
+	}
+}
+
+// contribTotal is the "total contribution" the bounded kernel reasons
+// in: m+1 per reachable entry, cinf per unreachable one.
+func contribTotal(vec, row []int32, cinf int64) int64 {
+	var total int64
+	for w, m := range vec {
+		if row != nil {
+			if r := row[w]; r < m {
+				m = r
+			}
+		}
+		if m < InfDist {
+			total += int64(m) + 1
+		} else {
+			total += cinf
+		}
+	}
+	return total
+}
+
+// TestSumMergeBounded pins the pruning contract on random inputs with a
+// valid random floor: when the scan prunes, the true total strictly
+// exceeds the budget; when it does not, sum and reached equal SumMerge's.
+func TestSumMergeBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 5, 64, 65, 129, 400} {
+		cinf := int64(n) * int64(n)
+		for trial := 0; trial < 40; trial++ {
+			vec := randVec(n, rng)
+			row := randVec(n, rng)
+			// A sound floor: entrywise at most the merged value.
+			suffix := make([]int64, n+1)
+			for w := n - 1; w >= 0; w-- {
+				m := vec[w]
+				if r := row[w]; r < m {
+					m = r
+				}
+				if rng.Intn(2) == 0 && m > 0 && m < InfDist {
+					m-- // floors may be slack
+				}
+				c := cinf
+				if m < InfDist {
+					c = int64(m) + 1
+				}
+				suffix[w] = suffix[w+1] + c
+			}
+			total := contribTotal(vec, row, cinf)
+			for _, budget := range []int64{0, total - 1, total, total + 1, 1 << 40} {
+				sum, reached, pruned := SumMergeBounded(vec, row, suffix, cinf, budget)
+				if pruned {
+					if total <= budget {
+						t.Fatalf("n=%d: pruned although total %d <= budget %d", n, total, budget)
+					}
+					continue
+				}
+				wantS, wantR := SumMerge(vec, row)
+				if sum != wantS || reached != wantR {
+					t.Fatalf("n=%d: bounded (%d,%d) != merge (%d,%d)", n, sum, reached, wantS, wantR)
+				}
+			}
+		}
+	}
+}
+
+func TestWeightedSumMergeMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{0, 1, 4, 7, 65, 130} {
+		cinf := int64(n) * int64(n)
+		for trial := 0; trial < 20; trial++ {
+			vec := randVec(n, rng)
+			row := randVec(n, rng)
+			weight := make([]int64, n)
+			for i := range weight {
+				weight[i] = int64(rng.Intn(4)) // folded zeros included
+			}
+			var want int64
+			for w, m := range vec {
+				if r := row[w]; r < m {
+					m = r
+				}
+				if m < InfDist {
+					want += weight[w] * int64(m+1)
+				} else {
+					want += weight[w] * cinf
+				}
+			}
+			if got := WeightedSumMerge(vec, row, weight, cinf); got != want {
+				t.Fatalf("n=%d: got %d, want %d", n, got, want)
+			}
+			var wantNil int64
+			for w, m := range vec {
+				if m < InfDist {
+					wantNil += weight[w] * int64(m+1)
+				} else {
+					wantNil += weight[w] * cinf
+				}
+			}
+			if got := WeightedSumMerge(vec, nil, weight, cinf); got != wantNil {
+				t.Fatalf("n=%d nil-row: got %d, want %d", n, got, wantNil)
+			}
+		}
+	}
+}
+
+func TestMinInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, n := range []int{0, 1, 3, 4, 9, 64, 201} {
+		vec := randVec(n, rng)
+		row := randVec(n, rng)
+		want := make([]int32, n)
+		for i := range want {
+			want[i] = vec[i]
+			if row[i] < want[i] {
+				want[i] = row[i]
+			}
+		}
+		MinInto(vec, row)
+		for i := range want {
+			if vec[i] != want[i] {
+				t.Fatalf("n=%d entry %d: got %d, want %d", n, i, vec[i], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkSumMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 1024
+	vec := randVec(n, rng)
+	row := randVec(n, rng)
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SumMerge(vec, row)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scalarSumMerge(vec, row)
+		}
+	})
+}
