@@ -1,0 +1,315 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// The crash-injection suite runs the real bbncg binary — this test
+// binary re-executing its own main() — under randomized failpoint
+// schedules that SIGKILL it mid-sweep, then asserts the recovery
+// contract: resumed + merged output is byte-identical to a run that
+// was never interrupted, and `doctor` signs the store off.
+
+// TestMain lets the test binary impersonate bbncg: with BBNCG_REEXEC=1
+// it runs main() instead of the test suite, so the crash tests need no
+// separately built binary (and the injected faults run under -race
+// whenever the tests do).
+func TestMain(m *testing.M) {
+	if os.Getenv("BBNCG_REEXEC") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// bbncgResult is one subprocess invocation's outcome.
+type bbncgResult struct {
+	stdout, stderr string
+	code           int
+	killed         bool // died on SIGKILL (an injected crash)
+}
+
+// runBBNCG executes bbncg with the given args, arming BBNCG_FAULTS
+// with the given spec (empty = disarmed).
+func runBBNCG(t *testing.T, faults string, args ...string) bbncgResult {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "BBNCG_REEXEC=1", "BBNCG_FAULTS="+faults)
+	var out, errb strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err = cmd.Run()
+	res := bbncgResult{stdout: out.String(), stderr: errb.String()}
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("bbncg %v: %v", args, err)
+		}
+		res.code = ee.ExitCode()
+		// A signal death reports -1; the non-unix die() path exits 137.
+		res.killed = res.code == -1 || res.code == 137
+	}
+	return res
+}
+
+// directOutput renders a command in-process, the uninterrupted
+// reference that every crashed-and-recovered run must reproduce.
+func directOutput(t *testing.T, cmd string) string {
+	t.Helper()
+	return runCLI(t, &app{effort: experiments.Quick, seed: 1}, cmd)
+}
+
+// saveArtifact copies a store directory plus the got/want pair to
+// CRASHME_ARTIFACT_DIR (set by CI) so a recovery mismatch is
+// debuggable without reproducing the randomized schedule.
+func saveArtifact(t *testing.T, dir, got, want string) {
+	t.Helper()
+	root := os.Getenv("CRASHME_ARTIFACT_DIR")
+	if root == "" {
+		return
+	}
+	dst := filepath.Join(root, t.Name())
+	if err := os.MkdirAll(dst, 0o777); err != nil {
+		t.Logf("artifact dir: %v", err)
+		return
+	}
+	if err := os.CopyFS(filepath.Join(dst, "store"), os.DirFS(dir)); err != nil {
+		t.Logf("artifact copy: %v", err)
+	}
+	_ = os.WriteFile(filepath.Join(dst, "got.txt"), []byte(got), 0o666)
+	_ = os.WriteFile(filepath.Join(dst, "want.txt"), []byte(want), 0o666)
+	t.Logf("crash artifact saved to %s", dst)
+}
+
+// envInt reads an integer knob from the environment (CI overrides).
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// crashSchedule draws one randomized kill schedule. The sites span the
+// whole write path: dying inside an evaluation, inside the record
+// append (clean and torn), around both halves of the atomic manifest
+// update, between points (the progress meter), and while a resume is
+// reloading shards.
+func crashSchedule(rng *rand.Rand) string {
+	switch rng.Intn(7) {
+	case 0:
+		return fmt.Sprintf("runner.eval=crash@%d", 1+rng.Intn(5))
+	case 1:
+		return fmt.Sprintf("store.append.write=crash@%d", 1+rng.Intn(4))
+	case 2:
+		return fmt.Sprintf("store.append.write=torn:%d@%d", rng.Intn(40), 1+rng.Intn(4))
+	case 3:
+		return "store.manifest.write=crash@1"
+	case 4:
+		return "store.manifest.rename=crash@1"
+	case 5:
+		return fmt.Sprintf("runner.progress=crash@%d", 1+rng.Intn(6))
+	default:
+		return fmt.Sprintf("store.shard.open=crash@%d", 1+rng.Intn(20))
+	}
+}
+
+// TestCrashInjectionResumeExact is the tentpole integration test: kill
+// `bbncg all` at randomized injection points at least BBNCG_CRASHME_KILLS
+// times (default 25), resuming after every death, and require the
+// eventually-completed run — plus a merge of the battered store — to be
+// byte-identical to an uninterrupted run of all 22 specs.
+func TestCrashInjectionResumeExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash loop")
+	}
+	want := directOutput(t, "all")
+	seed := int64(envInt("BBNCG_CRASHME_SEED", 1))
+	minKills := envInt("BBNCG_CRASHME_KILLS", 25)
+	rng := rand.New(rand.NewSource(seed))
+	dir := t.TempDir()
+
+	kills, completions := 0, 0
+	maxRounds := 40 * minKills // a non-firing schedule completes a round; keep a hard stop
+	for round := 1; kills < minKills; round++ {
+		if round > maxRounds {
+			t.Fatalf("only %d kills in %d rounds (schedules not firing?)", kills, round-1)
+		}
+		res := runBBNCG(t, crashSchedule(rng), "-out", dir, "-resume", "all")
+		switch {
+		case res.killed:
+			kills++
+		case res.code == 0:
+			// The schedule never fired (e.g. a deep shard.open hit on a
+			// store with few shards): the run completed and must already
+			// be byte-exact.
+			completions++
+			if res.stdout != want {
+				saveArtifact(t, dir, res.stdout, want)
+				t.Fatalf("round %d completed with wrong output (%d bytes, want %d)",
+					round, len(res.stdout), len(want))
+			}
+		default:
+			t.Fatalf("round %d: unexpected exit %d\nstderr:\n%s", round, res.code, res.stderr)
+		}
+	}
+	t.Logf("%d kills, %d incidental completions", kills, completions)
+
+	// Final clean resume: no faults armed, must complete byte-exact.
+	res := runBBNCG(t, "", "-out", dir, "-resume", "all")
+	if res.code != 0 {
+		t.Fatalf("clean resume exited %d\nstderr:\n%s", res.code, res.stderr)
+	}
+	if res.stdout != want {
+		saveArtifact(t, dir, res.stdout, want)
+		t.Fatalf("clean resume output differs (%d bytes, want %d)", len(res.stdout), len(want))
+	}
+
+	// The store alone must also reproduce everything: merge evaluates
+	// nothing and renders only stored values.
+	res = runBBNCG(t, "", "-out", dir, "merge", "all")
+	if res.code != 0 || res.stdout != want {
+		saveArtifact(t, dir, res.stdout, want)
+		t.Fatalf("merge after crashes: exit %d, output %d bytes (want %d)\nstderr:\n%s",
+			res.code, len(res.stdout), len(want), res.stderr)
+	}
+
+	// And the doctor signs it off: the battered store has notes at most
+	// (quarantined torn prefixes), no problems.
+	res = runBBNCG(t, "", "doctor", dir)
+	if res.code != 0 {
+		saveArtifact(t, dir, res.stdout, want)
+		t.Fatalf("doctor exited %d after recovery\n%s\n%s", res.code, res.stdout, res.stderr)
+	}
+}
+
+// A corrupted mid-shard record must degrade to a quarantined, reported,
+// retryable failure: doctor flags it, resume re-evaluates exactly that
+// point, and the final output is byte-identical.
+func TestCorruptRecordQuarantinedAndResumed(t *testing.T) {
+	want := directOutput(t, "conn")
+	dir := t.TempDir()
+	res := runBBNCG(t, "", "-out", dir, "conn")
+	if res.code != 0 || res.stdout != want {
+		t.Fatalf("seed run: exit %d\nstderr:\n%s", res.code, res.stderr)
+	}
+
+	// Flip one byte in the middle record of the shard.
+	shards, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil || len(shards) != 1 {
+		t.Fatalf("shards = %v, %v", shards, err)
+	}
+	data, err := os.ReadFile(shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("conn shard has %d lines, need >= 3 records to corrupt the middle", len(lines))
+	}
+	mid := lines[1]
+	flipped := []byte(mid)
+	flipped[len(flipped)/2] ^= 0x01
+	lines[1] = string(flipped)
+	if err := os.WriteFile(shards[0], []byte(strings.Join(lines, "")), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// Doctor must flag the corruption (exit 4) without repairing it.
+	res = runBBNCG(t, "", "doctor", dir)
+	if res.code != 4 {
+		t.Fatalf("doctor on corrupt store exited %d\n%s", res.code, res.stdout)
+	}
+
+	// Resume quarantines the bad record and re-evaluates exactly it.
+	res = runBBNCG(t, "", "-out", dir, "-resume", "conn")
+	if res.code != 0 {
+		t.Fatalf("resume over corruption exited %d\nstderr:\n%s", res.code, res.stderr)
+	}
+	if res.stdout != want {
+		saveArtifact(t, dir, res.stdout, want)
+		t.Fatal("resume over corruption is not byte-identical")
+	}
+	if !strings.Contains(res.stderr, "runner: 1 point(s) evaluated") {
+		t.Fatalf("resume did not re-evaluate exactly the corrupt point:\n%s", res.stderr)
+	}
+	if _, err := os.Stat(strings.TrimSuffix(shards[0], ".jsonl") + ".bad.jsonl"); err != nil {
+		t.Fatalf("no quarantine file: %v", err)
+	}
+
+	// Healed: doctor signs off (the quarantine file is just a note).
+	res = runBBNCG(t, "", "doctor", dir)
+	if res.code != 0 {
+		t.Fatalf("doctor after heal exited %d\n%s", res.code, res.stdout)
+	}
+}
+
+// An injected panic inside an evaluator must not kill the run under a
+// failure budget: the point is quarantined with its stack, the run
+// exits 3, doctor reports the outstanding failure, and a clean resume
+// heals everything byte-exactly.
+func TestPanicQuarantineExitCodes(t *testing.T) {
+	want := directOutput(t, "conn")
+	dir := t.TempDir()
+	res := runBBNCG(t, "runner.eval=panic@2", "-out", dir, "-max-failures", "-1", "conn")
+	if res.code != 3 {
+		t.Fatalf("run with quarantined panic exited %d, want 3\nstderr:\n%s", res.code, res.stderr)
+	}
+	if !strings.Contains(res.stderr, "FAILED (quarantined)") {
+		t.Fatalf("stderr does not report the quarantine:\n%s", res.stderr)
+	}
+	failed, err := os.ReadFile(filepath.Join(dir, "failed.jsonl"))
+	if err != nil {
+		t.Fatalf("no failed.jsonl: %v", err)
+	}
+	if !strings.Contains(string(failed), "injected panic") || !strings.Contains(string(failed), "goroutine") {
+		t.Fatalf("failed.jsonl lacks the panic and its stack:\n%s", failed)
+	}
+
+	// The outstanding failure is a doctor problem until it is healed.
+	res = runBBNCG(t, "", "doctor", dir)
+	if res.code != 4 || !strings.Contains(res.stdout, "never re-evaluated") {
+		t.Fatalf("doctor on quarantined store: exit %d\n%s", res.code, res.stdout)
+	}
+
+	res = runBBNCG(t, "", "-out", dir, "-resume", "conn")
+	if res.code != 0 || res.stdout != want {
+		saveArtifact(t, dir, res.stdout, want)
+		t.Fatalf("healing resume: exit %d, byte-identical=%v\nstderr:\n%s",
+			res.code, res.stdout == want, res.stderr)
+	}
+	res = runBBNCG(t, "", "doctor", dir)
+	if res.code != 0 {
+		t.Fatalf("doctor after heal exited %d\n%s", res.code, res.stdout)
+	}
+}
+
+// -retry absorbs transient failures without losing the run or the
+// byte-exact output, and the summary reports the extra attempts.
+func TestRetryHealsTransientFaults(t *testing.T) {
+	want := directOutput(t, "conn")
+	dir := t.TempDir()
+	res := runBBNCG(t, "runner.eval=error@2", "-out", dir, "-retry", "2", "conn")
+	if res.code != 0 {
+		t.Fatalf("retried run exited %d\nstderr:\n%s", res.code, res.stderr)
+	}
+	if res.stdout != want {
+		t.Fatal("retried run is not byte-identical")
+	}
+	if !strings.Contains(res.stderr, "1 retried") {
+		t.Fatalf("summary does not count the retry:\n%s", res.stderr)
+	}
+}

@@ -12,6 +12,7 @@
 //	bbncg [-full] [-csv] [-seed N] [-out DIR [-resume] [-shard i/k]] <command>
 //	bbncg -out DIR merge <command>
 //	bbncg -out DIR fetch SRC [SRC...]
+//	bbncg doctor DIR
 //	bbncg list
 //
 // Run `bbncg` with no arguments for the registry-generated command
@@ -23,18 +24,25 @@
 // of every experiment's point list, the unit of scale-out across
 // machines; `fetch` concatenates the shard stores and `merge` renders a
 // command's tables purely from the combined store, without evaluating
-// anything. See docs/RUNNER.md.
+// anything. `doctor` audits a store read-only. See docs/RUNNER.md.
+//
+// Exit codes: 0 success; 1 error; 2 usage; 3 the run completed but
+// quarantined point failures (-max-failures; rerun with -resume);
+// 4 doctor found problems.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/runner"
 	"repro/internal/store"
 	"repro/internal/sweep"
@@ -48,8 +56,16 @@ func main() {
 	resume := flag.Bool("resume", false, "continue an existing store: skip already-evaluated points")
 	shardFlag := flag.String("shard", "", "evaluate only partition i of k (\"i/k\") of every point list")
 	poolMB := flag.Int64("poolmb", 0, "dynamics distance-cache pool budget in MiB (0 = default 1024; MAX games add level sets worth ~(diam+1)/32 of it on top; see docs/RUNNER.md)")
+	retry := flag.Int("retry", 0, "re-attempt each transiently failing point up to N extra times")
+	maxFailures := flag.Int("max-failures", 0, "keep going while at most N points fail, quarantining them for -resume (-1 = unlimited, 0 = abort on failure)")
+	fsync := flag.Bool("fsync", false, "fsync every store append and manifest write (survives power loss, slower)")
 	flag.Usage = usage
 	flag.Parse()
+	// Fault injection (BBNCG_FAULTS) is armed before anything can hit a
+	// failpoint; unset, this is a no-op and every site stays free.
+	if err := fault.ArmFromEnv(); err != nil {
+		fatal(err)
+	}
 	effort := experiments.Quick
 	if *full {
 		effort = experiments.Full
@@ -93,6 +109,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fetch: %d record(s) added to %s\n", added, *out)
 		return
 	}
+	if cmd == "doctor" {
+		// doctor audits a store directory read-only and exits; the
+		// directory is positional, so the store/evaluation flags are
+		// usage errors.
+		if flag.NArg() != 2 || app.merge || *out != "" || *resume || shard.Active() {
+			usage()
+			os.Exit(2)
+		}
+		doctor(flag.Arg(1))
+		return
+	}
 	if cmd == "list" && (*out != "" || *resume || shard.Active() || app.merge) {
 		fatal(fmt.Errorf("list only prints the registry; store flags and merge do not apply"))
 	}
@@ -114,8 +141,11 @@ func main() {
 			fatal(fmt.Errorf("merge renders the full point list; -shard applies to evaluation runs"))
 		}
 	}
+	if *fsync && *out == "" {
+		fatal(fmt.Errorf("-fsync applies to store writes; it needs -out DIR"))
+	}
 	if *out != "" && cmd != "list" {
-		st, err := store.Open(*out)
+		st, err := store.OpenWith(*out, store.Options{Fsync: *fsync})
 		if err != nil {
 			fatal(err)
 		}
@@ -125,6 +155,8 @@ func main() {
 		}
 		app.st = st
 	}
+	app.retry = *retry
+	app.maxFailures = *maxFailures
 	err = app.run(cmd)
 	if app.st != nil {
 		if cerr := app.st.Close(); err == nil {
@@ -133,6 +165,12 @@ func main() {
 		if err == nil {
 			line := fmt.Sprintf("runner: %d point(s) evaluated, %d served from %s",
 				app.evaluated, app.skipped, *out)
+			if app.retried > 0 {
+				line += fmt.Sprintf(", %d retried", app.retried)
+			}
+			if app.failed > 0 {
+				line += fmt.Sprintf(", %d FAILED (quarantined)", app.failed)
+			}
 			if app.shard.Active() {
 				line += fmt.Sprintf(", %d outside shard %s", app.filtered, app.shard)
 			}
@@ -146,6 +184,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if app.failed > 0 {
+		// The run finished but -max-failures quarantined some points:
+		// nothing was rendered and the store is incomplete. A distinct
+		// exit code keeps driving scripts honest.
+		fmt.Fprintf(os.Stderr, "bbncg: %d point(s) failed and are quarantined in %s; inspect with `bbncg doctor %s`, retry with -resume\n",
+			app.failed, *out, *out)
+		os.Exit(3)
+	}
+}
+
+// doctor runs the read-only store audit, printing the machine-readable
+// report on stdout; problems exit 4.
+func doctor(dir string) {
+	rep, err := store.Audit(dir, experiments.SpecNames()...)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if !rep.OK() {
+		fmt.Fprintf(os.Stderr, "bbncg: doctor found %d problem(s) in %s\n", len(rep.Problems), dir)
+		os.Exit(4)
+	}
+	fmt.Fprintf(os.Stderr, "bbncg: doctor found no problems in %s\n", dir)
 }
 
 func fatal(err error) {
@@ -156,9 +221,10 @@ func fatal(err error) {
 // usage is generated from the command registry, so the help text can
 // never drift from what actually dispatches.
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: bbncg [-full] [-csv] [-seed N] [-out DIR [-resume] [-shard i/k]] <command>
+	fmt.Fprintf(os.Stderr, `usage: bbncg [-full] [-csv] [-seed N] [-out DIR [-resume] [-shard i/k] [-retry N] [-max-failures N] [-fsync]] <command>
        bbncg -out DIR merge <command>
        bbncg -out DIR fetch SRC [SRC...]
+       bbncg doctor DIR
 
 commands:
 `)
@@ -175,12 +241,15 @@ commands:
 	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "list", "print the experiment registry (specs, flags, point counts)")
 	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "merge", "render a command's tables from an existing -out store")
 	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "fetch", "concatenate shard stores (e.g. from -shard runs) into -out")
+	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "doctor", "audit a store directory read-only (counts, checksums, failures)")
 	fmt.Fprintf(os.Stderr, `
 Any spec name from `+"`bbncg list`"+` is also a command. -out DIR
 checkpoints results per point (with progress/ETA on stderr); -resume
 continues an interrupted -out run; -shard i/k evaluates one
 deterministic partition of every point list (run all k shards, fetch,
-then merge). -poolmb caps the incremental dynamics cache pool
+then merge). -retry N re-attempts transiently failing points;
+-max-failures N quarantines up to N failed points for a later -resume
+(exit code 3). -poolmb caps the incremental dynamics cache pool
 (BBNCG_INCREMENTAL=0 disables it). See docs/RUNNER.md.
 `)
 }
@@ -196,14 +265,23 @@ type app struct {
 	// Checkpointing state (nil/false without -out).
 	st    *store.Store
 	merge bool
+	// Failure-handling knobs forwarded to runner.Options.
+	retry       int
+	maxFailures int
 	// Resume accounting, reported on stderr and asserted by tests.
 	evaluated int
 	skipped   int
 	filtered  int
+	retried   int
+	failed    int
 	// Per-partition point counts summed over the run's specs (sharded
 	// runs only).
 	shardCounts []int
 }
+
+// retryBackoff is the first-retry sleep under -retry; each further
+// attempt doubles it (see runner.Options.RetryBackoff).
+const retryBackoff = 100 * time.Millisecond
 
 // intsLine renders shard counts as a space-separated list.
 func intsLine(xs []int) string {
@@ -243,7 +321,10 @@ func (a *app) runSpecs(names ...string) error {
 		if a.merge {
 			rep, err = runner.Merge(job, a.st)
 		} else {
-			rep, err = runner.Run(job, a.st, runner.Options{Shard: a.shard, Progress: a.progress})
+			rep, err = runner.Run(job, a.st, runner.Options{
+				Shard: a.shard, Progress: a.progress,
+				Retry: a.retry, RetryBackoff: retryBackoff, MaxFailures: a.maxFailures,
+			})
 		}
 		if err != nil {
 			return err
@@ -251,6 +332,8 @@ func (a *app) runSpecs(names ...string) error {
 		a.evaluated += rep.Evaluated
 		a.skipped += rep.Skipped
 		a.filtered += rep.Filtered
+		a.retried += rep.Retried
+		a.failed += rep.Failed
 		if rep.ShardCounts != nil {
 			if a.shardCounts == nil {
 				a.shardCounts = make([]int, len(rep.ShardCounts))
@@ -260,6 +343,12 @@ func (a *app) runSpecs(names ...string) error {
 			}
 		}
 		if a.shard.Active() {
+			continue
+		}
+		if rep.Failed > 0 {
+			// Quarantined points left nil values; the spec cannot render
+			// a partial sweep. The run keeps going so the other specs
+			// still checkpoint, and main exits 3.
 			continue
 		}
 		tables, err := spec.Render(rep.Values)

@@ -285,6 +285,18 @@ func Specs() []Spec {
 	}
 }
 
+// SpecNames lists every spec's canonical name, in registry order — the
+// experiment vocabulary of this build, which `bbncg doctor` uses to
+// flag store shards belonging to no known experiment.
+func SpecNames() []string {
+	specs := Specs()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
 // SpecByName finds a spec by canonical name or alias.
 func SpecByName(name string) (Spec, bool) {
 	for _, s := range Specs() {

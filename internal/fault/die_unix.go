@@ -1,0 +1,19 @@
+//go:build unix
+
+package fault
+
+import (
+	"os"
+	"syscall"
+)
+
+// die kills the process exactly as SIGKILL would: no deferred cleanup,
+// no atexit, no flushing — the honest crash the store's durability
+// contract is written against.
+func die() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	// SIGKILL delivery can race the return; never resume the caller.
+	for {
+		os.Exit(137)
+	}
+}

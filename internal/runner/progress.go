@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // Progress reporting for long sweeps: the evaluation fan-out counts
@@ -50,6 +52,10 @@ func (m *progressMeter) step() {
 	if m == nil {
 		return
 	}
+	// Progress is advisory, so an injected error is ignored; the site's
+	// crash mode still kills here, which lets the crash suite die in the
+	// window between a point's append and the next evaluation.
+	_ = fault.Hit(siteProgress)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.done++

@@ -22,12 +22,25 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/store"
 	"repro/internal/sweep"
+)
+
+// Failpoint sites owned by the runner (see internal/fault).
+var (
+	siteEval = fault.Register("runner.eval", "per-point evaluation (inside panic isolation)")
+	// siteProgress fires inside the progress meter; its error modes are
+	// ignored (progress is advisory) but crash mode still kills, which
+	// is what the crash suite uses to die between a point's append and
+	// the next point's evaluation.
+	siteProgress = fault.Register("runner.progress", "progress meter step")
 )
 
 // Point is one experiment evaluation: an experiment name, a canonical
@@ -74,6 +87,25 @@ type Options struct {
 	// progressInterval. Intended for os.Stderr on long sweeps; it never
 	// touches the rendered output.
 	Progress io.Writer
+	// Retry re-attempts a failed point up to Retry extra times, but only
+	// for transient errors (injected faults, or errors marked with
+	// Transient / implementing `Transient() bool`). Deterministic
+	// failures — wrong-code errors, panics — are never retried: running
+	// the same pure function again cannot help, and retrying a panic
+	// would just re-panic.
+	Retry int
+	// RetryBackoff is the sleep before the first re-attempt, doubling
+	// each further attempt. Zero retries immediately — the right choice
+	// under test and for CPU-bound evaluators.
+	RetryBackoff time.Duration
+	// MaxFailures selects what happens when points still fail after
+	// retries. 0 (the default) aborts the run with every failure joined
+	// into one error. A positive value keeps going while at most that
+	// many points have failed, quarantining each failure into the
+	// store's failed.jsonl (the failed points stay absent from the
+	// shard, so -resume retries exactly them); exceeding the budget
+	// aborts. -1 is an unlimited budget.
+	MaxFailures int
 }
 
 // Report is the outcome of one Run.
@@ -93,6 +125,40 @@ type Report struct {
 	// number): the balance check for planning a k-machine run. Its sum
 	// is len(Points).
 	ShardCounts []int
+	// Failed counts points quarantined under a MaxFailures budget (their
+	// Values entries stay nil — a report with Failed > 0 must not be
+	// rendered); Failures holds them. Retried counts extra evaluation
+	// attempts across all points, including ones that then succeeded.
+	Failed   int
+	Retried  int
+	Failures []store.Failure
+}
+
+// transient is the marker interface of retryable errors.
+type transient interface{ Transient() bool }
+
+type transientError struct{ err error }
+
+func (e *transientError) Error() string   { return e.err.Error() }
+func (e *transientError) Unwrap() error   { return e.err }
+func (e *transientError) Transient() bool { return true }
+
+// Transient marks err as retryable under Options.Retry — for
+// evaluators whose failures are environmental (a flaky data source, a
+// resource limit) rather than deterministic.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err}
+}
+
+func isTransient(err error) bool {
+	if fault.Injected(err) {
+		return true
+	}
+	var t transient
+	return errors.As(err, &t) && t.Transient()
 }
 
 // Run evaluates every in-shard point of job not already present in st,
@@ -130,35 +196,86 @@ func Run(job Job, st *store.Store, opt Options) (*Report, error) {
 	}
 	meter := newProgressMeter(opt.Progress, job.Exp, rep.Skipped, len(missing))
 	type outcome struct {
-		raw json.RawMessage
-		err error
+		raw      json.RawMessage
+		err      error
+		attempts int
 	}
 	outs := sweep.ParallelN(missing, workers, func(i int) outcome {
 		p := job.Points[i]
-		v, err := job.Eval(p)
-		if err != nil {
-			return outcome{err: fmt.Errorf("runner: %s %s: %w", p.Exp, p.Key, err)}
-		}
-		raw, err := json.Marshal(v)
-		if err != nil {
-			return outcome{err: fmt.Errorf("runner: %s %s: %w", p.Exp, p.Key, err)}
-		}
-		if st != nil {
-			if err := st.Append(store.Record{ID: p.ID(), Exp: p.Exp, Key: p.Key, Value: raw}); err != nil {
-				return outcome{err: err}
+		for attempt := 1; ; attempt++ {
+			raw, err := evalPoint(job, p, st)
+			if err == nil {
+				meter.step()
+				return outcome{raw: raw, attempts: attempt}
+			}
+			if attempt > opt.Retry || !isTransient(err) {
+				return outcome{err: err, attempts: attempt}
+			}
+			if opt.RetryBackoff > 0 {
+				retrySleep(opt.RetryBackoff << (attempt - 1))
 			}
 		}
-		meter.step()
-		return outcome{raw: raw}
 	})
+	var errs []error
 	for k, o := range outs {
+		rep.Retried += o.attempts - 1
 		if o.err != nil {
-			return nil, o.err
+			p := job.Points[missing[k]]
+			f := store.Failure{ID: p.ID(), Exp: p.Exp, Key: p.Key, Err: o.err.Error(), Attempts: o.attempts}
+			var pe *sweep.PanicError
+			if errors.As(o.err, &pe) {
+				f.Stack = string(pe.Stack)
+			}
+			rep.Failures = append(rep.Failures, f)
+			errs = append(errs, fmt.Errorf("runner: %s %s: %w", p.Exp, p.Key, o.err))
+			continue
 		}
 		rep.Values[missing[k]] = o.raw
 		rep.Evaluated++
 	}
+	rep.Failed = len(rep.Failures)
+	if rep.Failed > 0 {
+		if opt.MaxFailures == 0 || (opt.MaxFailures > 0 && rep.Failed > opt.MaxFailures) {
+			return nil, errors.Join(errs...)
+		}
+		if st != nil {
+			for _, f := range rep.Failures {
+				if err := st.AppendFailure(f); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
 	return rep, nil
+}
+
+// retrySleep is time.Sleep, indirected so retry tests stay instant.
+var retrySleep = time.Sleep
+
+// evalPoint runs one evaluation attempt end to end — failpoint, Eval,
+// canonical encoding, store append — with the whole attempt inside
+// panic isolation, so a panicking evaluator (or injected panic)
+// degrades to an error outcome on this one point.
+func evalPoint(job Job, p Point, st *store.Store) (json.RawMessage, error) {
+	return sweep.Recover(func() (json.RawMessage, error) {
+		if err := fault.Hit(siteEval); err != nil {
+			return nil, err
+		}
+		v, err := job.Eval(p)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			if err := st.Append(store.Record{ID: p.ID(), Exp: p.Exp, Key: p.Key, Value: raw}); err != nil {
+				return nil, err
+			}
+		}
+		return raw, nil
+	})
 }
 
 // Merge resolves every point of job from st without evaluating

@@ -2,9 +2,12 @@ package runner
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/store"
 )
 
@@ -204,5 +207,192 @@ func TestRunEvalError(t *testing.T) {
 	}
 	if _, err := Run(job, nil, Options{Workers: 1}); err == nil {
 		t.Fatal("eval error swallowed")
+	}
+}
+
+// A panicking evaluator must degrade to a per-point failure — with the
+// panic stack preserved — not kill the sweep process.
+func TestPanicIsolatedAndQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evals int64
+	job := testJob(5, &evals)
+	goodEval := job.Eval
+	job.Eval = func(p Point) (any, error) {
+		if p.Data.(int) == 2 {
+			panic("evaluator exploded")
+		}
+		return goodEval(p)
+	}
+	rep, err := Run(job, st, Options{Workers: 2, MaxFailures: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evaluated != 4 || rep.Failed != 1 || len(rep.Failures) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	f := rep.Failures[0]
+	if f.Key != "k=2" || !strings.Contains(f.Err, "evaluator exploded") {
+		t.Fatalf("failure = %+v", f)
+	}
+	if !strings.Contains(f.Stack, "goroutine") {
+		t.Fatalf("failure lacks a panic stack: %q", f.Stack)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The failure is on disk, and a clean resume retries exactly it.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	fails, err := st2.Failures()
+	if err != nil || len(fails) != 1 || fails[0].Key != "k=2" {
+		t.Fatalf("stored failures = %+v, %v", fails, err)
+	}
+	evals = 0
+	rep2, err := Run(testJob(5, &evals), st2, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Evaluated != 1 || rep2.Skipped != 4 || evals != 1 {
+		t.Fatalf("resume = %+v evals=%d", rep2, evals)
+	}
+}
+
+// Transient errors are retried up to Options.Retry times; deterministic
+// errors are not retried at all.
+func TestRetryTransient(t *testing.T) {
+	var sleeps []time.Duration
+	retrySleep = func(d time.Duration) { sleeps = append(sleeps, d) }
+	defer func() { retrySleep = time.Sleep }()
+
+	var tries int64
+	job := Job{
+		Exp:    "flaky",
+		Points: []Point{{Exp: "flaky", Key: "k=0", Seed: 1}},
+		Eval: func(Point) (any, error) {
+			if atomic.AddInt64(&tries, 1) < 3 {
+				return nil, Transient(fmt.Errorf("blip %d", tries))
+			}
+			return val{K: 0, S: 0}, nil
+		},
+	}
+	rep, err := Run(job, nil, Options{Workers: 1, Retry: 3, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evaluated != 1 || rep.Retried != 2 || tries != 3 {
+		t.Fatalf("report = %+v tries=%d", rep, tries)
+	}
+	if len(sleeps) != 2 || sleeps[0] != time.Millisecond || sleeps[1] != 2*time.Millisecond {
+		t.Fatalf("backoff sleeps = %v", sleeps)
+	}
+
+	// Budget exhausted: the point fails with its attempt count.
+	tries = 0
+	always := Job{
+		Exp:    "flaky",
+		Points: []Point{{Exp: "flaky", Key: "k=0", Seed: 1}},
+		Eval: func(Point) (any, error) {
+			atomic.AddInt64(&tries, 1)
+			return nil, Transient(fmt.Errorf("still down"))
+		},
+	}
+	if _, err := Run(always, nil, Options{Workers: 1, Retry: 2}); err == nil {
+		t.Fatal("exhausted retries succeeded")
+	}
+	if tries != 3 {
+		t.Fatalf("retry budget 2 made %d attempts, want 3", tries)
+	}
+
+	// Deterministic errors burn no retries.
+	tries = 0
+	det := Job{
+		Exp:    "det",
+		Points: []Point{{Exp: "det", Key: "k=0", Seed: 1}},
+		Eval: func(Point) (any, error) {
+			atomic.AddInt64(&tries, 1)
+			return nil, fmt.Errorf("wrong code")
+		},
+	}
+	if _, err := Run(det, nil, Options{Workers: 1, Retry: 5}); err == nil {
+		t.Fatal("deterministic error succeeded")
+	}
+	if tries != 1 {
+		t.Fatalf("deterministic error evaluated %d times, want 1", tries)
+	}
+}
+
+// Every failing point must be reported, not just the first.
+func TestAllFailuresReported(t *testing.T) {
+	var evals int64
+	job := testJob(6, &evals)
+	goodEval := job.Eval
+	job.Eval = func(p Point) (any, error) {
+		if k := p.Data.(int); k == 1 || k == 3 || k == 5 {
+			return nil, fmt.Errorf("bad point %d", k)
+		}
+		return goodEval(p)
+	}
+	_, err := Run(job, nil, Options{Workers: 1})
+	if err == nil {
+		t.Fatal("failing run succeeded")
+	}
+	for _, want := range []string{"bad point 1", "bad point 3", "bad point 5"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined error misses %q: %v", want, err)
+		}
+	}
+}
+
+// MaxFailures is a budget: within it the run completes and reports the
+// failures; beyond it the run aborts.
+func TestMaxFailuresBudget(t *testing.T) {
+	mkJob := func(evals *int64) Job {
+		job := testJob(6, evals)
+		goodEval := job.Eval
+		job.Eval = func(p Point) (any, error) {
+			if k := p.Data.(int); k == 1 || k == 3 {
+				return nil, fmt.Errorf("bad point %d", k)
+			}
+			return goodEval(p)
+		}
+		return job
+	}
+	var evals int64
+	rep, err := Run(mkJob(&evals), nil, Options{Workers: 1, MaxFailures: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 2 || rep.Evaluated != 4 {
+		t.Fatalf("within budget: %+v", rep)
+	}
+	if _, err := Run(mkJob(&evals), nil, Options{Workers: 1, MaxFailures: 1}); err == nil {
+		t.Fatal("budget exceeded but run succeeded")
+	}
+}
+
+// An injected eval fault is transient: with retries armed the run heals
+// itself and the report records the extra attempt.
+func TestInjectedFaultRetried(t *testing.T) {
+	set, err := fault.Parse("runner.eval=error@2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Install(set)
+	t.Cleanup(fault.Disarm)
+	var evals int64
+	rep, err := Run(testJob(3, &evals), nil, Options{Workers: 1, Retry: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Evaluated != 3 || rep.Retried != 1 {
+		t.Fatalf("report = %+v", rep)
 	}
 }

@@ -1,0 +1,205 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// AuditShard is the doctor's view of one shard file.
+type AuditShard struct {
+	Exp      string `json:"exp"`
+	File     string `json:"file"`
+	Records  int    `json:"records"`
+	Manifest int    `json:"manifest"` // record count the manifest claims, -1 if unlisted
+	// Problems local to this shard, already merged into the report's
+	// Problems list: checksum failures, duplicate IDs, a truncated tail.
+	BadRecords int  `json:"bad_records"`
+	Truncated  bool `json:"truncated"`
+}
+
+// AuditReport is the machine-readable result of Audit — what
+// `bbncg doctor` prints as JSON. Problems are conditions a user should
+// act on (rerun with -resume, restore from a replica); Notes are
+// historical facts (a quarantine file from an already-repaired
+// corruption) that need no action.
+type AuditReport struct {
+	Dir         string       `json:"dir"`
+	Format      int          `json:"format"`
+	Shards      []AuditShard `json:"shards"`
+	Failures    int          `json:"failures"`              // entries in failed.jsonl
+	Outstanding []Failure    `json:"outstanding,omitempty"` // failures whose point is still absent
+	Problems    []string     `json:"problems"`
+	Notes       []string     `json:"notes"`
+}
+
+// OK reports whether the audit found nothing needing action.
+func (r *AuditReport) OK() bool { return len(r.Problems) == 0 }
+
+// Audit inspects a store directory without modifying it — unlike Open
+// it repairs nothing, so it can diagnose a directory exactly as a
+// crash or bit-rot left it. knownExps, when given, lets it flag shards
+// of experiments this build does not know (a typo'd or foreign store).
+// It returns an error only when the directory itself is unreadable;
+// every finding inside it is a Problem or Note in the report.
+func Audit(dir string, knownExps ...string) (*AuditReport, error) {
+	rep := &AuditReport{Dir: dir, Problems: []string{}, Notes: []string{}}
+	problemf := func(format string, args ...any) {
+		rep.Problems = append(rep.Problems, fmt.Sprintf(format, args...))
+	}
+	notef := func(format string, args ...any) {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(format, args...))
+	}
+	known := make(map[string]bool, len(knownExps))
+	for _, e := range knownExps {
+		known[e] = true
+	}
+
+	manifest := map[string]int{} // file -> claimed records
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	switch {
+	case os.IsNotExist(err):
+		notef("no manifest.json (never synced, or crashed before first sync)")
+		manifest = nil
+	case err != nil:
+		return nil, fmt.Errorf("store: audit: %w", err)
+	default:
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			problemf("manifest.json is corrupt: %v", err)
+			manifest = nil
+		} else {
+			rep.Format = m.Format
+			if m.Format != FormatVersion {
+				problemf("manifest format %d, this build reads %d", m.Format, FormatVersion)
+			}
+			for _, sh := range m.Shards {
+				manifest[sh.File] = sh.Records
+			}
+		}
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: audit: %w", err)
+	}
+	shardRecords := make(map[string]bool) // IDs seen across all shards
+	seenFiles := make(map[string]bool)
+	for _, ent := range entries {
+		name := ent.Name()
+		switch {
+		case ent.IsDir() || !strings.HasSuffix(name, ".jsonl"):
+			continue
+		case name == failuresFile:
+			continue
+		case strings.HasSuffix(name, badSuffix):
+			notef("quarantine file %s holds previously corrupt records", name)
+			continue
+		}
+		seenFiles[name] = true
+		sh := auditShard(dir, name, shardRecords, problemf)
+		if manifest == nil {
+			sh.Manifest = -1
+		} else if claimed, listed := manifest[name]; listed {
+			sh.Manifest = claimed
+			if claimed != sh.Records {
+				problemf("shard %s holds %d records, manifest claims %d (stale manifest; reopen refreshes it)",
+					name, sh.Records, claimed)
+			}
+		} else {
+			sh.Manifest = -1
+			problemf("shard %s is not listed in the manifest", name)
+		}
+		if len(known) > 0 && !known[sh.Exp] {
+			problemf("shard %s belongs to experiment %q, unknown to this build", name, sh.Exp)
+		}
+		rep.Shards = append(rep.Shards, sh)
+	}
+	sort.Slice(rep.Shards, func(i, j int) bool { return rep.Shards[i].File < rep.Shards[j].File })
+	for file := range manifest {
+		if !seenFiles[file] {
+			problemf("manifest lists shard %s but the file is missing", file)
+		}
+	}
+
+	fails, err := readFailures(dir)
+	if err != nil {
+		return nil, err
+	}
+	rep.Failures = len(fails)
+	outstanding := make(map[string]Failure)
+	for _, f := range fails {
+		if shardRecords[f.ID] {
+			delete(outstanding, f.ID) // resolved by a later successful run
+		} else {
+			outstanding[f.ID] = f
+		}
+	}
+	if len(fails) > 0 && len(outstanding) == 0 {
+		notef("%d quarantined failures in %s, all since resolved", len(fails), failuresFile)
+	}
+	ids := make([]string, 0, len(outstanding))
+	for id := range outstanding {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		f := outstanding[id]
+		rep.Outstanding = append(rep.Outstanding, f)
+		problemf("point %s (%s %s) failed and was never re-evaluated: %s (rerun with -resume)",
+			f.ID, f.Exp, f.Key, f.Err)
+	}
+	return rep, nil
+}
+
+// auditShard scans one shard file read-only, recording its record
+// count and reporting per-record problems.
+func auditShard(dir, name string, seen map[string]bool, problemf func(string, ...any)) AuditShard {
+	sh := AuditShard{File: name}
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		problemf("shard %s is unreadable: %v", name, err)
+		return sh
+	}
+	lineNo := 0
+	for pos := 0; pos < len(data); {
+		nl := bytes.IndexByte(data[pos:], '\n')
+		if nl < 0 {
+			sh.Truncated = true
+			problemf("shard %s has an unterminated final line (crash tail; reopen repairs it)", name)
+			break
+		}
+		lineNo++
+		line := data[pos : pos+nl]
+		pos += nl + 1
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		switch {
+		case json.Unmarshal(line, &rec) != nil || rec.ID == "":
+			sh.BadRecords++
+			problemf("shard %s line %d is not a valid record (reopen quarantines it)", name, lineNo)
+			continue
+		case rec.Sum != "" && rec.Sum != rec.checksum():
+			sh.BadRecords++
+			problemf("shard %s line %d (%s) fails its checksum (reopen quarantines it)", name, lineNo, rec.ID)
+			continue
+		case seen[rec.ID]:
+			// Count distinct IDs, matching the manifest's convention, so
+			// a duplicate is one problem, not a knock-on count mismatch.
+			problemf("shard %s line %d duplicates record ID %s", name, lineNo, rec.ID)
+			continue
+		}
+		if sh.Exp == "" {
+			sh.Exp = rec.Exp
+		}
+		seen[rec.ID] = true
+		sh.Records++
+	}
+	return sh
+}

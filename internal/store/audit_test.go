@@ -1,0 +1,198 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// auditStore builds a clean two-experiment store for audit tests.
+func auditStore(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Record{
+		rec("a1", "alpha", "k=1", 1),
+		rec("a2", "alpha", "k=2", 2),
+		rec("b1", "beta", "k=1", 3),
+	} {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func hasProblem(rep *AuditReport, substr string) bool {
+	for _, p := range rep.Problems {
+		if strings.Contains(p, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAuditCleanStore(t *testing.T) {
+	dir := auditStore(t)
+	rep, err := Audit(dir, "alpha", "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("clean store has problems: %v", rep.Problems)
+	}
+	if len(rep.Shards) != 2 || rep.Shards[0].Records != 2 || rep.Shards[0].Manifest != 2 {
+		t.Fatalf("shards = %+v", rep.Shards)
+	}
+}
+
+func TestAuditFindsCorruptionWithoutRepairing(t *testing.T) {
+	dir := auditStore(t)
+	shard := filepath.Join(dir, "alpha.jsonl")
+	data, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := len(data) / 4
+	data[i] ^= 0x01
+	if err := os.WriteFile(shard, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Audit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("audit missed a flipped bit")
+	}
+	// Strictly read-only: the shard must be byte-identical afterwards.
+	after, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(data) {
+		t.Fatal("audit modified the shard")
+	}
+}
+
+func TestAuditFindsStaleManifestAndTail(t *testing.T) {
+	dir := auditStore(t)
+	shard := filepath.Join(dir, "beta.jsonl")
+	data, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shard, data[:len(data)-4], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Audit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasProblem(rep, "unterminated final line") || !hasProblem(rep, "manifest claims") {
+		t.Fatalf("problems = %v", rep.Problems)
+	}
+}
+
+func TestAuditFindsMissingAndOrphanShards(t *testing.T) {
+	dir := auditStore(t)
+	if err := os.Remove(filepath.Join(dir, "beta.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Audit(dir, "alpha") // beta also unknown to this build
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasProblem(rep, "beta.jsonl but the file is missing") {
+		t.Fatalf("problems = %v", rep.Problems)
+	}
+
+	dir2 := auditStore(t)
+	rep2, err := Audit(dir2, "alpha") // beta shard exists but is unknown
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasProblem(rep2, `"beta", unknown`) {
+		t.Fatalf("problems = %v", rep2.Problems)
+	}
+}
+
+func TestAuditFailuresOutstandingVsResolved(t *testing.T) {
+	dir := auditStore(t)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a2 failed once but its record exists (resolved); zz is outstanding.
+	if err := s.AppendFailure(Failure{ID: "a2", Exp: "alpha", Key: "k=2", Err: "flaky", Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendFailure(Failure{ID: "zz", Exp: "alpha", Key: "k=9", Err: "panic: boom", Attempts: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Audit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 2 || len(rep.Outstanding) != 1 || rep.Outstanding[0].ID != "zz" {
+		t.Fatalf("Failures=%d Outstanding=%+v", rep.Failures, rep.Outstanding)
+	}
+	if !hasProblem(rep, "never re-evaluated") {
+		t.Fatalf("problems = %v", rep.Problems)
+	}
+
+	// After the outstanding point succeeds, only a note remains.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Append(rec("zz", "alpha", "k=9", 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Audit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.OK() {
+		t.Fatalf("resolved failures still problems: %v", rep2.Problems)
+	}
+	if len(rep2.Notes) == 0 {
+		t.Fatal("resolved failures left no note")
+	}
+}
+
+func TestAuditQuarantineFileIsNoteNotProblem(t *testing.T) {
+	dir := auditStore(t)
+	if err := os.WriteFile(filepath.Join(dir, "alpha.bad.jsonl"), []byte("{junk}\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Audit(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("quarantine file treated as problem: %v", rep.Problems)
+	}
+	found := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "alpha.bad.jsonl") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("notes = %v", rep.Notes)
+	}
+}

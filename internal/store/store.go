@@ -7,28 +7,39 @@
 //
 //	manifest.json        format version, shard list, record counts
 //	<experiment>.jsonl   one JSON record per line, append-only
+//	<experiment>.bad.jsonl  quarantined corrupt records (when any)
+//	failed.jsonl         quarantined point failures (when any)
 //
 // Appends are single write(2) calls on O_APPEND descriptors, so
 // concurrent appenders never interleave bytes and a crash can only
 // truncate the final line. Open detects such a truncated tail (a last
-// line that is not a complete JSON record) and cuts the shard back to
-// its last good record before any new append, which is what makes
-// resuming after a kill safe. The manifest is rewritten atomically
-// (temp file + rename) on Sync/Close; Open treats the shards, not the
-// manifest, as the source of truth, so a crash between an append and a
-// manifest write loses nothing.
+// line that is not newline-terminated) and cuts the shard back to its
+// last good record before any new append, which is what makes resuming
+// after a kill safe. Every record carries a CRC32 of its content, so
+// mid-file bit-rot — a malformed or checksum-failing interior line — is
+// distinguished from the crash-tail signature: the corrupt line is
+// quarantined to <experiment>.bad.jsonl and every valid record after it
+// is preserved, never truncated away. The manifest is rewritten
+// atomically (temp file + rename) on Sync/Close; Open treats the
+// shards, not the manifest, as the source of truth, and marks the
+// session dirty when the manifest is stale so the next Close refreshes
+// it. Audit (the engine behind `bbncg doctor`) checks all of this
+// read-only.
 package store
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/fault"
 )
 
 // FormatVersion guards against reading stores written by an
@@ -36,9 +47,27 @@ import (
 const FormatVersion = 1
 
 // maxRecordBytes bounds one JSONL record: Append refuses anything
-// larger, and loadShard buffers this much per line, so every record
-// the store accepts is guaranteed readable on reopen.
+// larger, so every record the store accepts is guaranteed readable on
+// reopen; a longer line on disk can only be corruption.
 const maxRecordBytes = 64 << 20
+
+// failuresFile quarantines point failures (see Failure); badSuffix
+// marks per-shard quarantine files of corrupt records. Neither is a
+// shard: Open skips both when loading.
+const (
+	failuresFile = "failed.jsonl"
+	badSuffix    = ".bad.jsonl"
+)
+
+// Failpoint sites owned by the store (see internal/fault).
+var (
+	siteAppendWrite    = fault.Register("store.append.write", "shard record append write")
+	siteTailTruncate   = fault.Register("store.tail.truncate", "crash-tail repair truncate at open")
+	siteManifestWrite  = fault.Register("store.manifest.write", "manifest temp-file write")
+	siteManifestRename = fault.Register("store.manifest.rename", "manifest rename into place")
+	siteShardOpen      = fault.Register("store.shard.open", "shard file read at open")
+	siteConcatAppend   = fault.Register("store.concat.append", "concat per-record append")
+)
 
 // Record is one stored experiment result.
 type Record struct {
@@ -51,6 +80,36 @@ type Record struct {
 	Key string `json:"key"`
 	// Value is the experiment-defined result payload.
 	Value json.RawMessage `json:"value"`
+	// Sum is the hex CRC32 (IEEE) of (id, exp, key, value), written by
+	// Append and verified on load; a record without it (an older
+	// store) is accepted unverified.
+	Sum string `json:"crc,omitempty"`
+}
+
+// checksum returns the record's content CRC in the stored form.
+func (r Record) checksum() string {
+	h := crc32.NewIEEE()
+	io.WriteString(h, r.ID)
+	h.Write([]byte{0})
+	io.WriteString(h, r.Exp)
+	h.Write([]byte{0})
+	io.WriteString(h, r.Key)
+	h.Write([]byte{0})
+	h.Write(r.Value)
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+// Failure is one quarantined point failure, appended to failed.jsonl
+// by the runner's keep-going mode with enough context to debug it
+// offline; the failed point itself is absent from the shard, so
+// -resume retries exactly the quarantined points.
+type Failure struct {
+	ID       string `json:"id"`
+	Exp      string `json:"exp"`
+	Key      string `json:"key"`
+	Err      string `json:"err"`
+	Stack    string `json:"stack,omitempty"` // panic stack, when the failure was a panic
+	Attempts int    `json:"attempts"`
 }
 
 // Manifest is the metadata file of a store directory.
@@ -66,36 +125,63 @@ type ShardManifest struct {
 	Records int    `json:"records"`
 }
 
+// Options configures an open store session.
+type Options struct {
+	// Fsync extends the durability contract from process death to
+	// machine death: every append is fsynced, and the manifest rename
+	// is followed by a directory fsync. Appends get slower; data
+	// survives power loss.
+	Fsync bool
+}
+
 // Store is an open store directory. All methods are safe for
 // concurrent use.
 type Store struct {
 	dir string
+	opt Options
 
 	mu     sync.Mutex
 	index  map[string]Record   // id -> record
 	counts map[string]int      // experiment -> record count
 	files  map[string]*os.File // experiment -> open shard (O_APPEND)
-	// dirty is set by Append; Close only rewrites the manifest when it
-	// is, so read-only sessions (merge) work on read-only directories.
+	// torn marks experiments whose last append failed mid-write; the
+	// next append to them leads with a newline so the torn prefix
+	// becomes its own (quarantinable) line instead of gluing onto the
+	// retried record.
+	torn map[string]bool
+	// dirty is set by Append — and by Open when the manifest is stale
+	// or missing; Close only rewrites the manifest when it is, so
+	// read-only sessions (merge) work on read-only directories.
 	dirty bool
-	// recovered counts records dropped from truncated shard tails at
-	// Open time (diagnostics for crash-recovery tests and logs).
-	recovered int
+	// recovered counts shards whose truncated tail (the crash
+	// signature of a killed appender) was repaired at Open time;
+	// quarantined counts corrupt interior records moved to
+	// *.bad.jsonl. Both are diagnostics for crash-recovery tests, logs
+	// and doctor.
+	recovered   int
+	quarantined int
 }
 
-// Open opens (creating if necessary) the store directory, loads every
-// shard into the in-memory index, and repairs truncated shard tails.
-func Open(dir string) (*Store, error) {
+// Open opens (creating if necessary) the store directory with default
+// options, loads every shard into the in-memory index, and repairs
+// truncated or corrupt shards.
+func Open(dir string) (*Store, error) { return OpenWith(dir, Options{}) }
+
+// OpenWith is Open with explicit options.
+func OpenWith(dir string, opt Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
 		dir:    dir,
+		opt:    opt,
 		index:  make(map[string]Record),
 		counts: make(map[string]int),
 		files:  make(map[string]*os.File),
+		torn:   make(map[string]bool),
 	}
-	if err := s.checkManifest(); err != nil {
+	manifest, err := s.checkManifest()
+	if err != nil {
 		return nil, err
 	}
 	names, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
@@ -104,73 +190,170 @@ func Open(dir string) (*Store, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		base := filepath.Base(name)
+		if base == failuresFile || strings.HasSuffix(base, badSuffix) {
+			continue
+		}
 		if err := s.loadShard(name); err != nil {
 			return nil, err
 		}
 	}
+	// A stale or missing manifest (a crash between an append and a
+	// manifest write, or between the manifest temp-write and rename)
+	// marks the session dirty so the next Sync/Close refreshes it.
+	if !manifestMatches(manifest, s.counts) {
+		s.dirty = true
+	}
 	return s, nil
 }
 
-// checkManifest validates the format version when a manifest exists.
+// checkManifest validates the format version when a manifest exists
+// and returns its per-experiment record counts (nil when absent).
 // Shard contents, not the manifest, are the source of truth.
-func (s *Store) checkManifest() error {
+func (s *Store) checkManifest() (map[string]int, error) {
 	data, err := os.ReadFile(filepath.Join(s.dir, "manifest.json"))
 	if os.IsNotExist(err) {
-		return nil
+		return nil, nil
 	}
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return nil, fmt.Errorf("store: %w", err)
 	}
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return fmt.Errorf("store: corrupt manifest: %w", err)
+		return nil, fmt.Errorf("store: corrupt manifest: %w", err)
 	}
 	if m.Format != FormatVersion {
-		return fmt.Errorf("store: manifest format %d, this build reads %d", m.Format, FormatVersion)
+		return nil, fmt.Errorf("store: manifest format %d, this build reads %d", m.Format, FormatVersion)
 	}
-	return nil
+	counts := make(map[string]int, len(m.Shards))
+	for _, sh := range m.Shards {
+		counts[sh.Exp] = sh.Records
+	}
+	return counts, nil
 }
 
-// loadShard reads one shard file into the index, truncating the file
-// back to the last complete record if the tail is partial (the crash
-// signature of a killed appender).
+// manifestMatches reports whether the manifest counts (nil = no
+// manifest) agree exactly with the loaded shard counts.
+func manifestMatches(manifest, counts map[string]int) bool {
+	if manifest == nil {
+		return len(counts) == 0
+	}
+	if len(manifest) != len(counts) {
+		return false
+	}
+	for e, n := range counts {
+		if manifest[e] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// loadShard reads one shard file into the index and repairs it:
+//
+//   - An unterminated final line is the crash signature of a killed
+//     appender; it is dropped and the file truncated back to the last
+//     complete record (recovered counter).
+//   - A malformed or checksum-failing interior line is corruption, not
+//     a crash: only that line is quarantined to <shard>.bad.jsonl and
+//     every valid record after it is preserved (quarantined counter).
+//     Blank lines (the torn-append recovery marker) are dropped
+//     silently.
 func (s *Store) loadShard(name string) error {
+	if err := fault.Hit(siteShardOpen); err != nil {
+		return fmt.Errorf("store: reading shard %s: %w", name, err)
+	}
 	data, err := os.ReadFile(name)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	good := 0 // byte offset after the last complete, parseable record
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(nil, maxRecordBytes)
-	for sc.Scan() {
-		line := sc.Bytes()
-		end := good + len(line) + 1 // +1 for the newline
-		if end > len(data) {
-			// Last line had no trailing newline: an interrupted write.
+	type span struct{ start, end int }
+	var drop []span  // byte ranges to remove on rewrite (bad + blank lines)
+	var bad [][]byte // quarantined line contents, in file order
+	tailStart := -1  // start of an unterminated final line, if any
+	for pos := 0; pos < len(data); {
+		nl := bytes.IndexByte(data[pos:], '\n')
+		if nl < 0 {
+			tailStart = pos
 			break
+		}
+		line := data[pos : pos+nl]
+		end := pos + nl + 1
+		if len(line) == 0 {
+			drop = append(drop, span{pos, end})
+			pos = end
+			continue
 		}
 		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil || rec.ID == "" {
-			// A malformed line mid-file means anything after it is
-			// suspect; keep only the prefix.
-			break
+		if err := json.Unmarshal(line, &rec); err != nil || rec.ID == "" ||
+			len(line) >= maxRecordBytes || (rec.Sum != "" && rec.Sum != rec.checksum()) {
+			drop = append(drop, span{pos, end})
+			bad = append(bad, line)
+			s.quarantined++
+			pos = end
+			continue
 		}
 		s.remember(rec)
-		good = end
+		pos = end
 	}
-	if err := sc.Err(); err != nil {
-		// A scanner failure (e.g. a line beyond the buffer limit) is not
-		// the crash-tail signature; truncating here would delete valid
-		// records, so refuse to open instead.
-		return fmt.Errorf("store: reading shard %s: %w", name, err)
-	}
-	if good < len(data) {
+	if tailStart >= 0 {
 		s.recovered++
-		if err := os.Truncate(name, int64(good)); err != nil {
+	}
+	switch {
+	case len(drop) == 0 && tailStart < 0:
+		return nil
+	case len(drop) == 0:
+		// Pure crash tail: cut the file back in place.
+		if err := fault.Hit(siteTailTruncate); err != nil {
 			return fmt.Errorf("store: repairing truncated shard %s: %w", name, err)
 		}
+		if err := os.Truncate(name, int64(tailStart)); err != nil {
+			return fmt.Errorf("store: repairing truncated shard %s: %w", name, err)
+		}
+		return nil
+	}
+	// Corruption: quarantine the bad lines, then rewrite the shard
+	// atomically with only the good records (and without any crash
+	// tail).
+	if len(bad) > 0 {
+		if err := appendLines(strings.TrimSuffix(name, ".jsonl")+badSuffix, bad); err != nil {
+			return fmt.Errorf("store: quarantining corrupt records of %s: %w", name, err)
+		}
+	}
+	good := make([]byte, 0, len(data))
+	pos := 0
+	for _, sp := range drop {
+		good = append(good, data[pos:sp.start]...)
+		pos = sp.end
+	}
+	if tailStart >= 0 {
+		good = append(good, data[pos:tailStart]...)
+	} else {
+		good = append(good, data[pos:]...)
+	}
+	tmp := name + ".tmp"
+	if err := os.WriteFile(tmp, good, 0o666); err != nil {
+		return fmt.Errorf("store: rewriting shard %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, name); err != nil {
+		return fmt.Errorf("store: rewriting shard %s: %w", name, err)
 	}
 	return nil
+}
+
+// appendLines appends raw lines to a quarantine file.
+func appendLines(name string, lines [][]byte) error {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return err
+	}
+	for _, line := range lines {
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 // remember indexes one record, last write wins for duplicate IDs.
@@ -197,6 +380,14 @@ func (s *Store) Recovered() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.recovered
+}
+
+// Quarantined reports how many corrupt interior records were moved to
+// *.bad.jsonl quarantine files at Open time.
+func (s *Store) Quarantined() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
 }
 
 // Has reports whether a record with the given ID is stored.
@@ -242,8 +433,9 @@ func (s *Store) Records() []Record {
 // step of a sharded run: each machine's -shard i/k store directory is
 // copied somewhere local and concatenated into one store, which Merge
 // then renders. Records already present in dst (same ID) are skipped,
-// so concatenating overlapping or repeated sources is safe. It returns
-// the number of records added.
+// so concatenating overlapping or repeated sources is safe — a Concat
+// that failed mid-copy is simply re-run and resumes where it stopped.
+// It returns the number of records added.
 func Concat(dst string, srcs ...string) (int, error) {
 	d, err := Open(dst)
 	if err != nil {
@@ -260,7 +452,11 @@ func Concat(dst string, srcs ...string) (int, error) {
 			if d.Has(rec.ID) {
 				continue
 			}
-			if err := d.Append(rec); err != nil {
+			err := fault.Hit(siteConcatAppend)
+			if err == nil {
+				err = d.Append(rec)
+			}
+			if err != nil {
 				s.Close()
 				d.Close()
 				return added, err
@@ -304,19 +500,23 @@ func shardFile(exp string) string {
 }
 
 // Append durably adds one record: a single O_APPEND write of the
-// record's JSON line. Duplicate IDs are rejected (a resume must skip,
-// not rewrite).
+// record's JSON line, carrying a content CRC32. Duplicate IDs are
+// rejected (a resume must skip, not rewrite). A failed write is safe
+// to retry: the next append to the same shard leads with a newline so
+// any torn prefix becomes its own line, quarantined on the next open.
 func (s *Store) Append(rec Record) error {
 	if rec.ID == "" || rec.Exp == "" {
 		return fmt.Errorf("store: record needs id and exp")
 	}
+	rec.Sum = rec.checksum()
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	if len(line) >= maxRecordBytes {
-		// Open's shard reader buffers maxRecordBytes per line; a larger
-		// record would be written fine but unreadable afterwards.
+		// Open's shard loader quarantines any longer line as corrupt;
+		// a larger record would be written fine but unreadable
+		// afterwards.
 		return fmt.Errorf("store: record %s is %d bytes, limit %d", rec.ID, len(line), maxRecordBytes)
 	}
 	line = append(line, '\n')
@@ -334,12 +534,62 @@ func (s *Store) Append(rec Record) error {
 		}
 		s.files[rec.Exp] = f
 	}
-	if _, err := f.Write(line); err != nil {
+	if s.torn[rec.Exp] {
+		line = append([]byte{'\n'}, line...)
+	}
+	if _, err := fault.WriteThrough(siteAppendWrite, f, line); err != nil {
+		s.torn[rec.Exp] = true
 		return fmt.Errorf("store: append: %w", err)
+	}
+	delete(s.torn, rec.Exp)
+	if s.opt.Fsync {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("store: append fsync: %w", err)
+		}
 	}
 	s.remember(rec)
 	s.dirty = true
 	return nil
+}
+
+// AppendFailure quarantines one point failure to failed.jsonl. The
+// file is an append-only log across resumes: entries whose point later
+// succeeds stay as history (doctor reports them as resolved).
+func (s *Store) AppendFailure(f Failure) error {
+	line, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return appendLines(filepath.Join(s.dir, failuresFile), [][]byte{line})
+}
+
+// Failures reads the failed.jsonl quarantine log (nil when absent).
+func (s *Store) Failures() ([]Failure, error) {
+	return readFailures(s.dir)
+}
+
+func readFailures(dir string) ([]Failure, error) {
+	data, err := os.ReadFile(filepath.Join(dir, failuresFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var fails []Failure
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		var f Failure
+		if err := json.Unmarshal(line, &f); err != nil {
+			continue // a torn failure line is not worth failing a run over
+		}
+		fails = append(fails, f)
+	}
+	return fails, nil
 }
 
 // Sync rewrites the manifest atomically from the in-memory counts.
@@ -369,18 +619,54 @@ func (s *Store) writeManifestLocked() error {
 	}
 	data = append(data, '\n')
 	tmp := filepath.Join(s.dir, ".manifest.tmp")
-	if err := os.WriteFile(tmp, data, 0o666); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o666)
+	if err != nil {
 		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := fault.WriteThrough(siteManifestWrite, f, data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: manifest: %w", err)
+	}
+	if s.opt.Fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: manifest fsync: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := fault.Hit(siteManifestRename); err != nil {
+		return fmt.Errorf("store: manifest: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, "manifest.json")); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	if s.opt.Fsync {
+		if err := syncDir(s.dir); err != nil {
+			return fmt.Errorf("store: manifest dir fsync: %w", err)
+		}
+	}
 	return nil
 }
 
-// Close syncs the manifest (only if records were appended this
-// session, so a pure read works on a read-only directory) and closes
-// every shard descriptor. The store must not be used afterwards.
+// syncDir fsyncs a directory, making a just-renamed entry durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close syncs the manifest (only if records were appended or the
+// manifest was stale this session, so a pure read works on a read-only
+// directory) and closes every shard descriptor. The store must not be
+// used afterwards.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

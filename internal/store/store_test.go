@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/fault"
 )
 
 func rec(id, exp, key string, v any) Record {
@@ -136,9 +138,9 @@ func TestTruncatedTailRecovery(t *testing.T) {
 	}
 }
 
-// A garbage line mid-file poisons everything after it (the prefix
-// property keeps recovery simple and predictable).
-func TestCorruptMidFileKeepsPrefix(t *testing.T) {
+// A garbage line mid-file is corruption, not a crash signature: only
+// the bad line is quarantined; every valid record after it survives.
+func TestCorruptMidFileQuarantinesKeepsSuffix(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(dir)
 	if err != nil {
@@ -159,6 +161,7 @@ func TestCorruptMidFileKeepsPrefix(t *testing.T) {
 		t.Fatal(err)
 	}
 	good := rec("g2", "exp", "k2", 2)
+	good.Sum = good.checksum()
 	line, _ := json.Marshal(good)
 	if _, err := f.Write(append(line, '\n')); err != nil {
 		t.Fatal(err)
@@ -169,9 +172,116 @@ func TestCorruptMidFileKeepsPrefix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if s2.Len() != 2 || !s2.Has("g1") || !s2.Has("g2") {
+		t.Fatalf("suffix not preserved: Len=%d Has(g1)=%v Has(g2)=%v",
+			s2.Len(), s2.Has("g1"), s2.Has("g2"))
+	}
+	if s2.Quarantined() != 1 || s2.Recovered() != 0 {
+		t.Fatalf("Quarantined=%d Recovered=%d, want 1, 0", s2.Quarantined(), s2.Recovered())
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	badData, err := os.ReadFile(filepath.Join(dir, "exp.bad.jsonl"))
+	if err != nil || string(badData) != "{not json}\n" {
+		t.Fatalf("quarantine file = %q, %v", badData, err)
+	}
+	// The repair is idempotent: a third open sees a clean shard.
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len() != 2 || s3.Quarantined() != 0 || s3.Recovered() != 0 {
+		t.Fatalf("repair not idempotent: Len=%d Quarantined=%d Recovered=%d",
+			s3.Len(), s3.Quarantined(), s3.Recovered())
+	}
+}
+
+// A bit flipped inside an otherwise well-formed record must fail its
+// CRC and be quarantined, leaving its neighbours intact.
+func TestChecksumCatchesBitRot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"c1", "c2", "c3"} {
+		if err := s.Append(rec(id, "exp", "key-"+id, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shard := filepath.Join(dir, "exp.jsonl")
+	data, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit inside the middle record's payload (the quoted value
+	// "c2"), keeping the line valid JSON so only the CRC can catch it.
+	i := bytes.Index(data, []byte(`"value":"c2"`))
+	if i < 0 {
+		t.Fatal("test assumption broken: middle record value not found")
+	}
+	data[i+len(`"value":"`)] ^= 0x01
+	if err := os.WriteFile(shard, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s2.Close()
-	if s2.Len() != 1 || !s2.Has("g1") || s2.Has("g2") {
-		t.Fatalf("prefix recovery failed: Len=%d", s2.Len())
+	if s2.Quarantined() != 1 {
+		t.Fatalf("Quarantined = %d, want 1", s2.Quarantined())
+	}
+	if s2.Len() != 2 || !s2.Has("c1") || s2.Has("c2") || !s2.Has("c3") {
+		t.Fatalf("bit-rot recovery wrong: Len=%d", s2.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "exp.bad.jsonl")); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+}
+
+// Recovered must count every repaired shard, not just the first.
+func TestMultiShardRecovered(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, exp := range []string{"ea", "eb", "ec"} {
+		for _, n := range []string{"1", "2"} {
+			if err := s.Append(rec(exp+n, exp, "k="+n, n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, exp := range []string{"ea", "eb", "ec"} {
+		shard := filepath.Join(dir, exp+".jsonl")
+		data, err := os.ReadFile(shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(shard, data[:len(data)-3], 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Recovered() != 3 {
+		t.Fatalf("Recovered = %d, want 3", s2.Recovered())
+	}
+	if s2.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (one record lost per shard)", s2.Len())
 	}
 }
 
@@ -394,5 +504,209 @@ func TestConcatDisjointAndOverlapping(t *testing.T) {
 		if !d.Has(id) {
 			t.Fatalf("dst missing record %s", id)
 		}
+	}
+}
+
+// A failed append must be retryable: the injected partial write leaves
+// a torn prefix, the retry leads with a newline so the prefix becomes
+// its own line, and the next open quarantines it without losing either
+// neighbour.
+func TestAppendRetryAfterPartialWrite(t *testing.T) {
+	set, err := fault.Parse("store.append.write=partial:5@2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Install(set)
+	t.Cleanup(fault.Disarm)
+
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("t1", "exp", "k1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	r2 := rec("t2", "exp", "k2", 2)
+	if err := s.Append(r2); err == nil || !fault.Injected(err) {
+		t.Fatalf("partial-write append err = %v, want injected", err)
+	}
+	if err := s.Append(r2); err != nil {
+		t.Fatalf("retry after partial write: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fault.Disarm()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 || !s2.Has("t1") || !s2.Has("t2") {
+		t.Fatalf("after torn retry Len=%d Has(t1)=%v Has(t2)=%v",
+			s2.Len(), s2.Has("t1"), s2.Has("t2"))
+	}
+	if s2.Quarantined() != 1 {
+		t.Fatalf("Quarantined = %d, want 1 (the torn prefix)", s2.Quarantined())
+	}
+}
+
+// Concat that dies mid-copy must be resumable: re-running it picks up
+// exactly the records that were not yet copied.
+func TestConcatResumesAfterMidCopyFailure(t *testing.T) {
+	src := t.TempDir()
+	s, err := Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"q1", "q2", "q3", "q4", "q5"} {
+		if err := s.Append(rec(id, "exp", "k="+id, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	set, err := fault.Parse("store.concat.append=error@3", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Install(set)
+	t.Cleanup(fault.Disarm)
+
+	dst := t.TempDir()
+	added, err := Concat(dst, src)
+	if err == nil || !fault.Injected(err) {
+		t.Fatalf("Concat err = %v, want injected", err)
+	}
+	if added != 2 {
+		t.Fatalf("failed Concat added %d, want 2 before the fault", added)
+	}
+	fault.Disarm()
+	added, err = Concat(dst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 3 {
+		t.Fatalf("resumed Concat added %d, want the remaining 3", added)
+	}
+	d, err := Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Len() != 5 {
+		t.Fatalf("dst Len = %d, want 5", d.Len())
+	}
+}
+
+// A crash between the manifest temp-write and the rename must not
+// leave the manifest stale forever: the next open detects the count
+// mismatch and its Close refreshes the manifest even without appends.
+func TestStaleManifestRefreshedOnReopen(t *testing.T) {
+	set, err := fault.Parse("store.manifest.rename=error@1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Install(set)
+	t.Cleanup(fault.Disarm)
+
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("m1", "exp", "k", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err == nil || !fault.Injected(err) {
+		t.Fatalf("Close err = %v, want injected rename failure", err)
+	}
+	fault.Disarm()
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); !os.IsNotExist(err) {
+		t.Fatalf("manifest unexpectedly present: %v", err)
+	}
+
+	// A read-only session must still refresh the stale manifest.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatalf("manifest not refreshed: %v", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Shards) != 1 || m.Shards[0].Records != 1 {
+		t.Fatalf("refreshed manifest = %+v", m)
+	}
+}
+
+// Fsync mode is a smoke test: same observable behaviour, slower path.
+func TestFsyncOption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWith(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("f1", "exp", "k", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenWith(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 || !s2.Has("f1") {
+		t.Fatalf("fsync store Len = %d", s2.Len())
+	}
+}
+
+// Failures quarantined via AppendFailure round-trip through
+// failed.jsonl and never pollute the record index.
+func TestFailureQuarantineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendFailure(Failure{
+		ID: "p-bad", Exp: "exp", Key: "k=3", Err: "panic: boom",
+		Stack: "goroutine 1 [running]:", Attempts: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendFailure(Failure{ID: "p-bad2", Exp: "exp", Key: "k=4", Err: "transient", Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 0 {
+		t.Fatalf("failures leaked into record index: Len = %d", s2.Len())
+	}
+	fails, err := s2.Failures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fails) != 2 || fails[0].ID != "p-bad" || fails[0].Attempts != 2 || fails[1].Err != "transient" {
+		t.Fatalf("Failures = %+v", fails)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,30 @@ func ParallelN[T, R any](points []T, workers int, fn func(T) R) []R {
 	}
 	wg.Wait()
 	return results
+}
+
+// PanicError is a panic converted into an error by Recover: the
+// recovered value plus the goroutine stack at the panic site. Harness
+// layers report it as a point failure with full context instead of
+// letting one bad evaluation kill a whole sweep.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Recover invokes fn, converting a panic into a *PanicError. It is the
+// per-point isolation wrapper: a panicking evaluator on a pool worker
+// becomes an ordinary error result rather than a process crash.
+func Recover[R any](fn func() (R, error)) (res R, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			var zero R
+			res, err = zero, &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
 }
 
 // Table is an ordered set of rows under named columns.

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -92,4 +94,35 @@ func TestTableMismatchedRowPanics(t *testing.T) {
 		}
 	}()
 	NewTable("t", "a", "b").Add("only-one")
+}
+
+func TestRecoverPassesThrough(t *testing.T) {
+	v, err := Recover(func() (int, error) { return 7, nil })
+	if v != 7 || err != nil {
+		t.Fatalf("Recover = %d, %v", v, err)
+	}
+	wantErr := fmt.Errorf("plain failure")
+	_, err = Recover(func() (int, error) { return 0, wantErr })
+	if err != wantErr {
+		t.Fatalf("Recover error = %v, want pass-through", err)
+	}
+}
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	v, err := Recover(func() (int, error) {
+		panic("kaboom")
+	})
+	if v != 0 {
+		t.Fatalf("panicked Recover returned %d, want zero value", v)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Recover error = %T %v, want *PanicError", err, err)
+	}
+	if pe.Value != "kaboom" || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("PanicError = %v", pe)
+	}
+	if !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Fatal("PanicError carries no stack")
+	}
 }
