@@ -111,7 +111,6 @@ func (dv *Deviator) rebuildInMin() {
 // past the damage threshold). The repaired state is bit-identical to a
 // freshly built cache; dynamics pins this with repair-vs-refill tests.
 func (dv *Deviator) Repair(d *graph.Digraph) graph.RepairStats {
-	n := dv.game.N()
 	newBase := d.UnderlyingWithout(dv.u)
 	newIn := d.In(dv.u)
 	inSame := slices.Equal(dv.in, newIn)
@@ -119,43 +118,96 @@ func (dv *Deviator) Repair(d *graph.Digraph) graph.RepairStats {
 	if dv.rows != nil {
 		removed, added := graph.DiffUnd(dv.base, newBase, dv.u)
 		if len(removed)+len(added) == 0 {
-			// Nothing in G-u moved: the matrix is already exact — the
-			// strongest stability evidence (over-invalidation lands here).
+			// Nothing in G-u moved: the matrix, colMin floor, SUM memo,
+			// level sets and component structure are all exact as they
+			// stand — the strongest stability evidence (over-invalidation
+			// lands here). Return without staling any of them, so a
+			// zero-diff repair and a stamped skip agree bit-for-bit.
 			dv.noteStable()
-			if !inSame {
-				dv.memo = nil // inMin changes under intact rows
+			if inSame {
+				return st
 			}
+			// Only the in(u) anchor set moved under intact rows (the diff
+			// skips u-incident edges, so newBase can still differ there):
+			// adopt the rebuilt adjacency, refold inMin and drop the
+			// structures derived from it. Rows, colMin, levels and the
+			// component structure (which excludes u) stay exact.
+			dv.base = newBase
+			dv.in = newIn
+			dv.memo = nil
+			dv.inLv = nil
+			dv.rebuildInMin()
+			return st
 		}
-		if len(removed)+len(added) > 0 {
-			csr := graph.NewCSRExcluding(newBase, dv.u)
-			if dv.ds == nil {
-				dv.ds = graph.NewDeltaScratch(n)
-			}
-			st = csr.RepairRows(dv.rows, removed, added, dv.ds)
-			dv.repairColMin(st)
-			dv.memoRepair(st, inSame)
-			if st.FullRefill {
-				// The whole matrix moved: re-levelling it would cost more
-				// than the bitset kernel saves this round. Drop the level
-				// cache and reset the stability streak; the MAX responders
-				// run the row kernel until the rows settle again.
-				dv.lc = nil
-				dv.stable = 0
-			} else {
-				dv.noteStable()
-				if dv.lc != nil {
-					for _, s := range st.Changed {
-						dv.lc.SetRow(int(s), dv.rows[int(s)*n:(int(s)+1)*n])
-					}
-				}
-			}
-		}
+		dv.applyRowDelta(newBase, removed, added, inSame, &st)
 	}
 	dv.base = newBase
 	dv.in = newIn
 	dv.label, dv.comps = graph.ComponentsExcluding(newBase, dv.u)
 	dv.seen = make([]bool, dv.comps+1)
 	dv.inLv = nil // in(u) may have changed; rebuilt lazily
+	if dv.rows != nil {
+		dv.rebuildInMin()
+	}
+	return st
+}
+
+// applyRowDelta runs the delta-BFS row repair plus the dependent colMin,
+// memo and level-cache maintenance for a non-empty edge delta against
+// newBase. Shared by Repair (diff-computed delta) and RepairDelta
+// (journal-supplied delta) so both paths stay bit-identical.
+func (dv *Deviator) applyRowDelta(newBase graph.Und, removed, added [][2]int32, inSame bool, st *graph.RepairStats) {
+	n := dv.game.N()
+	csr := graph.NewCSRExcluding(newBase, dv.u)
+	if dv.ds == nil {
+		dv.ds = graph.NewDeltaScratch(n)
+	}
+	*st = csr.RepairRows(dv.rows, removed, added, dv.ds)
+	dv.repairColMin(*st)
+	dv.memoRepair(*st, inSame)
+	if st.FullRefill {
+		// The whole matrix moved: re-levelling it would cost more
+		// than the bitset kernel saves this round. Drop the level
+		// cache and reset the stability streak; the MAX responders
+		// run the row kernel until the rows settle again.
+		dv.lc = nil
+		dv.stable = 0
+	} else {
+		dv.noteStable()
+		if dv.lc != nil {
+			for _, s := range st.Changed {
+				dv.lc.SetRow(int(s), dv.rows[int(s)*n:(int(s)+1)*n])
+			}
+		}
+	}
+}
+
+// RepairDelta brings the Deviator in sync after an exact undirected-edge
+// delta supplied by the graph's mutation journal (stamped pools). The
+// delta must exclude edges incident to u and reflect an unchanged in(u)
+// anchor set — the pool only takes this path when the journal certifies
+// both — so the fixed adjacency is patched in place and the anchor fold
+// rebuilt without the O(n+m) UnderlyingWithout + DiffUnd resync that
+// Repair pays. The resulting state is bit-identical to Repair against
+// the same target graph.
+func (dv *Deviator) RepairDelta(removed, added [][2]int32) graph.RepairStats {
+	var st graph.RepairStats
+	if len(removed)+len(added) == 0 {
+		dv.noteStable()
+		return st
+	}
+	for _, e := range removed {
+		dv.base.RemoveEdge(int(e[0]), int(e[1]))
+	}
+	for _, e := range added {
+		dv.base.AddEdge(int(e[0]), int(e[1]))
+	}
+	if dv.rows != nil {
+		dv.applyRowDelta(dv.base, removed, added, true, &st)
+	}
+	dv.label, dv.comps = graph.ComponentsExcluding(dv.base, dv.u)
+	dv.seen = make([]bool, dv.comps+1)
+	dv.inLv = nil
 	if dv.rows != nil {
 		dv.rebuildInMin()
 	}

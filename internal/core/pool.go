@@ -2,6 +2,7 @@ package core
 
 import (
 	"os"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -16,6 +17,17 @@ import (
 // then cost zero fills: each acquisition is a version check plus, at
 // most, a repair proportional to the damage of the accepted moves.
 //
+// Generation stamps push that one level further. Every entry remembers
+// the graph generation and content anchor it was last synced to
+// (graph/stamp.go); a stale acquisition first consults the stamps — an
+// unchanged generation or matching anchor proves the entry is exact and
+// skips even the O(n+m) UnderlyingWithout rebuild + DiffUnd, and the
+// mutation journal hands Repair the exact edge delta when only a few
+// movers touched the graph. A settled round is then O(movers), not
+// O(players): untouched players cost a stamp comparison each. Setting
+// BBNCG_STAMPS=0 restores the diff-always resync path (results are
+// identical either way).
+//
 // Admission is static: players are pooled first-come within the byte
 // budget, and everyone else gets a plain per-call Deviator. Dynamics
 // visit players cyclically, for which any evict-on-admission policy
@@ -24,11 +36,14 @@ import (
 // exactly as fast as the refill baseline.
 //
 // Concurrency contract: all pool methods are single-goroutine (the
-// dynamics engine's main loop). Acquired Deviators may be handed to
-// concurrent workers — each is used by exactly one goroutine — and the
-// pool never touches an entry's matrices between Acquire waves (only
-// Close recycles them), so a worker can never observe its matrix being
-// repaired or recycled mid-response.
+// dynamics engine's main loop), except that one Prefetch resync may run
+// concurrently with the current responder — the caller must wait on the
+// returned handle before its next pool call or graph mutation. Acquired
+// Deviators may be handed to concurrent workers — each is used by
+// exactly one goroutine — and the pool never touches an entry's matrices
+// between Acquire waves (only Close recycles them), so a worker can
+// never observe its matrix being repaired or recycled mid-response.
+// Stats counters are atomics, so Stats is safe to read at any time.
 
 // DefaultPoolBudget caps the total bytes of distance matrices a
 // CachePool keeps alive: 1 GiB, i.e. every player of an n ≈ 500 game or
@@ -45,17 +60,40 @@ var DefaultPoolBudget int64 = 1 << 30
 // are identical either way.
 func IncrementalEnabled() bool { return os.Getenv("BBNCG_INCREMENTAL") != "0" }
 
+// StampsEnabled reports whether generation-stamped cache resync is on
+// (the default). Setting BBNCG_STAMPS=0 restores the diff-always
+// acquisition path — every stale entry pays the UnderlyingWithout
+// rebuild + DiffUnd — for A/B benchmarking; results are identical
+// either way. Pools snapshot the knob at construction.
+func StampsEnabled() bool { return os.Getenv("BBNCG_STAMPS") != "0" }
+
 // PoolStats counts what a CachePool did over its lifetime.
 type PoolStats struct {
 	Acquires int64 // total Acquire calls
 	Hits     int64 // acquisitions served from a live entry
 	Fills    int64 // entries built by a full matrix fill
-	Repairs  int64 // acquisitions that ran a Repair
-	Unpooled int64 // acquisitions served by a plain Deviator (over budget)
+	Repairs  int64 // acquisitions that ran a repair (delta or resync)
+	Unpooled int64 // acquisitions served by a plain Deviator (over budget or closed)
 
 	RowsPatched  int64 // matrix rows repaired by improvement-only BFS
 	RowsRefilled int64 // matrix rows recomputed by fresh BFS
 	FullRefills  int64 // repairs that fell back to a whole-matrix refill
+
+	StampSkips   int64 // stale acquisitions settled by stamps alone (no rebuild, no diff)
+	DeltaRepairs int64 // repairs fed the exact journal delta (no rebuild, no diff)
+	Resyncs      int64 // repairs that fell back to UnderlyingWithout + DiffUnd
+	MemoHits     int64 // best-response scans skipped by the round-level memo
+	Prefetches   int64 // speculative next-mover resyncs completed
+}
+
+// poolCounters is the atomic mirror of PoolStats (satellite of the
+// speculative-parallel path: the prefetch goroutine and any concurrent
+// Stats reader must not race the main loop's increments).
+type poolCounters struct {
+	acquires, hits, fills, repairs, unpooled atomic.Int64
+	rowsPatched, rowsRefilled, fullRefills   atomic.Int64
+	stampSkips, deltaRepairs, resyncs        atomic.Int64
+	memoHits, prefetches                     atomic.Int64
 }
 
 // CachePool keeps per-player cached Deviators alive across the rounds of
@@ -67,12 +105,33 @@ type CachePool struct {
 	used    int64
 	version int64 // bumped by Invalidate
 	entries map[int]*poolEntry
-	stats   PoolStats
+	resp    []respEntry // round-level best-response memo, indexed by player
+	stamps  bool        // StampsEnabled() snapshot at construction
+	closed  bool
+	ctr     poolCounters
 }
 
 type poolEntry struct {
 	dv      *Deviator
 	version int64
+
+	// Stamp state: the graph instance and generation the entry was last
+	// synced against, plus its content anchor (matches any clone of the
+	// same arc set).
+	graph *graph.Digraph
+	gen   int64
+	aid   uint64
+	agen  int64
+}
+
+// respEntry memoises "player u had no improving move against the graph
+// whose anchor was (aid, agen)". Any mutation moves the anchor, so a
+// match proves G−u, in(u) and out(u) are all unchanged since that
+// answer — the scan would reproduce it verbatim.
+type respEntry struct {
+	ok   bool
+	aid  uint64
+	agen int64
 }
 
 // NewCachePool returns a pool for g bounded by budgetBytes (<= 0 means
@@ -87,73 +146,226 @@ func NewCachePool(g *Game, budgetBytes int64) *CachePool {
 		budget:  budgetBytes,
 		per:     4 * n * (n + 1),
 		entries: make(map[int]*poolEntry),
+		stamps:  StampsEnabled(),
 	}
 }
 
 // Invalidate marks the graph as changed — an accepted move, or a whole
 // graph swap in the profile-enumeration harnesses: every pooled entry
-// is stale and will be repaired on its next acquisition. Staleness is
-// pool-wide, not per-mover (repairs diff the actual adjacency, so
-// over-invalidation costs only an O(n+m) diff). Nil-safe so
-// disabled-pool call sites stay branchless.
+// is stale and will be resynced on its next acquisition. Staleness is
+// pool-wide, not per-mover; with stamps on the resync is a generation
+// comparison for untouched players, and without them an O(n+m) diff, so
+// over-invalidation stays cheap either way. Nil-safe and a no-op after
+// Close so disabled-pool call sites stay branchless.
 func (p *CachePool) Invalidate() {
-	if p != nil {
+	if p != nil && !p.closed {
 		p.version++
 	}
+}
+
+// record stamps e as synced to d's current state.
+func (p *CachePool) record(e *poolEntry, d *graph.Digraph) {
+	e.graph = d
+	e.gen = d.Gen()
+	e.aid, e.agen = d.Anchor()
 }
 
 // Acquire returns a Deviator for player u evaluating against d, synced
 // to d's current state: a pooled entry is repaired in place if stale, a
 // new entry is built if the budget still has room, and a plain uncached
-// Deviator is returned otherwise. The caller must Release the Deviator
-// when done with it and must not use it across the pool's next Acquire
-// wave for the same player.
+// Deviator is returned otherwise (always after Close). The caller must
+// Release the Deviator when done with it and must not use it across the
+// pool's next Acquire wave for the same player.
 func (p *CachePool) Acquire(d *graph.Digraph, u int) *Deviator {
-	p.stats.Acquires++
+	p.ctr.acquires.Add(1)
+	if p.closed {
+		p.ctr.unpooled.Add(1)
+		return NewDeviator(p.game, d, u)
+	}
 	if e, ok := p.entries[u]; ok {
 		if e.version != p.version {
-			st := e.dv.Repair(d)
+			p.resync(e, d)
 			e.version = p.version
-			p.stats.Repairs++
-			p.stats.RowsPatched += int64(st.RowsPatched)
-			p.stats.RowsRefilled += int64(st.RowsRefilled)
-			if st.FullRefill {
-				p.stats.FullRefills++
-			}
 		} else {
 			e.dv.noteStable() // untouched graph: strongest stability signal
 		}
-		p.stats.Hits++
+		p.ctr.hits.Add(1)
 		return e.dv
 	}
 	dv := NewDeviator(p.game, d, u)
 	if p.used+p.per > p.budget || !dv.EnsureCache(p.per) {
-		p.stats.Unpooled++
+		p.ctr.unpooled.Add(1)
 		return dv // over budget: behaves like a plain Deviator
 	}
 	dv.pool = p
 	p.used += p.per
-	p.entries[u] = &poolEntry{dv: dv, version: p.version}
-	p.stats.Fills++
+	e := &poolEntry{dv: dv, version: p.version}
+	p.record(e, d)
+	p.entries[u] = e
+	p.ctr.fills.Add(1)
 	return dv
 }
 
-// Close recycles every pooled matrix into the global allocator. Nil-safe.
-func (p *CachePool) Close() {
-	if p == nil {
+// resync brings a stale entry in step with d, cheapest proof first:
+// stamp skip (same instance and generation, or matching content anchor
+// across clones) → journal delta repair → full rebuild + diff.
+func (p *CachePool) resync(e *poolEntry, d *graph.Digraph) {
+	if p.stamps && e.graph != nil {
+		if e.graph == d {
+			if e.gen == d.Gen() {
+				e.dv.noteStable()
+				p.ctr.stampSkips.Add(1)
+				return
+			}
+			removed, added, inTouched, ok := d.DeltaSince(e.gen, e.dv.u)
+			if ok && !inTouched {
+				if len(removed)+len(added) == 0 {
+					e.dv.noteStable()
+					p.ctr.stampSkips.Add(1)
+				} else {
+					st := e.dv.RepairDelta(removed, added)
+					p.ctr.deltaRepairs.Add(1)
+					p.ctr.repairs.Add(1)
+					p.noteRepair(st)
+				}
+				p.record(e, d)
+				return
+			}
+		} else if aid, agen := d.Anchor(); aid == e.aid && agen == e.agen {
+			// A different instance (a fresh clone) with the same content
+			// anchor: identical arc set, nothing to do.
+			e.dv.noteStable()
+			p.ctr.stampSkips.Add(1)
+			p.record(e, d)
+			return
+		}
+	}
+	st := e.dv.Repair(d)
+	p.ctr.resyncs.Add(1)
+	p.ctr.repairs.Add(1)
+	p.noteRepair(st)
+	p.record(e, d)
+}
+
+func (p *CachePool) noteRepair(st graph.RepairStats) {
+	p.ctr.rowsPatched.Add(int64(st.RowsPatched))
+	p.ctr.rowsRefilled.Add(int64(st.RowsRefilled))
+	if st.FullRefill {
+		p.ctr.fullRefills.Add(1)
+	}
+}
+
+// SkipResponse reports whether player u's whole best-response scan can
+// be skipped: the round-level memo proves the graph is anchored exactly
+// where it was when u last answered "no improving move", so the scan
+// would return the same answer. The caller must treat a true return as
+// a non-improving BestResponse (the zero value).
+func (p *CachePool) SkipResponse(d *graph.Digraph, u int) bool {
+	if p == nil || p.closed || !p.stamps || p.resp == nil {
+		return false
+	}
+	r := p.resp[u]
+	if !r.ok {
+		return false
+	}
+	if aid, agen := d.Anchor(); aid == r.aid && agen == r.agen {
+		p.ctr.memoHits.Add(1)
+		return true
+	}
+	return false
+}
+
+// NoteResponse records the outcome of player u's best-response scan
+// against d (before any accepted move is applied): a non-improving
+// answer is memoised under the graph's current anchor, an improving one
+// clears the memo (u is about to rewire).
+func (p *CachePool) NoteResponse(d *graph.Digraph, u int, improved bool) {
+	if p == nil || p.closed || !p.stamps {
 		return
 	}
+	if p.resp == nil {
+		p.resp = make([]respEntry, p.game.N())
+	}
+	if improved {
+		p.resp[u] = respEntry{}
+		return
+	}
+	aid, agen := d.Anchor()
+	p.resp[u] = respEntry{ok: true, aid: aid, agen: agen}
+}
+
+// ResetResponseMemo clears the round-level best-response memo. Engines
+// call it when adopting an external pool: the memo may have been
+// recorded by a different responder, whose "no improving move" answers
+// do not transfer. Nil-safe, no-op after Close.
+func (p *CachePool) ResetResponseMemo() {
+	if p != nil && !p.closed {
+		p.resp = nil
+	}
+}
+
+// Prefetch starts a speculative resync of player u's pooled entry
+// against d on a fresh goroutine, so the predicted next mover's repair
+// overlaps the current responder's scan. It returns a wait handle the
+// caller MUST invoke before its next pool call, Release of u's
+// Deviator, or any mutation of d — or nil when there is nothing to
+// prefetch (no pooled entry, entry already current, pool closed, or
+// stamps off).
+func (p *CachePool) Prefetch(d *graph.Digraph, u int) func() {
+	if p == nil || p.closed || !p.stamps {
+		return nil
+	}
+	e, ok := p.entries[u]
+	if !ok || e.version == p.version {
+		return nil
+	}
+	version := p.version
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.resync(e, d)
+		e.version = version
+		p.ctr.prefetches.Add(1)
+	}()
+	return func() { <-done }
+}
+
+// Close recycles every pooled matrix into the global allocator and
+// marks the pool closed: further Invalidate/Acquire/Stats calls and a
+// second Close are defined no-ops that never touch the recycled
+// matrices (Acquire degrades to handing out plain Deviators). Nil-safe.
+func (p *CachePool) Close() {
+	if p == nil || p.closed {
+		return
+	}
+	p.closed = true
 	for u, e := range p.entries {
 		e.dv.releaseOwned()
 		delete(p.entries, u)
 	}
 	p.used = 0
+	p.resp = nil
 }
 
-// Stats returns the pool's lifetime counters.
+// Stats returns the pool's lifetime counters. Safe to call at any time,
+// including after Close and concurrently with a running Prefetch.
 func (p *CachePool) Stats() PoolStats {
 	if p == nil {
 		return PoolStats{}
 	}
-	return p.stats
+	return PoolStats{
+		Acquires:     p.ctr.acquires.Load(),
+		Hits:         p.ctr.hits.Load(),
+		Fills:        p.ctr.fills.Load(),
+		Repairs:      p.ctr.repairs.Load(),
+		Unpooled:     p.ctr.unpooled.Load(),
+		RowsPatched:  p.ctr.rowsPatched.Load(),
+		RowsRefilled: p.ctr.rowsRefilled.Load(),
+		FullRefills:  p.ctr.fullRefills.Load(),
+		StampSkips:   p.ctr.stampSkips.Load(),
+		DeltaRepairs: p.ctr.deltaRepairs.Load(),
+		Resyncs:      p.ctr.resyncs.Load(),
+		MemoHits:     p.ctr.memoHits.Load(),
+		Prefetches:   p.ctr.prefetches.Load(),
+	}
 }

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Closed pools must be inert: Invalidate/Acquire/Stats after Close, and
+// a second Close, are defined no-ops that never touch the recycled
+// matrices (Acquire degrades to plain Deviators).
+func TestPoolLifecycleAfterClose(t *testing.T) {
+	g := UniformGame(10, 1, SUM)
+	rng := rand.New(rand.NewSource(9001))
+	d := graph.RandomOutDigraph(g.Budgets, rng)
+	pool := NewCachePool(g, 0)
+	a := pool.Acquire(d, 0)
+	a.Release()
+	pool.NoteResponse(d, 0, false)
+	if !pool.SkipResponse(d, 0) {
+		t.Fatal("memo miss before close")
+	}
+	pool.Close()
+	if a.HasCache() {
+		t.Fatal("Close did not recycle the pooled matrix")
+	}
+	pool.Close() // double Close: no-op, must not double-recycle
+	pool.Invalidate()
+	b := pool.Acquire(d, 0)
+	if b == a {
+		t.Fatal("Acquire after Close resurrected a recycled entry")
+	}
+	if b.HasCache() {
+		t.Fatal("Acquire after Close pooled a matrix")
+	}
+	plain := NewDeviator(g, d, 0)
+	s := randomStrategy(10, 0, 1, rng)
+	if b.Eval(s) != plain.Eval(s) {
+		t.Fatal("post-Close Deviator evaluates wrong")
+	}
+	b.Release()
+	if pool.SkipResponse(d, 0) {
+		t.Fatal("response memo survived Close")
+	}
+	pool.NoteResponse(d, 0, false) // must not re-grow state on a closed pool
+	if pool.SkipResponse(d, 0) {
+		t.Fatal("NoteResponse after Close recorded a memo")
+	}
+	if w := pool.Prefetch(d, 0); w != nil {
+		t.Fatal("Prefetch after Close returned a handle")
+	}
+	st := pool.Stats()
+	if st.Acquires != 2 || st.Fills != 1 || st.Unpooled != 1 {
+		t.Fatalf("stats after close = %+v, want 2 acquires, 1 fill, 1 unpooled", st)
+	}
+	// Nil pool: every method is a no-op.
+	var nilPool *CachePool
+	nilPool.Invalidate()
+	nilPool.Close()
+	nilPool.ResetResponseMemo()
+	if nilPool.SkipResponse(d, 0) || nilPool.Prefetch(d, 0) != nil {
+		t.Fatal("nil pool not inert")
+	}
+	_ = nilPool.Stats()
+}
+
+// Stamp-skip and forced-diff acquisition must produce bit-identical
+// Deviator state — distance rows, inMin fold, colMin floor, SUM memo,
+// stability streak — and identical best responses, across all 8
+// generator families under random rewire / no-op / over-invalidation
+// interleavings.
+func TestPropertyStampSkipMatchesForcedDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(9002))
+	for _, inst := range generatorCorpus(rng) {
+		for _, version := range []Version{SUM, MAX} {
+			g := GameOf(inst.d, version)
+			n := g.N()
+			d := inst.d.Clone()
+			d.StartJournal(0) // unbounded: every delta is journal-covered
+			t.Setenv("BBNCG_STAMPS", "0")
+			diffPool := NewCachePool(g, 0)
+			t.Setenv("BBNCG_STAMPS", "1")
+			stampPool := NewCachePool(g, 0)
+			for step := 0; step < 10; step++ {
+				switch rng.Intn(4) {
+				case 0: // settled round: nothing moves
+				case 1: // no-op rewire: SetOut to the identical set
+					u := rng.Intn(n)
+					d.SetOut(u, d.Out(u))
+				default:
+					for i := 0; i <= rng.Intn(2); i++ {
+						mutateRandomPlayer(g, d, rng)
+					}
+				}
+				// Over-invalidation: both pools go stale even on no-op steps.
+				stampPool.Invalidate()
+				diffPool.Invalidate()
+				for k := 0; k < 3; k++ {
+					u := rng.Intn(n)
+					ds := stampPool.Acquire(d, u)
+					dd := diffPool.Acquire(d, u)
+					var brS, brD BestResponse
+					if g.Budgets[u] > 0 {
+						brS = GreedyDeviatorResponder(g, d, ds)
+						brD = GreedyDeviatorResponder(g, d, dd)
+					}
+					ds.Release()
+					dd.Release()
+					if brS.Cost != brD.Cost || brS.Current != brD.Current ||
+						brS.Explored != brD.Explored || !equalInts(brS.Strategy, brD.Strategy) {
+						t.Fatalf("%s %v u=%d step=%d: stamped %+v, diffed %+v",
+							inst.name, version, u, step, brS, brD)
+					}
+					if !reflect.DeepEqual(ds.rows, dd.rows) {
+						t.Fatalf("%s %v u=%d step=%d: rows diverged", inst.name, version, u, step)
+					}
+					if !reflect.DeepEqual(ds.inMin, dd.inMin) {
+						t.Fatalf("%s %v u=%d step=%d: inMin diverged", inst.name, version, u, step)
+					}
+					if !reflect.DeepEqual(ds.colMin, dd.colMin) {
+						t.Fatalf("%s %v u=%d step=%d: colMin diverged", inst.name, version, u, step)
+					}
+					if !reflect.DeepEqual(ds.memo, dd.memo) {
+						t.Fatalf("%s %v u=%d step=%d: SUM memo diverged", inst.name, version, u, step)
+					}
+					if ds.stable != dd.stable || ds.sumSufInOK != dd.sumSufInOK {
+						t.Fatalf("%s %v u=%d step=%d: stability state diverged (stable %d/%d, sufInOK %v/%v)",
+							inst.name, version, u, step, ds.stable, dd.stable, ds.sumSufInOK, dd.sumSufInOK)
+					}
+					if rem, add := graph.DiffUnd(ds.base, dd.base, -1); len(rem)+len(add) != 0 {
+						t.Fatalf("%s %v u=%d step=%d: base adjacency diverged (-%v +%v)",
+							inst.name, version, u, step, rem, add)
+					}
+				}
+			}
+			// The stamped pool must actually have exercised the fast paths.
+			st := stampPool.Stats()
+			if st.StampSkips == 0 {
+				t.Fatalf("%s %v: stamped pool never stamp-skipped (stats %+v)", inst.name, version, st)
+			}
+			if dst := diffPool.Stats(); dst.StampSkips != 0 || dst.DeltaRepairs != 0 {
+				t.Fatalf("%s %v: forced-diff pool used stamps (stats %+v)", inst.name, version, dst)
+			}
+			stampPool.Close()
+			diffPool.Close()
+		}
+	}
+}

@@ -81,6 +81,11 @@ func BenchmarkDynamicsRoundIncremental(b *testing.B) {
 				}
 				b.Run(mode.name, func(b *testing.B) {
 					b.Setenv("BBNCG_INCREMENTAL", mode.env)
+					// Pin the stamp fast paths off: this benchmark measures
+					// the repair machinery itself, which stamped settled
+					// rounds would skip entirely (BenchmarkDynamicsRoundStamps
+					// is that A/B).
+					b.Setenv("BBNCG_STAMPS", "0")
 					runOpts := opts
 					if mode.env == "1" {
 						// The pool is the round-level state under test: share
@@ -152,6 +157,9 @@ func BenchmarkDynamicsRoundSUM(b *testing.B) {
 			} {
 				b.Run(mode.name, func(b *testing.B) {
 					b.Setenv("BBNCG_SUMKERNEL", mode.env)
+					// Pin the stamp fast paths off: stamped settled rounds
+					// skip the candidate scans this benchmark measures.
+					b.Setenv("BBNCG_STAMPS", "0")
 					runOpts := opts
 					// The pool is shared across measured rounds the way one
 					// long run shares it across its rounds; the untimed
@@ -194,6 +202,7 @@ func assertSumModesAgree(b *testing.B, g *core.Game, start *graph.Digraph, opts 
 	b.Helper()
 	runs := func(env string) []Result {
 		b.Setenv("BBNCG_SUMKERNEL", env)
+		b.Setenv("BBNCG_STAMPS", "0") // compare the kernels, not the stamp skip
 		o := opts
 		o.Pool = core.NewCachePool(g, 0)
 		defer o.Pool.Close()
@@ -214,6 +223,127 @@ func assertSumModesAgree(b *testing.B, g *core.Game, start *graph.Digraph, opts 
 			!kernel[i].Final.Equal(scalar[i].Final) {
 			b.Fatalf("SUM kernel and scalar dynamics diverge on run %d:\nkernel %+v\nscalar %+v",
 				i, kernel[i], scalar[i])
+		}
+	}
+}
+
+// BenchmarkDynamicsRoundStamps is the headline A/B of the settled-round
+// ladder (ISSUE 7): one full greedy dynamics round over a *converged*
+// profile, with the incremental pool on in both modes, comparing
+// generation-stamped resync (BBNCG_STAMPS=1, the default: anchor
+// comparisons, journal delta repair, round memo) against the diff-always
+// path it replaced (BBNCG_STAMPS=0: every acquisition rebuilds
+// UnderlyingWithout and diffs it). The converged round is the regime the
+// stamps target — nothing moves, so the diff path's per-player O(n+m)
+// resync is pure overhead and the stamped round is O(movers) = O(1).
+// The n=128 case doubles as a CI regression guard: both modes must
+// produce identical dynamics, and a stamped settled round must report
+// zero resyncs and zero delta repairs for untouched players.
+func BenchmarkDynamicsRoundStamps(b *testing.B) {
+	for _, cfg := range []struct{ n int }{{128}, {512}} {
+		cfg := cfg
+		b.Run(fmt.Sprintf("n=%d", cfg.n), func(b *testing.B) {
+			if cfg.n >= 512 && os.Getenv("BENCH_LARGE") == "" {
+				b.Skip("set BENCH_LARGE=1 to run the n>=512 configs")
+			}
+			g := core.UniformGame(cfg.n, 2, core.SUM)
+			start := RandomProfile(g, rand.New(rand.NewSource(9)))
+			// Settle to full convergence — the measured round must contain
+			// no movers, or the zero-resync invariant below would be vacuous.
+			pre, err := Run(g, start, Options{
+				Responder: core.GreedyResponder, Cached: core.GreedyDeviatorResponder, MaxRounds: 600,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !pre.Converged {
+				b.Fatal("dynamics did not converge within the settle budget")
+			}
+			settled := pre.Final
+			opts := Options{
+				Responder: core.GreedyResponder,
+				Cached:    core.GreedyDeviatorResponder,
+				MaxRounds: 1,
+			}
+			if cfg.n == 128 {
+				assertStampModesAgree(b, g, settled, opts)
+			}
+			for _, mode := range []struct{ name, env string }{
+				{"stamps", "1"},
+				{"diff", "0"},
+			} {
+				b.Run(mode.name, func(b *testing.B) {
+					b.Setenv("BBNCG_STAMPS", mode.env)
+					runOpts := opts
+					runOpts.Pool = core.NewCachePool(g, 0)
+					defer runOpts.Pool.Close()
+					for i := 0; i < 3; i++ {
+						if _, err := Run(g, settled, runOpts); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if mode.env == "1" {
+						// The O(movers) invariant, gated in CI at n=128: a
+						// warm settled round resyncs no untouched player.
+						before := runOpts.Pool.Stats()
+						if _, err := Run(g, settled, runOpts); err != nil {
+							b.Fatal(err)
+						}
+						after := runOpts.Pool.Stats()
+						if d := after.Resyncs - before.Resyncs; d != 0 {
+							b.Fatalf("settled round ran %d resyncs, want 0 (stats %+v)", d, after)
+						}
+						if d := after.DeltaRepairs - before.DeltaRepairs; d != 0 {
+							b.Fatalf("settled round ran %d delta repairs, want 0", d)
+						}
+						if after.StampSkips+after.MemoHits <= before.StampSkips+before.MemoHits {
+							b.Fatalf("settled round exercised no stamp fast path (stats %+v)", after)
+						}
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res, err := Run(g, settled, runOpts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if res.Rounds == 0 {
+							b.Fatal("no rounds executed")
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// assertStampModesAgree fails the benchmark if the stamped and
+// diff-always paths diverge, comparing several consecutive runs over
+// shared pools pairwise — cold, warming and warm (memo-served) rounds —
+// exactly like the timed loops.
+func assertStampModesAgree(b *testing.B, g *core.Game, start *graph.Digraph, opts Options) {
+	b.Helper()
+	runs := func(env string) []Result {
+		b.Setenv("BBNCG_STAMPS", env)
+		o := opts
+		o.Pool = core.NewCachePool(g, 0)
+		defer o.Pool.Close()
+		var out []Result
+		for i := 0; i < 4; i++ {
+			res, err := Run(g, start, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+	stamped := runs("1")
+	diffed := runs("0")
+	for i := range stamped {
+		if stamped[i].Moves != diffed[i].Moves || stamped[i].Rounds != diffed[i].Rounds ||
+			!stamped[i].Final.Equal(diffed[i].Final) {
+			b.Fatalf("stamped and diff-always dynamics diverge on run %d:\nstamps %+v\ndiff   %+v",
+				i, stamped[i], diffed[i])
 		}
 	}
 }
@@ -252,6 +382,7 @@ func BenchmarkDynamicsRunIncremental(b *testing.B) {
 // benchmark, so a repair-path regression fails fast here.
 func assertModesAgree(b *testing.B, g *core.Game, start *graph.Digraph, opts Options) {
 	b.Helper()
+	b.Setenv("BBNCG_STAMPS", "0") // compare the repair paths, not the stamp skip
 	b.Setenv("BBNCG_INCREMENTAL", "1")
 	inc, err := Run(g, start, opts)
 	if err != nil {

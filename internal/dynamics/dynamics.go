@@ -114,17 +114,34 @@ func (opts Options) newPool(g *core.Game) (pool *core.CachePool, owned bool) {
 
 // respondWith returns the per-player response function of a run: the
 // pooled path (acquire → evaluate on the repaired cache → unpin) when
-// pool is live, the plain Responder otherwise.
-func respondWith(g *core.Game, pool *core.CachePool, opts Options) func(d *graph.Digraph, u int) core.BestResponse {
+// pool is live, the plain Responder otherwise. next names the predicted
+// next mover (-1 for none): while u's scan runs, the pool speculatively
+// resyncs next's entry on a spare core. On the pooled path the
+// round-level memo short-circuits the whole scan when the graph is
+// anchored exactly where it was the last time u answered "no improving
+// move" (the skip returns the zero BestResponse, which does not
+// improve — the answer the scan would reproduce).
+func respondWith(g *core.Game, pool *core.CachePool, opts Options) func(d *graph.Digraph, u, next int) core.BestResponse {
 	if pool == nil {
-		return func(d *graph.Digraph, u int) core.BestResponse {
+		return func(d *graph.Digraph, u, _ int) core.BestResponse {
 			return opts.Responder(g, d, u)
 		}
 	}
-	return func(d *graph.Digraph, u int) core.BestResponse {
+	return func(d *graph.Digraph, u, next int) core.BestResponse {
+		if pool.SkipResponse(d, u) {
+			return core.BestResponse{}
+		}
 		dv := pool.Acquire(d, u)
+		var wait func()
+		if next >= 0 {
+			wait = pool.Prefetch(d, next)
+		}
 		br := opts.Cached(g, d, dv)
 		dv.Release()
+		if wait != nil {
+			wait()
+		}
+		pool.NoteResponse(d, u, br.Improves())
 		return br
 	}
 }
@@ -167,10 +184,14 @@ func Run(g *core.Game, start *graph.Digraph, opts Options) (Result, error) {
 		// An external pool may have been repaired toward some other
 		// graph since its last use here; force the first acquisition of
 		// every entry to re-diff against this run's start (a no-op diff
-		// when nothing actually changed).
+		// or stamp skip when nothing actually changed), and drop the
+		// response memo, which a different responder may have recorded.
 		pool.Invalidate()
+		pool.ResetResponseMemo()
 	}
+	startJournal(d, pool)
 	respond := respondWith(g, pool, opts)
+	par := opts.Parallel && runtime.GOMAXPROCS(0) > 1
 	var seen map[uint64][]seenProfile
 	if opts.DetectLoops {
 		seen = make(map[uint64][]seenProfile)
@@ -180,7 +201,7 @@ func Run(g *core.Game, start *graph.Digraph, opts Options) (Result, error) {
 		opts.Scheduler.Order(order, round)
 		changed := false
 		var speculative []core.BestResponse
-		if opts.Parallel && runtime.GOMAXPROCS(0) > 1 {
+		if par {
 			// Speculation only pays when the precompute actually runs on
 			// spare cores; on one core it would double the work of every
 			// round that contains a move.
@@ -202,8 +223,14 @@ func Run(g *core.Game, start *graph.Digraph, opts Options) (Result, error) {
 			} else {
 				// Either no speculation ran or a move landed: the pooled
 				// path re-acquires the player's cache, repairing it
-				// against the winners' deltas.
-				br = respond(d, u)
+				// against the winners' deltas — and, on the parallel
+				// path, overlaps the predicted next mover's resync with
+				// this player's scan.
+				next := -1
+				if par && pool != nil {
+					next = nextEligible(g, order, idx+1)
+				}
+				br = respond(d, u, next)
 			}
 			if br.Improves() {
 				d.SetOut(u, br.Strategy)
@@ -234,6 +261,28 @@ func Run(g *core.Game, start *graph.Digraph, opts Options) (Result, error) {
 	return res, nil
 }
 
+// startJournal attaches a bounded mutation journal to the run graph so
+// a live stamped pool can repair stale entries from the exact edge
+// deltas of the accepted moves instead of a full adjacency diff. The
+// bound covers several rounds of typical move churn; overflow just
+// falls back to the diff path.
+func startJournal(d *graph.Digraph, pool *core.CachePool) {
+	if pool != nil && core.StampsEnabled() {
+		d.StartJournal(4*d.N() + 64)
+	}
+}
+
+// nextEligible returns the first player at or after index i in order
+// with a positive budget, or -1.
+func nextEligible(g *core.Game, order []int, i int) int {
+	for ; i < len(order); i++ {
+		if g.Budgets[order[i]] != 0 {
+			return order[i]
+		}
+	}
+	return -1
+}
+
 // responsesAgainst computes every listed player's response against the
 // current (fixed) profile on a worker pool; entries for budget-0 players
 // are zero values. The graph is only read during the map, so the
@@ -259,15 +308,22 @@ func responsesAgainst(g *core.Game, d *graph.Digraph, players []int, respond cor
 func pooledResponsesAgainst(g *core.Game, d *graph.Digraph, players []int, pool *core.CachePool, respond core.DeviatorResponder) []core.BestResponse {
 	dvs := make([]*core.Deviator, len(players))
 	for i, u := range players {
-		if g.Budgets[u] != 0 {
-			dvs[i] = pool.Acquire(d, u)
+		if g.Budgets[u] == 0 {
+			continue
 		}
+		if pool.SkipResponse(d, u) {
+			// Round memo: u's previous "no improving move" answer is
+			// still exact; the zero response below reproduces it without
+			// acquiring (or repairing) u's entry at all.
+			continue
+		}
+		dvs[i] = pool.Acquire(d, u)
 	}
 	idx := make([]int, len(players))
 	for i := range idx {
 		idx[i] = i
 	}
-	return sweep.ParallelN(idx, responseWorkers(g), func(i int) core.BestResponse {
+	brs := sweep.ParallelN(idx, responseWorkers(g), func(i int) core.BestResponse {
 		if dvs[i] == nil {
 			return core.BestResponse{}
 		}
@@ -280,6 +336,12 @@ func pooledResponsesAgainst(g *core.Game, d *graph.Digraph, players []int, pool 
 		dvs[i].Release()
 		return br
 	})
+	for i, u := range players {
+		if dvs[i] != nil && !brs[i].Improves() {
+			pool.NoteResponse(d, u, false)
+		}
+	}
+	return brs
 }
 
 // responseWorkers bounds the speculative fan-out so that the distance

@@ -39,9 +39,12 @@ func RunSimultaneous(g *core.Game, start *graph.Digraph, opts Options) (Result, 
 		// An external pool may have been repaired toward some other
 		// graph since its last use here; force the first acquisition of
 		// every entry to re-diff against this run's start (a no-op diff
-		// when nothing actually changed).
+		// or stamp skip when nothing actually changed), and drop the
+		// response memo, which a different responder may have recorded.
 		pool.Invalidate()
+		pool.ResetResponseMemo()
 	}
+	startJournal(d, pool)
 	respond := respondWith(g, pool, opts)
 	seen := make(map[uint64][]seenProfile)
 	recordProfile(seen, core.ProfileOf(d), 0)
@@ -76,7 +79,7 @@ func RunSimultaneous(g *core.Game, start *graph.Digraph, opts Options) (Result, 
 				if g.Budgets[u] == 0 {
 					continue
 				}
-				br := respond(d, u)
+				br := respond(d, u, -1)
 				if br.Improves() {
 					next[u] = br.Strategy
 				}
@@ -138,9 +141,12 @@ func WelfareTrace(g *core.Game, start *graph.Digraph, opts Options) ([]int64, Re
 		// An external pool may have been repaired toward some other
 		// graph since its last use here; force the first acquisition of
 		// every entry to re-diff against this run's start (a no-op diff
-		// when nothing actually changed).
+		// or stamp skip when nothing actually changed), and drop the
+		// response memo, which a different responder may have recorded.
 		pool.Invalidate()
+		pool.ResetResponseMemo()
 	}
+	startJournal(d, pool)
 	respond := respondWith(g, pool, opts)
 	welfare := func() int64 {
 		var total int64
@@ -158,7 +164,7 @@ func WelfareTrace(g *core.Game, start *graph.Digraph, opts Options) ([]int64, Re
 			if g.Budgets[u] == 0 {
 				continue
 			}
-			br := respond(d, u)
+			br := respond(d, u, -1)
 			if br.Improves() {
 				d.SetOut(u, br.Strategy)
 				pool.Invalidate()

@@ -1,0 +1,154 @@
+package dynamics
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Stamped dynamics (generation-stamped pool resync, journal delta
+// repair, round memo, prefetch) must reproduce the diff-always path
+// exactly: same moves, same rounds, same final profile, across engines,
+// versions, responder pairs, and the parallel speculative path.
+func TestStampedDynamicsMatchesDiffAlways(t *testing.T) {
+	pairs := []struct {
+		name   string
+		plain  core.Responder
+		cached core.DeviatorResponder
+	}{
+		{"exact", core.ExactResponder(0), core.ExactDeviatorResponder(0)},
+		{"greedy", core.GreedyResponder, core.GreedyDeviatorResponder},
+		{"swap", core.SwapResponder, core.SwapDeviatorResponder},
+	}
+	for _, ver := range []core.Version{core.SUM, core.MAX} {
+		for _, p := range pairs {
+			for _, parallel := range []bool{false, true} {
+				for seed := int64(0); seed < 2; seed++ {
+					name := fmt.Sprintf("%v/%s/par=%v/seed=%d", ver, p.name, parallel, seed)
+					t.Run(name, func(t *testing.T) {
+						if parallel {
+							forceWorkers(t)
+						}
+						g := core.UniformGame(10, 1, ver)
+						start := RandomProfile(g, rand.New(rand.NewSource(seed)))
+						opts := Options{
+							Responder: p.plain, Cached: p.cached,
+							DetectLoops: true, MaxRounds: 200, Parallel: parallel,
+						}
+						t.Setenv("BBNCG_STAMPS", "1")
+						stamped, err := Run(g, start, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						stampedSim, err := RunSimultaneous(g, start, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						t.Setenv("BBNCG_STAMPS", "0")
+						diffed, err := Run(g, start, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						diffedSim, err := RunSimultaneous(g, start, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						assertSameResult(t, "Run", stamped, diffed)
+						assertSameResult(t, "RunSimultaneous", stampedSim, diffedSim)
+					})
+				}
+			}
+		}
+	}
+}
+
+// The O(movers) invariant: once a run has converged, re-running it over
+// a warm external pool must touch no player's matrix at all — zero
+// resyncs, zero delta repairs, only stamp skips and memo hits.
+func TestSettledRoundZeroResyncs(t *testing.T) {
+	g := core.UniformGame(24, 1, core.SUM)
+	start := RandomProfile(g, rand.New(rand.NewSource(5)))
+	pool := core.NewCachePool(g, 0)
+	defer pool.Close()
+	opts := Options{
+		Responder: core.GreedyResponder, Cached: core.GreedyDeviatorResponder,
+		MaxRounds: 400, Pool: pool,
+	}
+	pre, err := Run(g, start, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pre.Converged {
+		t.Fatal("run did not converge")
+	}
+	settled := pre.Final
+	warm, err := Run(g, settled, opts) // warm-up: entries resync to the settled clone lineage
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Converged || warm.Moves != 0 {
+		t.Fatalf("settled profile moved: %+v", warm)
+	}
+	before := pool.Stats()
+	res, err := Run(g, settled, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Moves != 0 {
+		t.Fatalf("settled profile moved: %+v", res)
+	}
+	after := pool.Stats()
+	if d := after.Resyncs - before.Resyncs; d != 0 {
+		t.Fatalf("settled round ran %d resyncs, want 0 (stats %+v)", d, after)
+	}
+	if d := after.DeltaRepairs - before.DeltaRepairs; d != 0 {
+		t.Fatalf("settled round ran %d delta repairs, want 0", d)
+	}
+	if after.StampSkips+after.MemoHits <= before.StampSkips+before.MemoHits {
+		t.Fatalf("settled round exercised no stamp fast path (stats %+v)", after)
+	}
+}
+
+// The -race test of Options.Parallel + Options.Cached together
+// (atomic-stats satellite): speculative waves, prefetch goroutines and
+// concurrent Stats reads all interleave over one external pool shared
+// by consecutive runs, with a budget too small to pool every player.
+// Results must still match the plain sequential path exactly.
+func TestStampedParallelCachedRace(t *testing.T) {
+	forceWorkers(t)
+	n := 16
+	g := core.UniformGame(n, 2, core.MAX)
+	// Room for only 5 of 16 matrices: pooled and unpooled players mix.
+	pool := core.NewCachePool(g, 5*4*int64(n)*int64(n+1))
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 3; trial++ {
+		start := RandomProfile(g, rng)
+		inc := Options{
+			Responder: core.GreedyResponder, Cached: core.GreedyDeviatorResponder,
+			Parallel: true, Pool: pool, MaxRounds: 60, DetectLoops: true,
+		}
+		done := make(chan struct{})
+		go func() { // concurrent Stats reader: legal at any time
+			defer close(done)
+			for i := 0; i < 100; i++ {
+				_ = pool.Stats()
+			}
+		}()
+		got, err := Run(g, start, inc)
+		<-done
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(g, start, Options{Responder: core.GreedyResponder, MaxRounds: 60, DetectLoops: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, fmt.Sprintf("trial %d", trial), got, want)
+	}
+	if st := pool.Stats(); st.Acquires == 0 || st.Hits == 0 {
+		t.Fatalf("pool unused: %+v", pool.Stats())
+	}
+}

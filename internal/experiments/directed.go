@@ -54,6 +54,8 @@ func evalDirected(p runner.Point) (any, error) {
 	und := core.UniformGame(c.n, c.b, core.SUM)
 	dir := bbc.UniformGame(c.n, c.b)
 	r := directedRow{N: c.n, B: c.b, Trials: c.trials}
+	pool := cellPool(und)
+	defer pool.Close()
 	for trial := 0; trial < c.trials; trial++ {
 		start := dynamics.RandomProfile(und, rng)
 		uRes, err := dynamics.Run(und, start, dynamics.Options{
@@ -61,6 +63,7 @@ func evalDirected(p runner.Point) (any, error) {
 			Cached:      core.ExactDeviatorResponder(0),
 			DetectLoops: true,
 			MaxRounds:   600,
+			Pool:        pool,
 		})
 		if err != nil {
 			return nil, err

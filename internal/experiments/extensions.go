@@ -178,12 +178,15 @@ func evalUniformBudget(p runner.Point) (any, error) {
 	rng := rand.New(rand.NewSource(p.Seed + int64(c.n*13+c.b)))
 	g := core.UniformGame(c.n, c.b, c.ver)
 	row.Worst = -1
+	pool := cellPool(g)
+	defer pool.Close()
 	for trial := 0; trial < 6; trial++ {
 		out, err := dynamics.RunFromRandom(g, rng, dynamics.Options{
 			Responder:   core.GreedyResponder,
 			Cached:      core.GreedyDeviatorResponder,
 			DetectLoops: true,
 			MaxRounds:   300,
+			Pool:        pool,
 		})
 		if err != nil {
 			return nil, err

@@ -245,6 +245,8 @@ func evalConnectivity(p runner.Point) (any, error) {
 	rng := rand.New(rand.NewSource(p.Seed + int64(n*31+k)))
 	g := core.UniformGame(n, k, core.SUM)
 	r := connectivityRow{N: n, K: k}
+	pool := cellPool(g)
+	defer pool.Close()
 	for trial := 0; trial < trials; trial++ {
 		responder := core.Responder(core.GreedyResponder)
 		cached := core.DeviatorResponder(core.GreedyDeviatorResponder)
@@ -257,6 +259,7 @@ func evalConnectivity(p runner.Point) (any, error) {
 			Cached:      cached,
 			DetectLoops: true,
 			MaxRounds:   300,
+			Pool:        pool,
 		})
 		if err != nil {
 			return nil, err
@@ -349,6 +352,8 @@ func evalDynamicsStats(trials int, p runner.Point) (any, error) {
 	rng := rand.New(rand.NewSource(p.Seed + int64(cell.n)))
 	g := core.UniformGame(cell.n, 1, cell.ver)
 	r := dynStatsRow{Version: cell.ver.String(), Scheduler: cell.sched, N: cell.n, Trials: trials}
+	pool := cellPool(g)
+	defer pool.Close()
 	for trial := 0; trial < trials; trial++ {
 		var sched dynamics.Scheduler = dynamics.RoundRobin{}
 		if cell.sched == "random-order" {
@@ -360,6 +365,7 @@ func evalDynamicsStats(trials int, p runner.Point) (any, error) {
 			Scheduler:   sched,
 			DetectLoops: true,
 			MaxRounds:   1500,
+			Pool:        pool,
 		})
 		if err != nil {
 			return nil, err

@@ -54,6 +54,8 @@ func evalSimultaneous(p runner.Point) (any, error) {
 	rng := rand.New(rand.NewSource(p.Seed + int64(c.n)*1001 + int64(c.ver)))
 	g := core.UniformGame(c.n, 1, c.ver)
 	r := simulRow{Version: c.ver.String(), N: c.n, Trials: c.trials}
+	pool := cellPool(g)
+	defer pool.Close()
 	for trial := 0; trial < c.trials; trial++ {
 		start := dynamics.RandomProfile(g, rng)
 		seq, err := dynamics.Run(g, start, dynamics.Options{
@@ -61,6 +63,7 @@ func evalSimultaneous(p runner.Point) (any, error) {
 			Cached:      core.ExactDeviatorResponder(0),
 			DetectLoops: true,
 			MaxRounds:   800,
+			Pool:        pool,
 		})
 		if err != nil {
 			return nil, err
@@ -77,6 +80,7 @@ func evalSimultaneous(p runner.Point) (any, error) {
 			Responder: core.ExactResponder(0),
 			Cached:    core.ExactDeviatorResponder(0),
 			MaxRounds: 800,
+			Pool:      pool,
 		})
 		if err != nil {
 			return nil, err

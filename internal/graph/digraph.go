@@ -26,6 +26,17 @@ import (
 type Digraph struct {
 	n   int
 	out [][]int
+
+	// Generation stamps (stamp.go): gen counts mutations, nodeGen[v] is
+	// the generation that last touched v, (src, srcGen) is the content
+	// anchor, id the process-unique instance identity, j the optional
+	// mutation journal.
+	gen     int64
+	nodeGen []int64
+	id      uint64
+	src     uint64
+	srcGen  int64
+	j       *journal
 }
 
 // NewDigraph returns an empty digraph on n vertices.
@@ -33,7 +44,8 @@ func NewDigraph(n int) *Digraph {
 	if n < 0 {
 		panic("graph: negative vertex count")
 	}
-	return &Digraph{n: n, out: make([][]int, n)}
+	id := digraphID.Add(1)
+	return &Digraph{n: n, out: make([][]int, n), nodeGen: make([]int64, n), id: id, src: id}
 }
 
 // N returns the number of vertices.
@@ -80,6 +92,16 @@ func (g *Digraph) AddArc(u, v int) bool {
 	copy(os[i+1:], os[i:])
 	os[i] = v
 	g.out[u] = os
+	g.bump()
+	g.touch(u)
+	g.touch(v)
+	if g.j != nil {
+		e := arcDelta{owner: int32(u), tgtAdd: []int32{int32(v)}}
+		if g.undToggle(u, v) {
+			e.undAdd = [][2]int32{normEdge(u, v)}
+		}
+		g.record(e)
+	}
 	return true
 }
 
@@ -93,11 +115,23 @@ func (g *Digraph) RemoveArc(u, v int) bool {
 		return false
 	}
 	g.out[u] = append(os[:i], os[i+1:]...)
+	g.bump()
+	g.touch(u)
+	g.touch(v)
+	if g.j != nil {
+		e := arcDelta{owner: int32(u), tgtRem: []int32{int32(v)}}
+		if g.undToggle(u, v) {
+			e.undRem = [][2]int32{normEdge(u, v)}
+		}
+		g.record(e)
+	}
 	return true
 }
 
 // SetOut replaces u's entire out-neighbour set with a sorted, deduplicated
-// copy of s. It panics if s contains u or an out-of-range vertex.
+// copy of s. It panics if s contains u or an out-of-range vertex. A
+// rewrite that leaves the set unchanged is a no-op and does not advance
+// the graph generation.
 func (g *Digraph) SetOut(u int, s []int) {
 	g.check(u)
 	ns := make([]int, len(s))
@@ -115,7 +149,62 @@ func (g *Digraph) SetOut(u int, s []int) {
 		ns[w] = v
 		w++
 	}
-	g.out[u] = ns[:w]
+	ns = ns[:w]
+	old := g.out[u]
+	if intsEqual(old, ns) {
+		return
+	}
+	g.out[u] = ns
+	g.bump()
+	g.touch(u)
+	var e arcDelta
+	e.owner = int32(u)
+	// Symmetric difference of two sorted lists: stamp every changed
+	// target and journal both arc targets and net undirected toggles.
+	i, j := 0, 0
+	for i < len(old) || j < len(ns) {
+		switch {
+		case j >= len(ns) || (i < len(old) && old[i] < ns[j]):
+			v := old[i]
+			g.touch(v)
+			if g.j != nil {
+				e.tgtRem = append(e.tgtRem, int32(v))
+				if g.undToggle(u, v) {
+					e.undRem = append(e.undRem, normEdge(u, v))
+				}
+			}
+			i++
+		case i >= len(old) || ns[j] < old[i]:
+			v := ns[j]
+			g.touch(v)
+			if g.j != nil {
+				e.tgtAdd = append(e.tgtAdd, int32(v))
+				if g.undToggle(u, v) {
+					e.undAdd = append(e.undAdd, normEdge(u, v))
+				}
+			}
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	if g.j != nil {
+		g.record(e)
+	}
+}
+
+// intsEqual reports whether two sorted int slices are identical.
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // In returns the sorted list of vertices owning an arc into u.
@@ -160,12 +249,19 @@ func (g *Digraph) Braces() [][2]int {
 	return bs
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The clone keeps the source's
+// generation stamps and content anchor (so caches keyed on the anchor
+// still match until either copy mutates) but gets a fresh instance
+// identity and no journal.
 func (g *Digraph) Clone() *Digraph {
 	c := NewDigraph(g.n)
 	for u, os := range g.out {
 		c.out[u] = append([]int(nil), os...)
 	}
+	c.gen = g.gen
+	copy(c.nodeGen, g.nodeGen)
+	c.src = g.src
+	c.srcGen = g.srcGen
 	return c
 }
 

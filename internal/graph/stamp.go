@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Generation stamps. Every mutation of a Digraph's arc set bumps a
+// monotone graph generation and stamps the touched vertices with it, so
+// cache layers can answer "has anything incident to u changed since I
+// last looked?" in O(1) instead of rebuilding and diffing adjacency.
+//
+// Two stamped views are content-equal when their anchors coincide: an
+// anchor is the identity of the graph that performed the most recent
+// mutation plus that graph's generation at the time. Clones inherit the
+// anchor, so a settled profile cloned many times (one clone per Run)
+// still matches the anchor a pool recorded from an earlier clone — the
+// anchor only moves when some instance actually mutates, at which point
+// it re-roots to that instance. Anchor equality therefore soundly
+// proves identical arc sets without hashing.
+//
+// An optional mutation journal records per-generation arc deltas so a
+// cache that is a few generations behind can be repaired from the exact
+// edge toggles instead of a full adjacency diff. The journal is opt-in
+// (StartJournal) and never copied by Clone.
+
+// digraphID hands out process-unique instance identities for anchors.
+var digraphID atomic.Uint64
+
+// arcDelta is one journal entry: the arc-set change of a single
+// mutation, from the point of view of both the directed graph (targets,
+// for in(u) tracking) and the undirected underlying view (edge toggles,
+// normalized a<b; a toggle is recorded only when the mutation actually
+// changed U(G), i.e. no brace partner kept the edge alive).
+type arcDelta struct {
+	gen    int64
+	owner  int32
+	tgtAdd []int32
+	tgtRem []int32
+	undAdd [][2]int32
+	undRem [][2]int32
+}
+
+// journal is a bounded log of arcDeltas covering generations
+// (base, latest]. When it overflows cap, the oldest half is dropped and
+// base advances; DeltaSince calls reaching past base report !ok.
+type journal struct {
+	base    int64
+	cap     int
+	entries []arcDelta
+}
+
+func (j *journal) add(e arcDelta) {
+	if j.cap > 0 && len(j.entries) >= j.cap {
+		half := len(j.entries) / 2
+		j.base = j.entries[half-1].gen
+		j.entries = append(j.entries[:0], j.entries[half:]...)
+	}
+	j.entries = append(j.entries, e)
+}
+
+// bump advances the graph generation and re-roots the anchor at this
+// instance. Called exactly once per successful mutation.
+func (g *Digraph) bump() {
+	if g.nodeGen == nil {
+		return
+	}
+	g.gen++
+	g.src = g.id
+	g.srcGen = g.gen
+}
+
+// touch stamps v as last modified at the current generation.
+func (g *Digraph) touch(v int) {
+	if g.nodeGen != nil {
+		g.nodeGen[v] = g.gen
+	}
+}
+
+// Gen returns the graph generation: the number of mutations applied to
+// this instance's lineage since construction.
+func (g *Digraph) Gen() int64 { return g.gen }
+
+// NodeGen returns the generation at which v was last touched by a
+// mutation (as endpoint of an added/removed arc).
+func (g *Digraph) NodeGen(v int) int64 {
+	if g.nodeGen == nil {
+		return 0
+	}
+	return g.nodeGen[v]
+}
+
+// TouchedSince reports whether any mutation since generation gen
+// involved v as an endpoint.
+func (g *Digraph) TouchedSince(v int, gen int64) bool {
+	return g.NodeGen(v) > gen
+}
+
+// Anchor returns the content anchor (source instance id, source
+// generation). Equal anchors imply identical arc sets; the converse
+// does not hold (independent builds of the same graph have different
+// anchors), so anchor equality is a sound but incomplete fast path.
+func (g *Digraph) Anchor() (uint64, int64) { return g.src, g.srcGen }
+
+// StartJournal attaches a bounded mutation journal recording arc deltas
+// from the current generation on. capEntries bounds the number of
+// retained mutations (≤ 0 means unbounded). Any previous journal is
+// replaced. Clones never inherit the journal.
+func (g *Digraph) StartJournal(capEntries int) {
+	g.j = &journal{base: g.gen, cap: capEntries}
+}
+
+// record appends a journal entry for the mutation that just bumped the
+// generation.
+func (g *Digraph) record(e arcDelta) {
+	if g.j == nil {
+		return
+	}
+	e.gen = g.gen
+	g.j.add(e)
+}
+
+// undToggle reports whether changing the arc owner->v changes the
+// undirected edge {owner,v}: it does unless the brace partner v->owner
+// keeps the edge alive. Mutations only ever alter out[owner], so the
+// reverse arc can be checked before or after the mutation.
+func (g *Digraph) undToggle(owner, v int) bool {
+	return !g.HasArc(v, owner)
+}
+
+func normEdge(a, b int) [2]int32 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int32{int32(a), int32(b)}
+}
+
+// DeltaSince reports the net undirected-edge delta of this graph
+// relative to its state at generation since, excluding edges incident
+// to u and mutations performed by u itself (both irrelevant to u's
+// deviation cache, which excludes u's owned arcs and vertex u).
+// inTouched reports whether any non-u mutation added or removed an arc
+// targeting u (i.e. in(u) may have changed). ok is false when the
+// journal does not cover (since, Gen()] — the caller must fall back to
+// a full diff. removed and added are sorted lexicographically and
+// consistent with the current graph (multi-generation toggles cancel).
+func (g *Digraph) DeltaSince(since int64, u int) (removed, added [][2]int32, inTouched, ok bool) {
+	if since == g.gen {
+		return nil, nil, false, true
+	}
+	if g.j == nil || since < g.j.base || since > g.gen {
+		return nil, nil, false, false
+	}
+	uTouchable := g.nodeGen == nil || g.nodeGen[u] > since
+	net := make(map[[2]int32]int8)
+	for i := range g.j.entries {
+		e := &g.j.entries[i]
+		if e.gen <= since {
+			continue
+		}
+		if int(e.owner) == u {
+			continue
+		}
+		if uTouchable && !inTouched {
+			for _, t := range e.tgtAdd {
+				if int(t) == u {
+					inTouched = true
+					break
+				}
+			}
+			if !inTouched {
+				for _, t := range e.tgtRem {
+					if int(t) == u {
+						inTouched = true
+						break
+					}
+				}
+			}
+		}
+		for _, ed := range e.undAdd {
+			if int(ed[0]) == u || int(ed[1]) == u {
+				continue
+			}
+			net[ed]++
+		}
+		for _, ed := range e.undRem {
+			if int(ed[0]) == u || int(ed[1]) == u {
+				continue
+			}
+			net[ed]--
+		}
+	}
+	for ed, c := range net {
+		switch {
+		case c > 0:
+			added = append(added, ed)
+		case c < 0:
+			removed = append(removed, ed)
+		}
+	}
+	sortEdges(removed)
+	sortEdges(added)
+	return removed, added, inTouched, true
+}
+
+func sortEdges(es [][2]int32) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+}
