@@ -12,7 +12,9 @@
 //	bbncg [-full] [-csv] [-seed N] [-out DIR [-resume] [-shard i/k]] <command>
 //	bbncg -out DIR merge <command>
 //	bbncg -out DIR fetch SRC [SRC...]
+//	bbncg serve -out DIR [-addr :8080]
 //	bbncg doctor DIR
+//	bbncg version
 //	bbncg list
 //
 // Run `bbncg` with no arguments for the registry-generated command
@@ -20,35 +22,60 @@
 // store (one JSONL shard per experiment, see internal/store); a run
 // killed mid-sweep is resumed with -resume, which re-evaluates only the
 // missing points and renders output byte-identical to an uninterrupted
-// run. -shard i/k restricts a run to a deterministic i-of-k partition
-// of every experiment's point list, the unit of scale-out across
-// machines; `fetch` concatenates the shard stores and `merge` renders a
-// command's tables purely from the combined store, without evaluating
-// anything. `doctor` audits a store read-only. See docs/RUNNER.md.
+// run. SIGINT/SIGTERM stop a checkpointed sweep gracefully: in-flight
+// points finish, the store manifest is flushed, and the process exits 5
+// with the store ready for -resume. -shard i/k restricts a run to a
+// deterministic i-of-k partition of every experiment's point list, the
+// unit of scale-out across machines; `fetch` concatenates the shard
+// stores and `merge` renders a command's tables purely from the
+// combined store, without evaluating anything. `doctor` audits a store
+// read-only. `serve` runs the persistent game-session HTTP service
+// over the same store machinery (see docs/SERVE.md). See
+// docs/RUNNER.md.
 //
 // Exit codes: 0 success; 1 error; 2 usage; 3 the run completed but
 // quarantined point failures (-max-failures; rerun with -resume);
-// 4 doctor found problems.
+// 4 doctor found problems; 5 a checkpointed sweep was interrupted by
+// SIGINT/SIGTERM (continue with -resume).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/runner"
+	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/sweep"
+	"repro/internal/version"
 )
 
 func main() {
+	// serve owns its flag set (its flags are unrelated to the sweep
+	// flags), and version must work without parsing anything, so both
+	// dispatch before the global flag.Parse.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "version", "-version", "--version":
+			fmt.Println(version.String())
+			return
+		}
+	}
 	full := flag.Bool("full", false, "run the full sweep ranges from EXPERIMENTS.md (slower)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	seed := flag.Int64("seed", 1, "seed for randomized sweeps")
@@ -157,6 +184,23 @@ func main() {
 	}
 	app.retry = *retry
 	app.maxFailures = *maxFailures
+	if app.st != nil && !app.merge {
+		// Checkpointed evaluation runs stop gracefully on SIGINT/SIGTERM:
+		// no new point starts, in-flight points land in the store, the
+		// manifest is flushed on close, and the process exits 5 so driving
+		// scripts know to come back with -resume. A second signal falls
+		// through to the default handler and kills immediately.
+		done := make(chan struct{})
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			signal.Stop(sigc)
+			fmt.Fprintln(os.Stderr, "bbncg: interrupted — finishing in-flight points and flushing the store (continue with -resume)")
+			close(done)
+		}()
+		app.done = done
+	}
 	err = app.run(cmd)
 	if app.st != nil {
 		if cerr := app.st.Close(); err == nil {
@@ -171,6 +215,9 @@ func main() {
 			if app.failed > 0 {
 				line += fmt.Sprintf(", %d FAILED (quarantined)", app.failed)
 			}
+			if app.interrupted > 0 {
+				line += fmt.Sprintf(", %d interrupted", app.interrupted)
+			}
 			if app.shard.Active() {
 				line += fmt.Sprintf(", %d outside shard %s", app.filtered, app.shard)
 			}
@@ -183,6 +230,11 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if app.interrupted > 0 {
+		// The signal handler already explained itself; the distinct exit
+		// code is the machine-readable half of the contract.
+		os.Exit(5)
 	}
 	if app.failed > 0 {
 		// The run finished but -max-failures quarantined some points:
@@ -197,7 +249,7 @@ func main() {
 // doctor runs the read-only store audit, printing the machine-readable
 // report on stdout; problems exit 4.
 func doctor(dir string) {
-	rep, err := store.Audit(dir, experiments.SpecNames()...)
+	rep, err := store.Audit(dir, append(experiments.SpecNames(), serve.ExpPattern)...)
 	if err != nil {
 		fatal(err)
 	}
@@ -218,13 +270,67 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// serveMain runs the persistent game-session service (internal/serve):
+// sessions are created and queried over HTTP/JSON, every mutation is
+// durably event-logged into the -out store, and a restart on the same
+// directory replays each session byte-identically. SIGINT/SIGTERM
+// drain in-flight requests and flush the store. See docs/SERVE.md.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("bbncg serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address (host:port; :0 picks a free port, printed on stderr)")
+	out := fs.String("out", "", "session store directory (required; reopened stores replay their sessions)")
+	sessionMB := fs.Int64("sessionmb", 0, "per-session warm-cache budget in MiB (0 = library default)")
+	poolMB := fs.Int64("poolmb", 0, "global warm-cache cap in MiB across sessions; exceeding it evicts LRU sessions' caches (0 = uncapped)")
+	anchorEvery := fs.Int("anchor", 0, "event-log snapshot cadence in mutations (0 = default 64)")
+	maxN := fs.Int("maxn", 0, "largest session player count accepted (0 = default 4096)")
+	fsync := fs.Bool("fsync", false, "fsync every event append (survives power loss, slower)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: bbncg serve -out DIR [-addr :8080] [-sessionmb N] [-poolmb N] [-anchor N] [-maxn N] [-fsync]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *out == "" || fs.NArg() != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if err := fault.ArmFromEnv(); err != nil {
+		fatal(err)
+	}
+	m, err := serve.Open(*out, serve.Options{
+		SessionPoolBudget: *sessionMB << 20,
+		GlobalPoolBudget:  *poolMB << 20,
+		AnchorEvery:       *anchorEvery,
+		MaxSessionN:       *maxN,
+		Fsync:             *fsync,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bbncg serve: %s — %d session(s) replayed from %s\n", version.String(), m.Len(), *out)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ready := make(chan net.Addr, 1)
+	go func() {
+		// The "listening on" line is the machine-readable half of -addr
+		// :0 — the crash suite and the smoke script parse the bound port
+		// from it.
+		fmt.Fprintf(os.Stderr, "bbncg serve: listening on %s\n", <-ready)
+	}()
+	if err := serve.Run(ctx, *addr, m, ready); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "bbncg serve: drained, store flushed")
+}
+
 // usage is generated from the command registry, so the help text can
 // never drift from what actually dispatches.
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: bbncg [-full] [-csv] [-seed N] [-out DIR [-resume] [-shard i/k] [-retry N] [-max-failures N] [-fsync]] <command>
        bbncg -out DIR merge <command>
        bbncg -out DIR fetch SRC [SRC...]
+       bbncg serve -out DIR [-addr :8080]
        bbncg doctor DIR
+       bbncg version
 
 commands:
 `)
@@ -242,6 +348,8 @@ commands:
 	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "merge", "render a command's tables from an existing -out store")
 	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "fetch", "concatenate shard stores (e.g. from -shard runs) into -out")
 	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "doctor", "audit a store directory read-only (counts, checksums, failures)")
+	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "serve", "persistent game-session HTTP service over a durable store (docs/SERVE.md)")
+	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "version", "print the build identity (module, VCS revision, go version)")
 	fmt.Fprintf(os.Stderr, `
 Any spec name from `+"`bbncg list`"+` is also a command. -out DIR
 checkpoints results per point (with progress/ETA on stderr); -resume
@@ -268,12 +376,16 @@ type app struct {
 	// Failure-handling knobs forwarded to runner.Options.
 	retry       int
 	maxFailures int
+	// done, when non-nil, is closed by the signal handler to stop the
+	// sweep gracefully (forwarded to runner.Options.Done).
+	done <-chan struct{}
 	// Resume accounting, reported on stderr and asserted by tests.
-	evaluated int
-	skipped   int
-	filtered  int
-	retried   int
-	failed    int
+	evaluated   int
+	skipped     int
+	filtered    int
+	retried     int
+	failed      int
+	interrupted int
 	// Per-partition point counts summed over the run's specs (sharded
 	// runs only).
 	shardCounts []int
@@ -324,6 +436,7 @@ func (a *app) runSpecs(names ...string) error {
 			rep, err = runner.Run(job, a.st, runner.Options{
 				Shard: a.shard, Progress: a.progress,
 				Retry: a.retry, RetryBackoff: retryBackoff, MaxFailures: a.maxFailures,
+				Done: a.done,
 			})
 		}
 		if err != nil {
@@ -334,6 +447,7 @@ func (a *app) runSpecs(names ...string) error {
 		a.filtered += rep.Filtered
 		a.retried += rep.Retried
 		a.failed += rep.Failed
+		a.interrupted += rep.Interrupted
 		if rep.ShardCounts != nil {
 			if a.shardCounts == nil {
 				a.shardCounts = make([]int, len(rep.ShardCounts))
@@ -345,10 +459,11 @@ func (a *app) runSpecs(names ...string) error {
 		if a.shard.Active() {
 			continue
 		}
-		if rep.Failed > 0 {
-			// Quarantined points left nil values; the spec cannot render
-			// a partial sweep. The run keeps going so the other specs
-			// still checkpoint, and main exits 3.
+		if rep.Failed > 0 || rep.Interrupted > 0 {
+			// Quarantined or interrupted points left nil values; the spec
+			// cannot render a partial sweep. The run keeps going so the
+			// other specs still checkpoint (an interrupted run drains them
+			// near-instantly), and main exits 3 or 5.
 			continue
 		}
 		tables, err := spec.Render(rep.Values)

@@ -1,0 +1,150 @@
+// Servedemo drives a running `bbncg serve` through one session
+// lifecycle and prints the canonical answers — the client half of the
+// restart-replay demo: run it with -setup against a fresh server,
+// kill and restart the server on the same store directory, run it
+// again without -setup, and diff the two outputs (they must be
+// byte-identical; the CI smoke job does exactly this).
+//
+//	bbncg serve -addr :8080 -out /tmp/sessions &
+//	servedemo -addr localhost:8080 -setup   > before.json
+//	kill -9 %1; bbncg serve -addr :8080 -out /tmp/sessions &
+//	servedemo -addr localhost:8080          > after.json
+//	diff before.json after.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+)
+
+var (
+	addr    = flag.String("addr", "localhost:8080", "bbncg serve address (host:port)")
+	session = flag.String("session", "demo", "session id to create and query")
+	setup   = flag.Bool("setup", false, "create the session and mutate it (first run); without it, only query")
+	players = flag.Int("n", 8, "player count of the demo session (setup only)")
+)
+
+// call performs one JSON request and returns the raw response body.
+func call(method, path string, body any) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, "http://"+*addr+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		return nil, fmt.Errorf("%s %s: %d %s", method, path, resp.StatusCode, raw)
+	}
+	return raw, nil
+}
+
+func main() {
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("servedemo: ")
+
+	if *setup {
+		// Create a seeded random session — the arc list is materialised
+		// server-side, so replay never re-runs the generator.
+		_, err := call("POST", "/v1/sessions", map[string]any{
+			"id":    *session,
+			"graph": map[string]any{"kind": "random", "n": *players, "b": 2, "seed": 7},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Mutate: a few dynamics rounds, then one explicit rewire taken
+		// from the equilibrium witness (if any player still improves).
+		if _, err := call("POST", "/v1/sessions/"+*session+"/dynamics", map[string]any{"rounds": 2}); err != nil {
+			log.Fatal(err)
+		}
+		raw, err := call("GET", "/v1/sessions/"+*session+"/equilibrium", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var eq struct {
+			Stable  bool `json:"stable"`
+			Witness *struct {
+				Player   int   `json:"player"`
+				Strategy []int `json:"strategy"`
+			} `json:"witness"`
+		}
+		if err := json.Unmarshal(raw, &eq); err != nil {
+			log.Fatal(err)
+		}
+		if !eq.Stable && eq.Witness != nil {
+			if _, err := call("POST", "/v1/sessions/"+*session+"/rewire", map[string]any{
+				"player": eq.Witness.Player, "strategy": eq.Witness.Strategy,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Query: profile, per-player best responses, welfare — printed as
+	// canonical JSON lines so two runs diff cleanly. The replayed flag
+	// and memo bit legitimately differ across a restart and are
+	// stripped.
+	raw, err := call("GET", "/v1/sessions/"+*session+"?arcs=1", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var info map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &info); err != nil {
+		log.Fatal(err)
+	}
+	delete(info, "replayed")
+	emit(info)
+
+	var n int
+	if err := json.Unmarshal(info["n"], &n); err != nil {
+		log.Fatal(err)
+	}
+	for u := 0; u < n; u++ {
+		raw, err := call("GET", fmt.Sprintf("/v1/sessions/%s/bestresponse?player=%d", *session, u), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var br map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &br); err != nil {
+			log.Fatal(err)
+		}
+		delete(br, "memo")
+		emit(br)
+	}
+	raw, err = call("GET", "/v1/sessions/"+*session+"/welfare", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(append(raw, '\n'))
+}
+
+// emit prints one canonical JSON line (sorted keys, no HTML escaping).
+func emit(v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(append(raw, '\n'))
+}

@@ -99,10 +99,13 @@ type poolCounters struct {
 // CachePool keeps per-player cached Deviators alive across the rounds of
 // a dynamics run (or any other sequence of locally-mutated graphs).
 type CachePool struct {
-	game    *Game
-	budget  int64
-	per     int64 // bytes per cached player: 4·n·(n+1)
-	used    int64
+	game   *Game
+	budget int64
+	per    int64 // bytes per cached player: 4·n·(n+1)
+	// used is atomic only so external monitors (bbncg serve's memory
+	// governor) can read it without the single-goroutine pool lock; all
+	// writers are the pool's owning goroutine.
+	used    atomic.Int64
 	version int64 // bumped by Invalidate
 	entries map[int]*poolEntry
 	resp    []respEntry // round-level best-response memo, indexed by player
@@ -193,12 +196,12 @@ func (p *CachePool) Acquire(d *graph.Digraph, u int) *Deviator {
 		return e.dv
 	}
 	dv := NewDeviator(p.game, d, u)
-	if p.used+p.per > p.budget || !dv.EnsureCache(p.per) {
+	if p.used.Load()+p.per > p.budget || !dv.EnsureCache(p.per) {
 		p.ctr.unpooled.Add(1)
 		return dv // over budget: behaves like a plain Deviator
 	}
 	dv.pool = p
-	p.used += p.per
+	p.used.Add(p.per)
 	e := &poolEntry{dv: dv, version: p.version}
 	p.record(e, d)
 	p.entries[u] = e
@@ -343,8 +346,28 @@ func (p *CachePool) Close() {
 		e.dv.releaseOwned()
 		delete(p.entries, u)
 	}
-	p.used = 0
+	p.used.Store(0)
 	p.resp = nil
+}
+
+// BytesUsed returns the bytes of distance matrices currently held by
+// pooled entries. Like Stats it is safe to read at any time from any
+// goroutine — the serve memory governor polls it across sessions while
+// their pools are in use. Nil-safe.
+func (p *CachePool) BytesUsed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.used.Load()
+}
+
+// BytesBudget returns the pool's byte budget (fixed at construction).
+// Nil-safe.
+func (p *CachePool) BytesBudget() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.budget
 }
 
 // Stats returns the pool's lifetime counters. Safe to call at any time,

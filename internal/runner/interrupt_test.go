@@ -1,0 +1,85 @@
+package runner
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// A Done channel closed before the run starts stops every missing
+// point: nothing evaluates, everything counts as interrupted, and the
+// store stays consistent for a later resume.
+func TestInterruptBeforeStart(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	var evals int64
+	rep, err := Run(testJob(10, &evals), nil, Options{Workers: 4, Done: done})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Interrupted != 10 || rep.Evaluated != 0 || evals != 0 {
+		t.Fatalf("interrupted=%d evaluated=%d evals=%d, want 10/0/0", rep.Interrupted, rep.Evaluated, evals)
+	}
+}
+
+// Closing Done mid-run stops dispatching new points; already-finished
+// points are in the store, and a resume without Done completes exactly
+// the remainder.
+func TestInterruptMidRunThenResume(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	done := make(chan struct{})
+	var evals atomic.Int64
+	job := testJob(n, new(int64))
+	inner := job.Eval
+	job.Eval = func(p Point) (any, error) {
+		// The third evaluation pulls the plug; in-flight points finish.
+		if evals.Add(1) == 3 {
+			close(done)
+		}
+		return inner(p)
+	}
+	rep, err := Run(job, st, Options{Workers: 2, Done: done})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Interrupted == 0 || rep.Evaluated == 0 {
+		t.Fatalf("mid-run interrupt: %+v", rep)
+	}
+	if rep.Evaluated+rep.Interrupted != n {
+		t.Fatalf("evaluated %d + interrupted %d != %d", rep.Evaluated, rep.Interrupted, n)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	var resumeEvals int64
+	rep2, err := Run(testJob(n, &resumeEvals), st2, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Interrupted != 0 {
+		t.Fatalf("clean resume reported interruptions: %+v", rep2)
+	}
+	if rep2.Skipped != rep.Evaluated || rep2.Evaluated != rep.Interrupted {
+		t.Fatalf("resume did not complete exactly the remainder: first %+v, resume %+v", rep, rep2)
+	}
+	if int(resumeEvals) != rep.Interrupted {
+		t.Fatalf("resume re-evaluated stored points: %d evals for %d missing", resumeEvals, rep.Interrupted)
+	}
+	for i, v := range rep2.Values {
+		if v == nil {
+			t.Fatalf("value %d still nil after resume", i)
+		}
+	}
+}

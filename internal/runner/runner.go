@@ -106,6 +106,12 @@ type Options struct {
 	// shard, so -resume retries exactly them); exceeding the budget
 	// aborts. -1 is an unlimited budget.
 	MaxFailures int
+	// Done, when non-nil and closed, stops the run gracefully: no new
+	// point starts evaluating, points already in flight finish and are
+	// appended to the store as usual, and the report counts everything
+	// not reached as Interrupted. This is the clean-shutdown path for
+	// SIGINT/SIGTERM — the store stays resumable, nothing is lost.
+	Done <-chan struct{}
 }
 
 // Report is the outcome of one Run.
@@ -132,6 +138,10 @@ type Report struct {
 	Failed   int
 	Retried  int
 	Failures []store.Failure
+	// Interrupted counts points skipped because Options.Done closed
+	// mid-run (their Values entries stay nil — a report with
+	// Interrupted > 0 must not be rendered; resume with the same store).
+	Interrupted int
 }
 
 // transient is the marker interface of retryable errors.
@@ -196,11 +206,15 @@ func Run(job Job, st *store.Store, opt Options) (*Report, error) {
 	}
 	meter := newProgressMeter(opt.Progress, job.Exp, rep.Skipped, len(missing))
 	type outcome struct {
-		raw      json.RawMessage
-		err      error
-		attempts int
+		raw         json.RawMessage
+		err         error
+		attempts    int
+		interrupted bool
 	}
 	outs := sweep.ParallelN(missing, workers, func(i int) outcome {
+		if interrupted(opt.Done) {
+			return outcome{interrupted: true, attempts: 1}
+		}
 		p := job.Points[i]
 		for attempt := 1; ; attempt++ {
 			raw, err := evalPoint(job, p, st)
@@ -219,6 +233,10 @@ func Run(job Job, st *store.Store, opt Options) (*Report, error) {
 	var errs []error
 	for k, o := range outs {
 		rep.Retried += o.attempts - 1
+		if o.interrupted {
+			rep.Interrupted++
+			continue
+		}
 		if o.err != nil {
 			p := job.Points[missing[k]]
 			f := store.Failure{ID: p.ID(), Exp: p.Exp, Key: p.Key, Err: o.err.Error(), Attempts: o.attempts}
@@ -251,6 +269,16 @@ func Run(job Job, st *store.Store, opt Options) (*Report, error) {
 
 // retrySleep is time.Sleep, indirected so retry tests stay instant.
 var retrySleep = time.Sleep
+
+// interrupted reports whether done (possibly nil) has closed.
+func interrupted(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
 
 // evalPoint runs one evaluation attempt end to end — failpoint, Eval,
 // canonical encoding, store append — with the whole attempt inside

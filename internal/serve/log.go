@@ -1,0 +1,243 @@
+// Package serve exposes persistent game sessions as an HTTP/JSON
+// service over the warm distance-cache pool: create a game, post
+// rewirings, and query best responses, equilibrium status, welfare and
+// dynamics rounds, with repeated queries riding the stamp-skip /
+// delta-repair / memo ladder instead of rebuilding distance caches.
+//
+// Sessions are durable. Every mutation is appended to a
+// store-backed JSONL event log (one shard per session, the same
+// crash-safety contract the sweep store gives experiment results:
+// single-write O_APPEND records with content CRCs, torn tails repaired
+// on open) before it is applied in memory, and a periodic full-profile
+// anchor bounds replay length. A server restarted on the same -out
+// directory replays every session to a byte-identical profile, so
+// best-response answers and welfare match across a crash.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/store"
+	"repro/pkg/bbncg"
+)
+
+// Failpoint sites owned by serve (see internal/fault): the periodic
+// anchor snapshot write and the per-session replay at startup.
+var (
+	siteSnapshotWrite = fault.Register("serve.snapshot.write", "session anchor snapshot append")
+	siteSessionReplay = fault.Register("serve.session.replay", "session event-log replay at open")
+)
+
+// sessionExpPrefix namespaces session shards inside the store; the
+// session id follows. ExpPattern is the store.Audit prefix pattern
+// matching every session shard — the doctor admits serve stores with
+// it without enumerating session ids.
+const (
+	sessionExpPrefix = "session-"
+	ExpPattern       = sessionExpPrefix + "*"
+)
+
+// event is one session event-log entry. Kind selects which fields are
+// meaningful:
+//
+//	create: Version, Budgets, Arcs (the materialised initial profile;
+//	        authoritative for replay), Graph (provenance only),
+//	        Responder (the session's memoised responder)
+//	rewire: Player, Strategy
+//	anchor: Out (full out-lists; replay restarts here)
+//	delete: nothing (tombstone; a later create reopens the id)
+type event struct {
+	Seq  int64  `json:"seq"`
+	Kind string `json:"kind"`
+
+	Version   string               `json:"version,omitempty"`
+	Budgets   []int                `json:"budgets,omitempty"`
+	Arcs      [][2]int             `json:"arcs,omitempty"`
+	Graph     *bbncg.GeneratorSpec `json:"graph,omitempty"`
+	Responder string               `json:"responder,omitempty"`
+
+	Player   int   `json:"player,omitempty"`
+	Strategy []int `json:"strategy,omitempty"`
+
+	Out [][]int `json:"out,omitempty"`
+}
+
+const (
+	evCreate = "create"
+	evRewire = "rewire"
+	evAnchor = "anchor"
+	evDelete = "delete"
+)
+
+func marshalEvent(ev event) (json.RawMessage, error) { return json.Marshal(ev) }
+
+func unmarshalEvent(raw json.RawMessage) (event, error) {
+	var ev event
+	err := json.Unmarshal(raw, &ev)
+	return ev, err
+}
+
+// sessionExp returns the store experiment name of a session.
+func sessionExp(id string) string { return sessionExpPrefix + id }
+
+// eventID is the store record identity of one event: unique across the
+// store, ordered within a session.
+func eventID(id string, seq int64) string { return fmt.Sprintf("%s#%012d", id, seq) }
+
+// ValidSessionID restricts session ids to the store's shard-name-safe
+// alphabet: 1-40 chars of [a-z0-9-], starting with an alphanumeric.
+func ValidSessionID(id string) error {
+	if id == "" || len(id) > 40 {
+		return fmt.Errorf("serve: session id must be 1-40 characters, got %d", len(id))
+	}
+	for i, r := range id {
+		ok := r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' && i > 0
+		if !ok {
+			return fmt.Errorf("serve: session id %q: want [a-z0-9] and interior dashes", id)
+		}
+	}
+	return nil
+}
+
+// appendEvent durably logs one event for session id. Mutations are
+// logged before they are applied in memory, so a crash between the two
+// replays the mutation instead of losing it.
+func appendEvent(st *store.Store, id string, ev event) error {
+	raw, err := marshalEvent(ev)
+	if err != nil {
+		return err
+	}
+	return st.Append(store.Record{
+		ID:    eventID(id, ev.Seq),
+		Exp:   sessionExp(id),
+		Key:   fmt.Sprintf("%d", ev.Seq),
+		Value: raw,
+	})
+}
+
+// replayState is the reconstruction of one session from its event log.
+type replayState struct {
+	id      string
+	create  event // the last create event (authoritative metadata)
+	d       *bbncg.Digraph
+	nextSeq int64
+	moves   int64 // rewires replayed since the last create
+	dead    bool  // tombstoned by a trailing delete
+}
+
+// replaySessions reconstructs every session recorded in st. Dead
+// sessions are returned too (dead=true) so their next-seq survives a
+// delete/create cycle of the same id.
+func replaySessions(st *store.Store) ([]*replayState, error) {
+	byID := make(map[string][]store.Record)
+	for _, rec := range st.Records() {
+		if !strings.HasPrefix(rec.Exp, sessionExpPrefix) {
+			continue
+		}
+		id := strings.TrimPrefix(rec.Exp, sessionExpPrefix)
+		byID[id] = append(byID[id], rec)
+	}
+	ids := make([]string, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*replayState, 0, len(ids))
+	for _, id := range ids {
+		rs, err := replaySession(id, byID[id])
+		if err != nil {
+			return nil, fmt.Errorf("serve: replaying session %s: %w", id, err)
+		}
+		out = append(out, rs)
+	}
+	return out, nil
+}
+
+// replaySession rebuilds one session: find the last create, honour a
+// trailing delete as a tombstone, start from the last anchor after the
+// create, and apply the rewires recorded since. The profile this
+// produces is byte-identical to the pre-crash one — rewires are
+// explicit strategies, so replay involves no recomputation.
+func replaySession(id string, recs []store.Record) (*replayState, error) {
+	if err := fault.Hit(siteSessionReplay); err != nil {
+		return nil, err
+	}
+	events := make([]event, 0, len(recs))
+	var nextSeq int64
+	for _, rec := range recs {
+		ev, err := unmarshalEvent(rec.Value)
+		if err != nil {
+			return nil, fmt.Errorf("event %s: %w", rec.ID, err)
+		}
+		events = append(events, ev)
+		if ev.Seq+1 > nextSeq {
+			nextSeq = ev.Seq + 1
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+
+	createIdx := -1
+	for i, ev := range events {
+		if ev.Kind == evCreate {
+			createIdx = i
+		}
+	}
+	if createIdx < 0 {
+		return nil, fmt.Errorf("log holds %d event(s) but no create", len(events))
+	}
+	rs := &replayState{id: id, create: events[createIdx], nextSeq: nextSeq}
+	for _, ev := range events[createIdx+1:] {
+		if ev.Kind == evDelete {
+			rs.dead = true
+			return rs, nil
+		}
+		if ev.Kind == evRewire {
+			rs.moves++ // counted across anchors; applied only after the last one
+		}
+	}
+
+	// Start from the newest anchor at or after the create.
+	startIdx := createIdx
+	for i := createIdx + 1; i < len(events); i++ {
+		if events[i].Kind == evAnchor {
+			startIdx = i
+		}
+	}
+	var d *bbncg.Digraph
+	var err error
+	if start := events[startIdx]; start.Kind == evAnchor {
+		d = bbncg.NewDigraph(len(start.Out))
+		for u, s := range start.Out {
+			d.SetOut(u, s)
+		}
+	} else {
+		d, err = bbncg.FromArcs(len(start.Budgets), start.Arcs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, ev := range events[startIdx+1:] {
+		if ev.Kind != evRewire {
+			continue
+		}
+		if ev.Player < 0 || ev.Player >= d.N() {
+			return nil, fmt.Errorf("event seq %d rewires out-of-range player %d", ev.Seq, ev.Player)
+		}
+		d.SetOut(ev.Player, ev.Strategy)
+	}
+	rs.d = d
+	return rs, nil
+}
+
+// anchorEvent snapshots d's full out-lists.
+func anchorEvent(seq int64, d *bbncg.Digraph) event {
+	out := make([][]int, d.N())
+	for u := range out {
+		out[u] = append([]int{}, d.Out(u)...)
+	}
+	return event{Seq: seq, Kind: evAnchor, Out: out}
+}

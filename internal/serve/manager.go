@@ -1,0 +1,364 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/store"
+	"repro/pkg/bbncg"
+)
+
+// Options configure a Manager.
+type Options struct {
+	// SessionPoolBudget caps each session's warm-cache pool in bytes
+	// (<= 0: core.DefaultPoolBudget, clamped to GlobalPoolBudget).
+	SessionPoolBudget int64
+	// GlobalPoolBudget caps the sum of warm-cache bytes across all
+	// sessions; exceeding it evicts least-recently-used sessions' pools
+	// (cold caches, not lost sessions). <= 0 means unlimited.
+	GlobalPoolBudget int64
+	// AnchorEvery appends a full-profile snapshot to a session's event
+	// log every this many mutations, bounding replay length (<= 0:
+	// default 64; anchors also heal logs whose interior records were
+	// quarantined by the store).
+	AnchorEvery int
+	// MaxSessionN bounds the player count of a created session (<= 0:
+	// default 4096) — a wire-input guard, since a session's distance
+	// caches are O(n²).
+	MaxSessionN int
+	// Fsync extends the event log's durability from process death to
+	// machine death (see store.Options.Fsync).
+	Fsync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.AnchorEvery <= 0 {
+		o.AnchorEvery = 64
+	}
+	if o.MaxSessionN <= 0 {
+		o.MaxSessionN = 4096
+	}
+	if o.GlobalPoolBudget > 0 && (o.SessionPoolBudget <= 0 || o.SessionPoolBudget > o.GlobalPoolBudget) {
+		o.SessionPoolBudget = o.GlobalPoolBudget
+	}
+	return o
+}
+
+// Manager owns the session registry and the durable event-log store,
+// replays persisted sessions on open, and runs the LRU pool-memory
+// governor. Methods are safe for concurrent use.
+type Manager struct {
+	opt Options
+	st  *store.Store
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	// deadSeq remembers the next event seq of tombstoned session ids so
+	// a re-created id keeps appending unique store record ids.
+	deadSeq map[string]int64
+	clock   int64 // LRU ticks, handed out under mu
+	closed  bool
+}
+
+// Open opens (or initialises) the session store at dir and replays
+// every persisted session into a live registry with cold caches.
+func Open(dir string, opt Options) (*Manager, error) {
+	opt = opt.withDefaults()
+	st, err := store.OpenWith(dir, store.Options{Fsync: opt.Fsync})
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		opt:      opt,
+		st:       st,
+		sessions: make(map[string]*Session),
+		deadSeq:  make(map[string]int64),
+	}
+	states, err := replaySessions(st)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	for _, rs := range states {
+		if rs.dead {
+			m.deadSeq[rs.id] = rs.nextSeq
+			continue
+		}
+		s, err := m.sessionFromReplay(rs)
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("serve: session %s: %w", rs.id, err)
+		}
+		m.sessions[rs.id] = s
+	}
+	return m, nil
+}
+
+// sessionFromReplay validates a replayed state back into a live session.
+func (m *Manager) sessionFromReplay(rs *replayState) (*Session, error) {
+	v, err := bbncg.ParseVersion(rs.create.Version)
+	if err != nil {
+		return nil, err
+	}
+	g, err := bbncg.NewGame(rs.create.Budgets, v)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.CheckRealization(rs.d); err != nil {
+		return nil, fmt.Errorf("replayed profile does not realize the game: %w", err)
+	}
+	rc, err := bbncg.ResponderByName(rs.create.Responder, 0)
+	if err != nil {
+		return nil, err
+	}
+	s := newSession(rs.id, g, rs.d, rc, m.st, rs.nextSeq, m.opt.AnchorEvery, m.opt.SessionPoolBudget)
+	s.spec = rs.create.Graph
+	s.moves.Store(rs.moves)
+	s.replayed = true
+	return s, nil
+}
+
+// CreateRequest is the wire form of session creation.
+type CreateRequest struct {
+	// ID names the session ([a-z0-9-], <= 40 chars); empty draws a
+	// random one.
+	ID string `json:"id,omitempty"`
+	// Version is "SUM" (default) or "MAX".
+	Version string `json:"version,omitempty"`
+	// Budgets is the explicit budget vector; when omitted it is derived
+	// from the initial profile's out-degrees.
+	Budgets []int `json:"budgets,omitempty"`
+	// Exactly one of Graph (generator spec) or Arcs (explicit arc
+	// list, with N) supplies the initial profile.
+	Graph *bbncg.GeneratorSpec `json:"graph,omitempty"`
+	N     int                  `json:"n,omitempty"`
+	Arcs  [][2]int             `json:"arcs,omitempty"`
+	// Responder is the session's default responder: greedy (default),
+	// swap or exact.
+	Responder string `json:"responder,omitempty"`
+}
+
+// Create validates the request, durably logs the create event (with the
+// materialised profile, so replay never re-runs a generator), and
+// registers the live session.
+func (m *Manager) Create(req CreateRequest) (*Session, error) {
+	id := req.ID
+	if id == "" {
+		id = randomSessionID()
+	}
+	if err := ValidSessionID(id); err != nil {
+		return nil, err
+	}
+	v, err := bbncg.ParseVersion(req.Version)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := bbncg.ResponderByName(req.Responder, 0)
+	if err != nil {
+		return nil, err
+	}
+	var d *bbncg.Digraph
+	switch {
+	case req.Graph != nil && req.Arcs != nil:
+		return nil, fmt.Errorf("serve: create: give graph or arcs, not both")
+	case req.Graph != nil:
+		d, err = req.Graph.Build()
+	case req.Arcs != nil || req.N > 0:
+		d, err = bbncg.FromArcs(req.N, req.Arcs)
+	default:
+		return nil, fmt.Errorf("serve: create: an initial profile is required (graph spec, or n and arcs)")
+	}
+	if err != nil {
+		return nil, err
+	}
+	budgets := req.Budgets
+	if budgets == nil {
+		budgets = bbncg.BudgetsOf(d)
+	}
+	g, err := bbncg.NewGame(budgets, v)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.CheckRealization(d); err != nil {
+		return nil, err
+	}
+	if g.N() > m.opt.MaxSessionN {
+		return nil, fmt.Errorf("serve: create: n=%d exceeds the server's session cap %d", g.N(), m.opt.MaxSessionN)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrSessionClosed
+	}
+	if _, ok := m.sessions[id]; ok {
+		return nil, fmt.Errorf("serve: session %q already exists", id)
+	}
+	seq := m.deadSeq[id] // 0 for fresh ids; continues after a delete
+	ev := event{
+		Seq:       seq,
+		Kind:      evCreate,
+		Version:   v.String(),
+		Budgets:   budgets,
+		Arcs:      bbncg.Arcs(d),
+		Graph:     req.Graph,
+		Responder: rc.Name,
+	}
+	if err := appendEvent(m.st, id, ev); err != nil {
+		return nil, err
+	}
+	s := newSession(id, g, d, rc, m.st, seq+1, m.opt.AnchorEvery, m.opt.SessionPoolBudget)
+	s.spec = req.Graph
+	m.sessions[id] = s
+	delete(m.deadSeq, id)
+	s.lastUsed.Store(m.tickLocked())
+	return s, nil
+}
+
+// Get returns the live session, bumping its LRU recency.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if ok {
+		s.lastUsed.Store(m.tickLocked())
+	}
+	return s, ok
+}
+
+// Delete tombstones the session in the log and closes it. The id can
+// be re-created later (its event seq continues).
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("serve: no session %q", id)
+	}
+	seq := s.seq.Load()
+	if err := appendEvent(m.st, id, event{Seq: seq, Kind: evDelete}); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	delete(m.sessions, id)
+	m.deadSeq[id] = seq + 1
+	m.mu.Unlock()
+	s.close()
+	return nil
+}
+
+// List snapshots the registry's session stats, sorted by id.
+func (m *Manager) List() []SessionStats {
+	m.mu.Lock()
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		ss = append(ss, s)
+	}
+	m.mu.Unlock()
+	out := make([]SessionStats, len(ss))
+	for i, s := range ss {
+		out[i] = s.Stats()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of live sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// tickLocked advances the LRU clock.
+func (m *Manager) tickLocked() int64 {
+	m.clock++
+	return m.clock
+}
+
+// Rebalance enforces the global pool-memory cap: while the warm-cache
+// bytes across sessions exceed it, the least-recently-used idle
+// session's pool is evicted (closed and replaced cold). The session
+// named active — the one that just grew — is only evicted last, when
+// it alone exceeds the cap. Busy sessions (lock held) are skipped this
+// round rather than waited on. Returns the number of evictions.
+func (m *Manager) Rebalance(active string) int {
+	if m.opt.GlobalPoolBudget <= 0 {
+		return 0
+	}
+	m.mu.Lock()
+	type cand struct {
+		s    *Session
+		tick int64
+	}
+	var total int64
+	cands := make([]cand, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		total += s.pool.Load().BytesUsed()
+		cands = append(cands, cand{s, s.lastUsed.Load()})
+	}
+	m.mu.Unlock()
+	if total <= m.opt.GlobalPoolBudget {
+		return 0
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].tick < cands[j].tick })
+	evicted := 0
+	for pass := 0; pass < 2 && total > m.opt.GlobalPoolBudget; pass++ {
+		for _, c := range cands {
+			if total <= m.opt.GlobalPoolBudget {
+				break
+			}
+			// First pass spares the active session; if everyone else's
+			// caches were not enough, the second pass takes it too.
+			if pass == 0 && c.s.id == active {
+				continue
+			}
+			if freed := c.s.evict(); freed > 0 {
+				total -= freed
+				evicted++
+			}
+		}
+	}
+	return evicted
+}
+
+// Sync flushes the store manifest (crash-tail safety does not depend
+// on it; it keeps `bbncg doctor` quiet between closes).
+func (m *Manager) Sync() error { return m.st.Sync() }
+
+// Dir returns the store directory.
+func (m *Manager) Dir() string { return m.st.Dir() }
+
+// Close closes every session (their operations return ErrSessionClosed
+// from now on) and then the store, flushing its manifest.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		ss = append(ss, s)
+	}
+	m.sessions = make(map[string]*Session)
+	m.mu.Unlock()
+	for _, s := range ss {
+		s.close()
+	}
+	return m.st.Close()
+}
+
+// randomSessionID draws a fresh id; collisions are caught by Create's
+// exists check.
+func randomSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failing is not a recoverable condition
+	}
+	return "s-" + hex.EncodeToString(b[:])
+}

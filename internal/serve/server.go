@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/version"
+)
+
+// Server is the HTTP face of a Manager. The API is JSON over the
+// routes below; every mutation is durable before the response is
+// written.
+//
+//	POST   /v1/sessions                     create (CreateRequest body)
+//	GET    /v1/sessions                     list session stats
+//	GET    /v1/sessions/{id}?arcs=1         session info (+profile)
+//	DELETE /v1/sessions/{id}                tombstone and close
+//	POST   /v1/sessions/{id}/rewire         {player, strategy}
+//	GET    /v1/sessions/{id}/bestresponse   ?player=&responder=&exactCap=
+//	GET    /v1/sessions/{id}/equilibrium    ?responder=&exactCap=
+//	GET    /v1/sessions/{id}/welfare
+//	POST   /v1/sessions/{id}/dynamics       {rounds}
+//	GET    /healthz                         liveness + build identity
+//	GET    /statsz                          per-session pool counters
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the routes over m.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/rewire", s.handleRewire)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/bestresponse", s.handleBestResponse)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/equilibrium", s.handleEquilibrium)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/welfare", s.handleWelfare)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/dynamics", s.handleDynamics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorBody is the uniform error shape: {"error": "..."}.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v) //nolint:errcheck // the connection is gone; nothing to do
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// errCode maps session errors onto HTTP statuses: closed sessions are
+// gone, everything else a session rejects is a bad request.
+func errCode(err error) int {
+	if errors.Is(err, ErrSessionClosed) {
+		return http.StatusGone
+	}
+	return http.StatusBadRequest
+}
+
+// session resolves {id}, answering 404 itself when absent.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.m.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("serve: no session %q", id))
+		return nil, false
+	}
+	return sess, true
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: decoding request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.m.Create(req)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	info, err := sess.Info(false)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.List())
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	info, err := sess.Info(r.URL.Query().Get("arcs") == "1")
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.m.Delete(id); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// rewireRequest is the wire form of one explicit strategy change.
+type rewireRequest struct {
+	Player   int   `json:"player"`
+	Strategy []int `json:"strategy"`
+}
+
+func (s *Server) handleRewire(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req rewireRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	changed, err := sess.Rewire(req.Player, req.Strategy)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	s.m.Rebalance(sess.ID())
+	writeJSON(w, http.StatusOK, map[string]bool{"changed": changed})
+}
+
+// queryInt64 parses an optional numeric query parameter.
+func queryInt64(r *http.Request, name string) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("serve: query %s=%q: want an integer", name, raw)
+	}
+	return v, nil
+}
+
+func (s *Server) handleBestResponse(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	player, err := queryInt64(r, "player")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("player") == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: query player is required"))
+		return
+	}
+	exactCap, err := queryInt64(r, "exactCap")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ans, err := sess.BestResponse(int(player), r.URL.Query().Get("responder"), exactCap)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	s.m.Rebalance(sess.ID())
+	writeJSON(w, http.StatusOK, ans)
+}
+
+func (s *Server) handleEquilibrium(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	exactCap, err := queryInt64(r, "exactCap")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ans, err := sess.Equilibrium(r.URL.Query().Get("responder"), exactCap)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	s.m.Rebalance(sess.ID())
+	writeJSON(w, http.StatusOK, ans)
+}
+
+func (s *Server) handleWelfare(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	wf, err := sess.Welfare()
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	s.m.Rebalance(sess.ID())
+	writeJSON(w, http.StatusOK, wf)
+}
+
+// dynamicsRequest is the wire form of a served dynamics run.
+type dynamicsRequest struct {
+	Rounds int `json:"rounds"`
+}
+
+func (s *Server) handleDynamics(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req dynamicsRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := sess.Step(req.Rounds)
+	if err != nil {
+		writeErr(w, errCode(err), err)
+		return
+	}
+	s.m.Rebalance(sess.ID())
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"version":  version.String(),
+		"sessions": s.m.Len(),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.List())
+}
+
+// Run serves on addr until ctx is cancelled, then drains: in-flight
+// requests finish (bounded by the grace period), the listener closes,
+// and the manager flushes the store manifest. ready, when non-nil,
+// receives the bound address once listening (for :0 callers).
+func Run(ctx context.Context, addr string, m *Manager, ready chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	hs := &http.Server{Handler: NewServer(m)}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		m.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		hs.Close()
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	return m.Close()
+}

@@ -1,0 +1,454 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/store"
+	"repro/pkg/bbncg"
+)
+
+// ErrSessionClosed is returned by every operation on a session that has
+// been deleted or whose manager has shut down: post-close access is
+// defined behaviour, not a race.
+var ErrSessionClosed = errors.New("serve: session is closed")
+
+// Session is one persistent game: a game instance, its live profile,
+// and a warm cache pool that makes repeated queries cheap. All
+// operations serialise on the session mutex; distinct sessions are
+// fully concurrent. Every mutation is appended to the session's event
+// log before it is applied, so the session replays byte-identically
+// after a crash.
+type Session struct {
+	id string
+
+	mu   sync.Mutex
+	game *bbncg.Game
+	d    *bbncg.Digraph
+	// pool is swapped only under mu (eviction replaces it with a cold
+	// one), but read lock-free by Stats — hence the atomic pointer.
+	pool atomic.Pointer[bbncg.CachePool]
+	resp bbncg.ResponderChoice
+	// lastBR completes the pool's round memo for query serving: the
+	// memo proves "u's last scan against this exact anchor found no
+	// improving move", and lastBR holds that full answer (the memo bit
+	// alone cannot reproduce the cost fields).
+	lastBR map[int]bbncg.BestResponse
+
+	st          *store.Store
+	anchorEvery int
+	sinceAnchor int
+	poolBudget  int64
+	spec        *bbncg.GeneratorSpec // create-event provenance, if any
+
+	// seq (next event sequence number), moves and evictions are written
+	// under mu but read lock-free by Stats, so /statsz never blocks
+	// behind a long-running query on the session lock.
+	seq       atomic.Int64
+	moves     atomic.Int64
+	evictions atomic.Int64
+	replayed  bool
+	closed    bool
+
+	// lastUsed is the manager's LRU clock tick of the most recent
+	// operation; atomic so the eviction scan can read it lock-free.
+	lastUsed atomic.Int64
+}
+
+// newSession wires a live session around an already-validated game and
+// profile. The caller has logged (or replayed) the corresponding
+// events.
+func newSession(id string, g *bbncg.Game, d *bbncg.Digraph, rc bbncg.ResponderChoice,
+	st *store.Store, seq int64, anchorEvery int, poolBudget int64) *Session {
+	// The journal window covers a healthy number of rewires between two
+	// queries of the same player; overflow just falls back to the
+	// diff-resync path.
+	d.StartJournal(8*d.N() + 256)
+	s := &Session{
+		id:          id,
+		game:        g,
+		d:           d,
+		resp:        rc,
+		lastBR:      make(map[int]bbncg.BestResponse),
+		st:          st,
+		anchorEvery: anchorEvery,
+		poolBudget:  poolBudget,
+	}
+	s.pool.Store(bbncg.NewCachePool(g, poolBudget))
+	s.seq.Store(seq)
+	return s
+}
+
+// ID returns the session id.
+func (s *Session) ID() string { return s.id }
+
+// guard locks the session and fails closed sessions.
+func (s *Session) guard() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	return nil
+}
+
+// logMutation appends a rewire event and, at the anchor cadence, a full
+// profile snapshot. It is called with the mutation NOT yet applied:
+// log-then-apply means a crash between the two replays the mutation.
+func (s *Session) logMutation(player int, strategy []int) error {
+	ev := event{Seq: s.seq.Load(), Kind: evRewire, Player: player, Strategy: append([]int{}, strategy...)}
+	if err := appendEvent(s.st, s.id, ev); err != nil {
+		return err
+	}
+	s.seq.Add(1)
+	s.sinceAnchor++
+	return nil
+}
+
+// maybeAnchor appends a snapshot of the CURRENT profile once enough
+// mutations have accumulated. Anchors are advisory — a failed anchor
+// write leaves the log replayable from the previous one — so the error
+// is surfaced but the session stays consistent, and the cadence counter
+// is not reset so the next mutation retries.
+func (s *Session) maybeAnchor() error {
+	if s.anchorEvery <= 0 || s.sinceAnchor < s.anchorEvery {
+		return nil
+	}
+	if err := fault.Hit(siteSnapshotWrite); err != nil {
+		return fmt.Errorf("serve: anchor snapshot: %w", err)
+	}
+	if err := appendEvent(s.st, s.id, anchorEvent(s.seq.Load(), s.d)); err != nil {
+		return err
+	}
+	s.seq.Add(1)
+	s.sinceAnchor = 0
+	return nil
+}
+
+// applyMove mutates the profile and invalidates the query caches.
+func (s *Session) applyMove(player int, strategy []int) {
+	s.d.SetOut(player, strategy)
+	s.pool.Load().Invalidate()
+	s.moves.Add(1)
+	clear(s.lastBR)
+}
+
+// Rewire validates and applies one explicit strategy change, returning
+// whether the profile actually changed (rewiring to the current
+// strategy is a logged no-op: it still appends an event, so intent
+// survives a crash, but SetOut detects the identical set and no cache
+// is invalidated).
+func (s *Session) Rewire(player int, strategy []int) (changed bool, err error) {
+	if err := s.guard(); err != nil {
+		return false, err
+	}
+	defer s.mu.Unlock()
+	if player < 0 || player >= s.game.N() {
+		return false, fmt.Errorf("serve: player %d out of range [0,%d)", player, s.game.N())
+	}
+	if err := bbncg.ValidateStrategy(s.game.N(), player, s.game.Budgets[player], strategy); err != nil {
+		return false, err
+	}
+	if err := s.logMutation(player, strategy); err != nil {
+		return false, err
+	}
+	gen := s.d.Gen()
+	s.applyMove(player, strategy)
+	if err := s.maybeAnchor(); err != nil {
+		return s.d.Gen() != gen, err
+	}
+	return s.d.Gen() != gen, nil
+}
+
+// BestResponseAnswer is the wire form of a best-response query.
+type BestResponseAnswer struct {
+	Player    int    `json:"player"`
+	Responder string `json:"responder"`
+	Improves  bool   `json:"improves"`
+	Strategy  []int  `json:"strategy"`
+	Cost      int64  `json:"cost"`
+	Current   int64  `json:"current"`
+	Explored  int64  `json:"explored"`
+	// Memo reports that the whole scan was skipped by the round memo
+	// (the answer is the recorded one, still exact for this anchor).
+	Memo bool `json:"memo,omitempty"`
+}
+
+// BestResponse computes player u's best response without mutating the
+// session. responder may be "" for the session default; only default-
+// responder answers feed the memo (a different responder's answer must
+// not satisfy, or poison, the default's skip path).
+func (s *Session) BestResponse(u int, responder string, exactCap int64) (BestResponseAnswer, error) {
+	rc := s.resp
+	if responder != "" && responder != s.resp.Name {
+		var err error
+		rc, err = bbncg.ResponderByName(responder, exactCap)
+		if err != nil {
+			return BestResponseAnswer{}, err
+		}
+	}
+	if err := s.guard(); err != nil {
+		return BestResponseAnswer{}, err
+	}
+	defer s.mu.Unlock()
+	if u < 0 || u >= s.game.N() {
+		return BestResponseAnswer{}, fmt.Errorf("serve: player %d out of range [0,%d)", u, s.game.N())
+	}
+	if rc.Exact {
+		if err := bbncg.CheckExactSpace(s.game, u, rc.Cap); err != nil {
+			return BestResponseAnswer{}, err
+		}
+	}
+	br, memo := s.bestResponseLocked(u, rc)
+	return BestResponseAnswer{
+		Player:    u,
+		Responder: rc.Name,
+		Improves:  br.Improves(),
+		Strategy:  append([]int{}, br.Strategy...),
+		Cost:      br.Cost,
+		Current:   br.Current,
+		Explored:  br.Explored,
+		Memo:      memo,
+	}, nil
+}
+
+// bestResponseLocked runs one pooled scan, riding the memo when the
+// requested responder is the session default.
+func (s *Session) bestResponseLocked(u int, rc bbncg.ResponderChoice) (bbncg.BestResponse, bool) {
+	pool := s.pool.Load()
+	def := rc.Name == s.resp.Name
+	if def && pool.SkipResponse(s.d, u) {
+		if br, ok := s.lastBR[u]; ok {
+			return br, true
+		}
+	}
+	br := bbncg.PooledResponse(s.game, s.d, pool, u, rc.Cached, def)
+	if def {
+		if br.Improves() {
+			delete(s.lastBR, u)
+		} else {
+			s.lastBR[u] = br
+		}
+	}
+	return br, false
+}
+
+// EquilibriumAnswer is the wire form of an equilibrium-status query.
+type EquilibriumAnswer struct {
+	Responder string `json:"responder"`
+	Stable    bool   `json:"stable"`
+	// Checked counts the players scanned (budget-0 players are stable
+	// by definition and skipped).
+	Checked int `json:"checked"`
+	// Witness is the first improving deviation found, when not stable.
+	Witness *BestResponseAnswer `json:"witness,omitempty"`
+}
+
+// Equilibrium scans every player for an improving move with the
+// session responder (an exact responder certifies Nash; greedy/swap
+// certify stability against that heuristic). The scan feeds the round
+// memo, so repeating it against an unchanged session is O(players)
+// memo hits with zero cache work.
+func (s *Session) Equilibrium(responder string, exactCap int64) (EquilibriumAnswer, error) {
+	rc := s.resp
+	if responder != "" && responder != s.resp.Name {
+		var err error
+		rc, err = bbncg.ResponderByName(responder, exactCap)
+		if err != nil {
+			return EquilibriumAnswer{}, err
+		}
+	}
+	if err := s.guard(); err != nil {
+		return EquilibriumAnswer{}, err
+	}
+	defer s.mu.Unlock()
+	ans := EquilibriumAnswer{Responder: rc.Name, Stable: true}
+	for u := 0; u < s.game.N(); u++ {
+		if s.game.Budgets[u] == 0 {
+			continue
+		}
+		if rc.Exact {
+			if err := bbncg.CheckExactSpace(s.game, u, rc.Cap); err != nil {
+				return EquilibriumAnswer{}, err
+			}
+		}
+		br, _ := s.bestResponseLocked(u, rc)
+		ans.Checked++
+		if br.Improves() {
+			ans.Stable = false
+			ans.Witness = &BestResponseAnswer{
+				Player: u, Responder: rc.Name, Improves: true,
+				Strategy: append([]int{}, br.Strategy...),
+				Cost:     br.Cost, Current: br.Current, Explored: br.Explored,
+			}
+			break
+		}
+	}
+	return ans, nil
+}
+
+// Welfare evaluates the current profile's social cost and per-player
+// costs, matrix-free.
+func (s *Session) Welfare() (bbncg.Welfare, error) {
+	if err := s.guard(); err != nil {
+		return bbncg.Welfare{}, err
+	}
+	defer s.mu.Unlock()
+	return bbncg.WelfareOf(s.game, s.d), nil
+}
+
+// DynamicsReport summarises served dynamics rounds.
+type DynamicsReport struct {
+	Rounds    int  `json:"rounds"`
+	Moves     int  `json:"moves"`
+	Converged bool `json:"converged"`
+}
+
+// Step runs up to rounds of sequential best-response dynamics with the
+// session responder, mutating the session. Each accepted move is
+// logged before it is applied — per-move crash safety — and rides the
+// warm pool exactly like dynamics.Run: settled rounds cost a memo hit
+// per player.
+func (s *Session) Step(rounds int) (DynamicsReport, error) {
+	if err := s.guard(); err != nil {
+		return DynamicsReport{}, err
+	}
+	defer s.mu.Unlock()
+	if rounds <= 0 {
+		rounds = 1
+	}
+	var rep DynamicsReport
+	for r := 0; r < rounds; r++ {
+		changed := false
+		for u := 0; u < s.game.N(); u++ {
+			if s.game.Budgets[u] == 0 {
+				continue
+			}
+			if s.resp.Exact {
+				if err := bbncg.CheckExactSpace(s.game, u, s.resp.Cap); err != nil {
+					return rep, err
+				}
+			}
+			br, _ := s.bestResponseLocked(u, s.resp)
+			if !br.Improves() {
+				continue
+			}
+			if err := s.logMutation(u, br.Strategy); err != nil {
+				return rep, err
+			}
+			s.applyMove(u, br.Strategy)
+			rep.Moves++
+			changed = true
+			if err := s.maybeAnchor(); err != nil {
+				return rep, err
+			}
+		}
+		rep.Rounds = r + 1
+		if !changed {
+			rep.Converged = true
+			break
+		}
+	}
+	return rep, nil
+}
+
+// Info is the wire form of session metadata.
+type Info struct {
+	ID        string               `json:"id"`
+	N         int                  `json:"n"`
+	Version   string               `json:"version"`
+	Budgets   []int                `json:"budgets"`
+	Responder string               `json:"responder"`
+	Graph     *bbncg.GeneratorSpec `json:"graph,omitempty"`
+	Seq       int64                `json:"seq"`
+	Moves     int64                `json:"moves"`
+	Replayed  bool                 `json:"replayed,omitempty"`
+	Arcs      [][2]int             `json:"arcs,omitempty"`
+}
+
+// Info reports the session's metadata; withArcs includes the full
+// profile (the canonical comparison handle for replay tests).
+func (s *Session) Info(withArcs bool) (Info, error) {
+	if err := s.guard(); err != nil {
+		return Info{}, err
+	}
+	defer s.mu.Unlock()
+	info := Info{
+		ID:        s.id,
+		N:         s.game.N(),
+		Version:   s.game.Version.String(),
+		Budgets:   append([]int{}, s.game.Budgets...),
+		Responder: s.resp.Name,
+		Graph:     s.spec,
+		Seq:       s.seq.Load(),
+		Moves:     s.moves.Load(),
+		Replayed:  s.replayed,
+	}
+	if withArcs {
+		info.Arcs = bbncg.Arcs(s.d)
+	}
+	return info, nil
+}
+
+// SessionStats is the wire form of one session's pool counters.
+type SessionStats struct {
+	ID        string          `json:"id"`
+	N         int             `json:"n"`
+	Seq       int64           `json:"seq"`
+	Moves     int64           `json:"moves"`
+	Evictions int64           `json:"evictions"`
+	PoolBytes int64           `json:"poolBytes"`
+	Pool      bbncg.PoolStats `json:"pool"`
+}
+
+// Stats snapshots the session's counters. Unlike the other accessors
+// it does not take the session lock — PoolStats and BytesUsed are
+// atomics — so /statsz never blocks behind a long-running query.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		ID:        s.id,
+		N:         s.game.N(),
+		Seq:       s.seq.Load(),
+		Moves:     s.moves.Load(),
+		Evictions: s.evictions.Load(),
+		PoolBytes: s.pool.Load().BytesUsed(),
+		Pool:      s.pool.Load().Stats(),
+	}
+}
+
+// close marks the session closed; the pool's matrices return to the
+// global allocator. Caller holds no session lock.
+func (s *Session) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.pool.Load().Close()
+	clear(s.lastBR)
+}
+
+// evict drops the session's warm cache (pool closed and replaced by a
+// cold one) without touching the game, profile or log: the memory
+// governor's unit of reclamation. Returns the bytes reclaimed. A busy
+// session (lock held by a request) is skipped — freed 0 — rather than
+// waited on: evicting it would cost the request its warm cache anyway.
+func (s *Session) evict() int64 {
+	if !s.mu.TryLock() {
+		return 0
+	}
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0
+	}
+	freed := s.pool.Load().BytesUsed()
+	s.pool.Load().Close()
+	s.pool.Store(bbncg.NewCachePool(s.game, s.poolBudget))
+	clear(s.lastBR)
+	s.evictions.Add(1)
+	return freed
+}

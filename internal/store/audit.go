@@ -43,8 +43,11 @@ func (r *AuditReport) OK() bool { return len(r.Problems) == 0 }
 // Audit inspects a store directory without modifying it — unlike Open
 // it repairs nothing, so it can diagnose a directory exactly as a
 // crash or bit-rot left it. knownExps, when given, lets it flag shards
-// of experiments this build does not know (a typo'd or foreign store).
-// It returns an error only when the directory itself is unreadable;
+// of experiments this build does not know (a typo'd or foreign store);
+// an entry ending in `*` matches any experiment with that prefix (how
+// the doctor admits `session-<id>` serve shards without enumerating
+// session ids). It returns an error only when the directory itself is
+// unreadable;
 // every finding inside it is a Problem or Note in the report.
 func Audit(dir string, knownExps ...string) (*AuditReport, error) {
 	rep := &AuditReport{Dir: dir, Problems: []string{}, Notes: []string{}}
@@ -55,8 +58,24 @@ func Audit(dir string, knownExps ...string) (*AuditReport, error) {
 		rep.Notes = append(rep.Notes, fmt.Sprintf(format, args...))
 	}
 	known := make(map[string]bool, len(knownExps))
+	var knownPrefixes []string
 	for _, e := range knownExps {
-		known[e] = true
+		if p, ok := strings.CutSuffix(e, "*"); ok {
+			knownPrefixes = append(knownPrefixes, p)
+		} else {
+			known[e] = true
+		}
+	}
+	isKnown := func(exp string) bool {
+		if known[exp] {
+			return true
+		}
+		for _, p := range knownPrefixes {
+			if strings.HasPrefix(exp, p) {
+				return true
+			}
+		}
+		return false
 	}
 
 	manifest := map[string]int{} // file -> claimed records
@@ -114,7 +133,7 @@ func Audit(dir string, knownExps ...string) (*AuditReport, error) {
 			sh.Manifest = -1
 			problemf("shard %s is not listed in the manifest", name)
 		}
-		if len(known) > 0 && !known[sh.Exp] {
+		if len(knownExps) > 0 && !isKnown(sh.Exp) {
 			problemf("shard %s belongs to experiment %q, unknown to this build", name, sh.Exp)
 		}
 		rep.Shards = append(rep.Shards, sh)

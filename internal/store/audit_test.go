@@ -122,6 +122,16 @@ func TestAuditFindsMissingAndOrphanShards(t *testing.T) {
 	if !hasProblem(rep2, `"beta", unknown`) {
 		t.Fatalf("problems = %v", rep2.Problems)
 	}
+
+	// A trailing-star entry admits every experiment with that prefix —
+	// how the doctor accepts serve's session-<id> shards.
+	rep3, err := Audit(dir2, "alpha", "be*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasProblem(rep3, "unknown") {
+		t.Fatalf("prefix pattern not honoured: %v", rep3.Problems)
+	}
 }
 
 func TestAuditFailuresOutstandingVsResolved(t *testing.T) {

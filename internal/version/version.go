@@ -1,0 +1,51 @@
+// Package version derives the build identity reported by `bbncg
+// version`, the -version flag and the serve /healthz endpoint from the
+// information the go toolchain already embeds — no ldflags or
+// generated files to keep in sync.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// String renders the one-line build identity: module path and version,
+// the VCS revision (short) with a +dirty marker when the working tree
+// had local modifications, and the go toolchain version.
+func String() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "bbncg (no build info)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "bbncg %s", bi.Main.Path)
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		fmt.Fprintf(&b, "@%s", v)
+	}
+	if rev, dirty := vcsInfo(bi); rev != "" {
+		fmt.Fprintf(&b, " %s", rev)
+		if dirty {
+			b.WriteString("+dirty")
+		}
+	}
+	fmt.Fprintf(&b, " %s", bi.GoVersion)
+	return b.String()
+}
+
+// vcsInfo extracts the short revision and dirty bit from the build
+// settings (present when the binary was built inside a VCS checkout).
+func vcsInfo(bi *debug.BuildInfo) (rev string, dirty bool) {
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return rev, dirty
+}

@@ -1,0 +1,117 @@
+package bbncg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// GeneratorSpec is a declarative, JSON-encodable recipe for an initial
+// realization — the create-request form of the graph generators in
+// internal/graph. Builds are deterministic in (Kind, parameters, Seed),
+// but callers that persist sessions should persist the materialised arc
+// list, not the spec: the arc list is what replays byte-identically
+// even if a generator's sampling ever changes.
+type GeneratorSpec struct {
+	// Kind selects the generator: path, cycle, star, complete, grid,
+	// tree, random, pa (preferential attachment), smallworld.
+	Kind string `json:"kind"`
+	// N is the vertex count (all kinds except grid).
+	N int `json:"n,omitempty"`
+	// B is the uniform per-player budget of kind "random" when Budgets
+	// is not given.
+	B int `json:"b,omitempty"`
+	// Budgets is the explicit budget vector of kind "random".
+	Budgets []int `json:"budgets,omitempty"`
+	// M is the arcs-per-arrival of kind "pa".
+	M int `json:"m,omitempty"`
+	// K is the ring half-degree and P the rewiring probability of kind
+	// "smallworld".
+	K int     `json:"k,omitempty"`
+	P float64 `json:"p,omitempty"`
+	// Rows and Cols shape kind "grid".
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Seed drives the randomized kinds (tree, random, pa, smallworld).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Build materialises the spec into a realization.
+func (s GeneratorSpec) Build() (*Digraph, error) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	switch s.Kind {
+	case "path":
+		if err := s.needN(2); err != nil {
+			return nil, err
+		}
+		return graph.PathGraph(s.N), nil
+	case "cycle":
+		if err := s.needN(3); err != nil {
+			return nil, err
+		}
+		return graph.CycleGraph(s.N), nil
+	case "star":
+		if err := s.needN(2); err != nil {
+			return nil, err
+		}
+		return graph.StarGraph(s.N), nil
+	case "complete":
+		if err := s.needN(2); err != nil {
+			return nil, err
+		}
+		return graph.CompleteDigraph(s.N), nil
+	case "grid":
+		if s.Rows < 1 || s.Cols < 1 {
+			return nil, fmt.Errorf("bbncg: grid needs rows and cols >= 1, got %dx%d", s.Rows, s.Cols)
+		}
+		return graph.GridGraph(s.Rows, s.Cols), nil
+	case "tree":
+		if err := s.needN(1); err != nil {
+			return nil, err
+		}
+		return graph.RandomTree(s.N, rng), nil
+	case "random":
+		budgets := s.Budgets
+		if budgets == nil {
+			if err := s.needN(1); err != nil {
+				return nil, err
+			}
+			if s.B < 0 || s.B >= s.N {
+				return nil, fmt.Errorf("bbncg: uniform budget %d out of range [0,%d)", s.B, s.N)
+			}
+			budgets = make([]int, s.N)
+			for i := range budgets {
+				budgets[i] = s.B
+			}
+		}
+		n := len(budgets)
+		for i, b := range budgets {
+			if b < 0 || b >= n {
+				return nil, fmt.Errorf("bbncg: budget b[%d]=%d out of range [0,%d)", i, b, n)
+			}
+		}
+		return graph.RandomOutDigraph(budgets, rng), nil
+	case "pa":
+		if err := s.needN(1); err != nil {
+			return nil, err
+		}
+		return graph.PreferentialAttachment(s.N, s.M, rng)
+	case "smallworld":
+		if err := s.needN(1); err != nil {
+			return nil, err
+		}
+		return graph.SmallWorld(s.N, s.K, s.P, rng)
+	case "":
+		return nil, fmt.Errorf("bbncg: generator spec needs a kind")
+	default:
+		return nil, fmt.Errorf("bbncg: unknown generator kind %q", s.Kind)
+	}
+}
+
+func (s GeneratorSpec) needN(min int) error {
+	if s.N < min {
+		return fmt.Errorf("bbncg: generator %q needs n >= %d, got %d", s.Kind, min, s.N)
+	}
+	return nil
+}
