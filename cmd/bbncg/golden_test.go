@@ -19,7 +19,7 @@ var update = flag.Bool("update", false, "rewrite the golden files from current o
 var goldenCommands = []string{
 	"table1", "fig1", "fig2", "fig3", "unit", "shift", "sumupper",
 	"exist", "nphard", "conn", "dyn", "poa", "uniform", "baseline",
-	"weak", "simul", "fip", "directed", "robust", "treedyn",
+	"weak", "simul", "fip", "directed", "robust", "treedyn", "wdyn",
 }
 
 func runCLI(t *testing.T, a *app, cmd string) string {

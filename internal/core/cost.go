@@ -47,13 +47,25 @@ func (g *Game) SocialCost(d *graph.Digraph) int64 {
 // the player cost. reached == n means connected from u's side; kappa is
 // the component count of the whole graph.
 func (g *Game) costFromBFS(r graph.BFSResult, kappa int) int64 {
-	n := g.N()
-	cinf := g.Cinf()
-	switch g.Version {
+	return costFrom(g.N(), g.Cinf(), g.Version, r, kappa)
+}
+
+// costFrom is the cost rule with an explicit disconnection penalty, so
+// weighted Deviators (cinf = n²·maxW, dominating every finite weighted
+// sum exactly as n² dominates every hop count) share one funnel with
+// the unweighted engines.
+func costFrom(n int, cinf int64, v Version, r graph.BFSResult, kappa int) int64 {
+	return costFromAgg(n, cinf, v, int64(r.Ecc), r.Sum, r.Reached, kappa)
+}
+
+// costFromAgg is costFrom over int64 aggregates — the weighted Dijkstra
+// fallback produces eccentricities that need not fit int32.
+func costFromAgg(n int, cinf int64, v Version, ecc, sum int64, reached, kappa int) int64 {
+	switch v {
 	case SUM:
-		return r.Sum + int64(n-r.Reached)*cinf
+		return sum + int64(n-reached)*cinf
 	case MAX:
-		local := int64(r.Ecc)
+		local := ecc
 		if kappa > 1 {
 			// Disconnected: every vertex has local diameter n^2.
 			local = cinf
@@ -107,6 +119,18 @@ type Deviator struct {
 	pool   *CachePool
 	stable int8
 
+	// Weighted cache mode (see wcache.go; nil wts = unweighted). Rows
+	// hold offset-adjusted weighted distances (graph/weighted.go):
+	// woff[v] = w(u,v) - 1, wgen the weights generation the rows are
+	// synced to, cinf the disconnection penalty (n²·maxW; n² when
+	// unweighted, so unit weights reduce exactly to the BFS engine).
+	wts  *graph.Weights
+	woff []int32
+	wgen int64
+	wds  *graph.WDeltaScratch
+	wes  *graph.WEvalScratch
+	cinf int64
+
 	// SUM evaluation kernel state (see sumkernel.go). sumOn snapshots
 	// SumKernelEnabled at construction; colMin is an entrywise lower
 	// bound of every cached row (exact after fill/refill, folded — and
@@ -138,7 +162,23 @@ func NewDeviator(g *Game, d *graph.Digraph, u int) *Deviator {
 		seen:  make([]bool, comps+1),
 		s:     graph.NewScratch(d.N()),
 		sumOn: SumKernelEnabled(),
+		cinf:  g.Cinf(),
 	}
+}
+
+// NewWeightedDeviator prepares weighted deviation evaluation for player
+// u: distances are weighted shortest paths under wts and the
+// disconnection penalty scales to n²·MaxW so it keeps dominating every
+// finite weighted sum. With unit weights (MaxW == 1) every evaluation
+// is bit-identical to NewDeviator's.
+func NewWeightedDeviator(g *Game, d *graph.Digraph, u int, wts *graph.Weights) *Deviator {
+	dv := NewDeviator(g, d, u)
+	if wts != nil {
+		dv.wts = wts
+		dv.wgen = wts.Gen()
+		dv.cinf = int64(g.N()) * int64(g.N()) * int64(wts.MaxW())
+	}
+	return dv
 }
 
 // Eval returns the cost player u would incur by playing strategy s
@@ -150,13 +190,16 @@ func (dv *Deviator) Eval(strategy []int) int64 {
 	if dv.rows != nil {
 		return dv.evalCached(strategy)
 	}
+	if dv.wts != nil {
+		return dv.evalWeightedDijkstra(strategy)
+	}
 	r := dv.s.DeviationBFS(dv.base, dv.u, strategy, dv.in)
 	kappa := 1
 	if r.Reached != dv.game.N() {
 		touched := graph.CountComponentsTouched(dv.label, dv.seen, dv.u, strategy, dv.in)
 		kappa = dv.comps - touched + 1
 	}
-	return dv.game.costFromBFS(r, kappa)
+	return costFrom(dv.game.N(), dv.cinf, dv.game.Version, r, kappa)
 }
 
 // In returns the owners of arcs into u (fixed edges during deviation).

@@ -70,6 +70,20 @@ func (dv *Deviator) EnsureCache(budgetBytes int64) bool {
 	if need := 4 * int64(n) * int64(n+1); budgetBytes <= 0 || need > budgetBytes {
 		return false
 	}
+	if dv.wts != nil {
+		if !graph.FitsWeightedCache(n, dv.wts.MaxW()) {
+			return false // offsets would alias InfDist: stay on Dijkstra fallback
+		}
+		dv.rows = getInt32(n * n)
+		dv.woff = getInt32(n)
+		dv.rebuildWoff()
+		dv.wgen = dv.wts.Gen()
+		wcsr := graph.NewWCSRExcluding(dv.base, dv.wts, dv.u)
+		wcsr.DistanceRowsInto(dv.rows, dv.woff)
+		dv.inMin = getInt32(n)
+		dv.rebuildInMin()
+		return true
+	}
 	csr := graph.NewCSRExcluding(dv.base, dv.u)
 	rows := getInt32(n * n)
 	csr.DistanceRowsInto(rows)
@@ -77,6 +91,29 @@ func (dv *Deviator) EnsureCache(budgetBytes int64) bool {
 	dv.inMin = getInt32(n)
 	dv.rebuildInMin()
 	return true
+}
+
+// EnsureWeightedCache is EnsureCache for Deviators built by
+// NewWeightedDeviator; it panics when the Deviator carries no weights
+// (callers wanting the weighted cache mode must construct one).
+func (dv *Deviator) EnsureWeightedCache(budgetBytes int64) bool {
+	if dv.wts == nil {
+		panic("core: EnsureWeightedCache on an unweighted Deviator")
+	}
+	return dv.EnsureCache(budgetBytes)
+}
+
+// rebuildWoff recomputes the per-anchor row offsets w(u,v) - 1. Row u
+// gets offset 0: it is never an anchor, and zero keeps its self-entry
+// identical to the unweighted cache's.
+func (dv *Deviator) rebuildWoff() {
+	for v := range dv.woff {
+		if v == dv.u {
+			dv.woff[v] = 0
+			continue
+		}
+		dv.woff[v] = dv.wts.Of(dv.u, v) - 1
+	}
 }
 
 // rebuildInMin recomputes the folded in(u) anchor row from the cached
@@ -115,6 +152,7 @@ func (dv *Deviator) Repair(d *graph.Digraph) graph.RepairStats {
 	newIn := d.In(dv.u)
 	inSame := slices.Equal(dv.in, newIn)
 	var st graph.RepairStats
+	dv.syncWeights() // before the edge delta: repairs read current weights
 	if dv.rows != nil {
 		removed, added := graph.DiffUnd(dv.base, newBase, dv.u)
 		if len(removed)+len(added) == 0 {
@@ -158,6 +196,24 @@ func (dv *Deviator) Repair(d *graph.Digraph) graph.RepairStats {
 // (journal-supplied delta) so both paths stay bit-identical.
 func (dv *Deviator) applyRowDelta(newBase graph.Und, removed, added [][2]int32, inSame bool, st *graph.RepairStats) {
 	n := dv.game.N()
+	if dv.wts != nil {
+		// Weighted tier: the same plan over the weighted repair layer.
+		// Edge weights are read at current values — syncWeights already
+		// brought the rows up to the live weights generation.
+		wcsr := graph.NewWCSRExcluding(newBase, dv.wts, dv.u)
+		if dv.wds == nil {
+			dv.wds = graph.NewWDeltaScratch(n)
+		}
+		*st = wcsr.RepairRowsWeighted(dv.rows, dv.woff, dv.toWEdges(removed), dv.toWEdges(added), dv.wds)
+		dv.repairColMin(*st)
+		dv.memoRepair(*st, inSame)
+		if st.FullRefill {
+			dv.stable = 0
+		} else {
+			dv.noteStable()
+		}
+		return
+	}
 	csr := graph.NewCSRExcluding(newBase, dv.u)
 	if dv.ds == nil {
 		dv.ds = graph.NewDeltaScratch(n)
@@ -192,6 +248,7 @@ func (dv *Deviator) applyRowDelta(newBase graph.Und, removed, added [][2]int32, 
 // the same target graph.
 func (dv *Deviator) RepairDelta(removed, added [][2]int32) graph.RepairStats {
 	var st graph.RepairStats
+	dv.syncWeights() // before the edge delta: repairs read current weights
 	if len(removed)+len(added) == 0 {
 		dv.noteStable()
 		return st
@@ -232,7 +289,9 @@ func (dv *Deviator) noteStable() {
 // each move. Heavy-move phases (full refills on every repair) stay on
 // the row kernel.
 func (dv *Deviator) useLevels() bool {
-	if dv.game.Version != MAX || dv.rows == nil {
+	if dv.game.Version != MAX || dv.rows == nil || dv.wts != nil {
+		// Weighted distances exceed the n levels the bitset cache holds;
+		// weighted MAX stays on the row kernel.
 		return false
 	}
 	return dv.lc != nil || (dv.pool != nil && dv.stable >= 2)
@@ -292,6 +351,10 @@ func (dv *Deviator) release() {
 		putInt32(dv.colMin)
 		dv.colMin = nil
 	}
+	if dv.woff != nil {
+		putInt32(dv.woff)
+		dv.woff = nil
+	}
 	dv.sumSufT, dv.sumSufIn, dv.sumSufInOK = nil, nil, false
 	dv.memo = nil
 	dv.lc, dv.inLv = nil, nil
@@ -321,6 +384,10 @@ func (dv *Deviator) clone() *Deviator {
 		inMin:  dv.inMin,
 		sumOn:  dv.sumOn,
 		colMin: dv.colMin, // immutable while clones are live; suffix scratch stays private
+		wts:    dv.wts,
+		woff:   dv.woff,
+		wgen:   dv.wgen,
+		cinf:   dv.cinf,
 	}
 }
 
@@ -486,7 +553,7 @@ func (dv *Deviator) costOf(r graph.BFSResult, touched int) int64 {
 	if r.Reached != dv.game.N() {
 		kappa = dv.comps - touched + 1
 	}
-	return dv.game.costFromBFS(r, kappa)
+	return costFrom(dv.game.N(), dv.cinf, dv.game.Version, r, kappa)
 }
 
 // evalCached is Eval over the distance cache: one fused min+aggregate pass
@@ -528,7 +595,7 @@ func (dv *Deviator) evalCached(strategy []int) int64 {
 			s, reached = graph.SumMerge(vec, dv.rows[last*n:(last+1)*n])
 			putInt32(vec)
 		}
-		return dv.game.costFromBFS(graph.BFSResult{Sum: s, Reached: reached + 1}, 1)
+		return costFrom(n, dv.cinf, SUM, graph.BFSResult{Sum: s, Reached: reached + 1}, 1)
 	}
 	var sum int64
 	var ecc int32
@@ -557,5 +624,5 @@ func (dv *Deviator) evalCached(strategy []int) int64 {
 		touched := graph.CountComponentsTouched(dv.label, dv.seen, dv.u, strategy, dv.in)
 		kappa = dv.comps - touched + 1
 	}
-	return dv.game.costFromBFS(res, kappa)
+	return costFrom(dv.game.N(), dv.cinf, dv.game.Version, res, kappa)
 }

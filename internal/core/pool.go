@@ -112,6 +112,15 @@ type CachePool struct {
 	stamps  bool        // StampsEnabled() snapshot at construction
 	closed  bool
 	ctr     poolCounters
+
+	// wts makes this a weighted pool (NewWeightedCachePool): entries are
+	// weighted Deviators whose rows hold offset-adjusted weighted
+	// distances. Weight mutations are a second staleness stream beside
+	// the pool version — entries remember the weights generation they
+	// were synced to (Deviator.wgen), so weight-only changes need no
+	// Invalidate call and settled rounds still cost one comparison per
+	// untouched player.
+	wts *graph.Weights
 }
 
 type poolEntry struct {
@@ -130,11 +139,14 @@ type poolEntry struct {
 // respEntry memoises "player u had no improving move against the graph
 // whose anchor was (aid, agen)". Any mutation moves the anchor, so a
 // match proves G−u, in(u) and out(u) are all unchanged since that
-// answer — the scan would reproduce it verbatim.
+// answer — the scan would reproduce it verbatim. Weighted pools record
+// the weights generation too: weight-only mutations move no graph
+// anchor but do move costs.
 type respEntry struct {
 	ok   bool
 	aid  uint64
 	agen int64
+	wgen int64
 }
 
 // NewCachePool returns a pool for g bounded by budgetBytes (<= 0 means
@@ -151,6 +163,19 @@ func NewCachePool(g *Game, budgetBytes int64) *CachePool {
 		entries: make(map[int]*poolEntry),
 		stamps:  StampsEnabled(),
 	}
+}
+
+// NewWeightedCachePool returns a pool whose entries evaluate under arc
+// weights wts (nil wts degrades to NewCachePool). Weighted entries
+// additionally hold the n-entry offset vector, charged to the budget.
+func NewWeightedCachePool(g *Game, budgetBytes int64, wts *graph.Weights) *CachePool {
+	p := NewCachePool(g, budgetBytes)
+	if wts != nil {
+		p.wts = wts
+		n := int64(g.N())
+		p.per = 4 * n * (n + 2)
+	}
+	return p
 }
 
 // Invalidate marks the graph as changed — an accepted move, or a whole
@@ -183,19 +208,25 @@ func (p *CachePool) Acquire(d *graph.Digraph, u int) *Deviator {
 	p.ctr.acquires.Add(1)
 	if p.closed {
 		p.ctr.unpooled.Add(1)
-		return NewDeviator(p.game, d, u)
+		return NewWeightedDeviator(p.game, d, u, p.wts)
 	}
 	if e, ok := p.entries[u]; ok {
 		if e.version != p.version {
 			p.resync(e, d)
 			e.version = p.version
+		} else if p.wts != nil && e.dv.wgen != p.wts.Gen() {
+			// Graph untouched but weights moved on: sync the rows from the
+			// weights change log. Counted as a repair, never a resync — the
+			// topology ladder is not involved.
+			e.dv.syncWeights()
+			p.ctr.repairs.Add(1)
 		} else {
 			e.dv.noteStable() // untouched graph: strongest stability signal
 		}
 		p.ctr.hits.Add(1)
 		return e.dv
 	}
-	dv := NewDeviator(p.game, d, u)
+	dv := NewWeightedDeviator(p.game, d, u, p.wts)
 	if p.used.Load()+p.per > p.budget || !dv.EnsureCache(p.per) {
 		p.ctr.unpooled.Add(1)
 		return dv // over budget: behaves like a plain Deviator
@@ -213,6 +244,13 @@ func (p *CachePool) Acquire(d *graph.Digraph, u int) *Deviator {
 // stamp skip (same instance and generation, or matching content anchor
 // across clones) → journal delta repair → full rebuild + diff.
 func (p *CachePool) resync(e *poolEntry, d *graph.Digraph) {
+	if p.wts != nil && e.dv.wgen != p.wts.Gen() {
+		// Weight deltas land first, against the topology the rows still
+		// describe (Repair/RepairDelta would do the same internally; doing
+		// it here keeps the stamp-skip exits exact too).
+		e.dv.syncWeights()
+		p.ctr.repairs.Add(1)
+	}
 	if p.stamps && e.graph != nil {
 		if e.graph == d {
 			if e.gen == d.Gen() {
@@ -271,6 +309,9 @@ func (p *CachePool) SkipResponse(d *graph.Digraph, u int) bool {
 	if !r.ok {
 		return false
 	}
+	if p.wts != nil && r.wgen != p.wts.Gen() {
+		return false
+	}
 	if aid, agen := d.Anchor(); aid == r.aid && agen == r.agen {
 		p.ctr.memoHits.Add(1)
 		return true
@@ -294,7 +335,11 @@ func (p *CachePool) NoteResponse(d *graph.Digraph, u int, improved bool) {
 		return
 	}
 	aid, agen := d.Anchor()
-	p.resp[u] = respEntry{ok: true, aid: aid, agen: agen}
+	e := respEntry{ok: true, aid: aid, agen: agen}
+	if p.wts != nil {
+		e.wgen = p.wts.Gen()
+	}
+	p.resp[u] = e
 }
 
 // ResetResponseMemo clears the round-level best-response memo. Engines

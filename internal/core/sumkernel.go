@@ -158,7 +158,7 @@ func (dv *Deviator) fillSumBounds(vec []int32) {
 		}
 	}
 	cm := dv.colMin
-	cinf := dv.game.Cinf()
+	cinf := dv.cinf
 	for t := 0; t <= sumTierCap; t++ {
 		dv.sumSufT[t][n] = 0
 	}
@@ -317,7 +317,7 @@ func (dv *Deviator) inMinSuffix() []int64 {
 	if !dv.sumSufInOK {
 		dv.ensureColMin()
 		cm := dv.colMin
-		cinf := dv.game.Cinf()
+		cinf := dv.cinf
 		suf := dv.sumSufIn
 		suf[n] = 0
 		for w := n - 1; w >= 0; w-- {
@@ -357,7 +357,7 @@ func (dv *Deviator) sumEvalBounded(vec []int32, extra int, suf []int64, budget i
 		// cinf offset cannot overflow — no real total reaches 2^62.
 		budget = 1 << 62
 	}
-	cinf := dv.game.Cinf()
+	cinf := dv.cinf
 	if suf[0] > budget+cinf {
 		// The tier's total already exceeds the budget: the candidate is
 		// hopeless without reading a single row entry.

@@ -25,6 +25,18 @@ import (
 // DefaultCacheBudget the historical rebuild path runs instead; both
 // paths are bit-identical (weighted_br_test.go pins the equivalence).
 func (wg *WeightedGraph) WeightedBestResponse(u int, maxCandidates int64) (BestResponse, error) {
+	return wg.WeightedBestResponsePooled(u, maxCandidates, nil)
+}
+
+// WeightedBestResponsePooled is WeightedBestResponse evaluating on a
+// warm CachePool entry instead of a throwaway Deviator: repeated calls
+// (the WeightedNashDeviation sweep, analysis audits over a run) reuse
+// the pooled G-u rows across players and rounds — one stamp check or
+// repair instead of a full matrix fill per call. pool must be an
+// unweighted (arc-wise) SUM pool over wg.D's vertex count; nil pool, an
+// over-budget player or an arc-weighted pool fall back to the one-shot
+// Deviator. All paths are bit-identical.
+func (wg *WeightedGraph) WeightedBestResponsePooled(u int, maxCandidates int64, pool *CachePool) (BestResponse, error) {
 	if !wg.Alive(u) {
 		return BestResponse{}, fmt.Errorf("core: vertex %d is folded away", u)
 	}
@@ -40,8 +52,15 @@ func (wg *WeightedGraph) WeightedBestResponse(u int, maxCandidates int64) (BestR
 		return BestResponse{}, fmt.Errorf("core: weighted strategy space %d exceeds %d", space, maxCandidates)
 	}
 	cur := append([]int(nil), wg.D.Out(u)...)
-	dv := NewDeviator(GameOf(wg.D, SUM), wg.D, u)
-	defer dv.release()
+	var dv *Deviator
+	if pool != nil && pool.wts == nil {
+		// Section-6 weighting is per-vertex over unweighted distances, so
+		// only an unweighted pool's rows are the rows this scan needs.
+		dv = pool.Acquire(wg.D, u)
+	} else {
+		dv = NewDeviator(GameOf(wg.D, SUM), wg.D, u)
+	}
+	defer dv.Release()
 	cached := dv.EnsureCache(DefaultCacheBudget)
 
 	res := BestResponse{Strategy: cur}
@@ -156,11 +175,19 @@ func (dv *Deviator) weightedEval(strategy []int, w []int64) int64 {
 // full-strategy deviation, returning nil if the weighted graph is a Nash
 // equilibrium of the weighted SUM game restricted to alive vertices.
 func (wg *WeightedGraph) WeightedNashDeviation(maxCandidates int64) (*Deviation, error) {
+	return wg.WeightedNashDeviationPooled(maxCandidates, nil)
+}
+
+// WeightedNashDeviationPooled is WeightedNashDeviation over a warm
+// CachePool (see WeightedBestResponsePooled): the per-player sweep is
+// exactly where the throwaway-Deviator cost compounded, n cache fills
+// per audit.
+func (wg *WeightedGraph) WeightedNashDeviationPooled(maxCandidates int64, pool *CachePool) (*Deviation, error) {
 	for u := 0; u < wg.D.N(); u++ {
 		if !wg.Alive(u) || wg.D.OutDegree(u) == 0 {
 			continue
 		}
-		br, err := wg.WeightedBestResponse(u, maxCandidates)
+		br, err := wg.WeightedBestResponsePooled(u, maxCandidates, pool)
 		if err != nil {
 			return nil, err
 		}

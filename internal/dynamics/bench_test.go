@@ -348,6 +348,135 @@ func assertStampModesAgree(b *testing.B, g *core.Game, start *graph.Digraph, opt
 	}
 }
 
+// BenchmarkDynamicsRoundWeighted is the headline A/B of the weighted
+// distance kernel (ISSUE 9): one full greedy dynamics round over a
+// settled *arc-weighted* SUM profile, comparing the weighted cache tier
+// (Δ-stepping fill, incremental weighted repair, stamps, SUM kernel —
+// all defaults) against the scalar reference it replaced (per-candidate
+// Dijkstra: BBNCG_WSTEP=0 forces scalar fills/refills, and with stamps
+// and the SUM kernel off the pool diffs and min-merges the historical
+// way). The settled round is the regime the tier targets: the reference
+// path re-runs Dijkstra work the warm weighted rows already hold. The
+// n=128 case doubles as a CI regression guard: both modes must produce
+// identical dynamics (stepping ≡ Dijkstra, end to end), and a stamped
+// settled weighted round must report zero resyncs — weight staleness
+// rides the generation counter, never the topology ladder.
+func BenchmarkDynamicsRoundWeighted(b *testing.B) {
+	for _, cfg := range []struct{ n int }{{128}, {512}} {
+		cfg := cfg
+		b.Run(fmt.Sprintf("n=%d", cfg.n), func(b *testing.B) {
+			if cfg.n >= 512 && os.Getenv("BENCH_LARGE") == "" {
+				b.Skip("set BENCH_LARGE=1 to run the n>=512 configs")
+			}
+			g := core.UniformGame(cfg.n, 2, core.SUM)
+			wts := graph.NewWeights(cfg.n, 9, 8)
+			start := RandomProfile(g, rand.New(rand.NewSource(9)))
+			// Settle to full convergence — the measured round must contain
+			// no movers, or the zero-resync invariant below would be vacuous.
+			pre, err := Run(g, start, Options{
+				Responder: core.WeightedGreedyResponder(wts),
+				Cached:    core.GreedyDeviatorResponder,
+				Weights:   wts,
+				MaxRounds: 600,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !pre.Converged {
+				b.Fatal("weighted dynamics did not converge within the settle budget")
+			}
+			settled := pre.Final
+			opts := Options{
+				Responder: core.WeightedGreedyResponder(wts),
+				Cached:    core.GreedyDeviatorResponder,
+				Weights:   wts,
+				MaxRounds: 1,
+			}
+			if cfg.n == 128 {
+				assertWeightedModesAgree(b, g, settled, opts)
+			}
+			for _, mode := range []struct{ name, wstep, stamps, kernel string }{
+				{"kernel", "1", "1", "1"},
+				{"reference", "0", "0", "0"},
+			} {
+				b.Run(mode.name, func(b *testing.B) {
+					b.Setenv("BBNCG_WSTEP", mode.wstep)
+					b.Setenv("BBNCG_STAMPS", mode.stamps)
+					b.Setenv("BBNCG_SUMKERNEL", mode.kernel)
+					runOpts := opts
+					runOpts.Pool = core.NewWeightedCachePool(g, 0, wts)
+					defer runOpts.Pool.Close()
+					for i := 0; i < 3; i++ {
+						if _, err := Run(g, settled, runOpts); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if mode.name == "kernel" {
+						// The settled weighted invariant, gated in CI at n=128:
+						// a warm settled round resyncs no untouched player and
+						// runs no weight repairs (the weight stream is quiet).
+						before := runOpts.Pool.Stats()
+						if _, err := Run(g, settled, runOpts); err != nil {
+							b.Fatal(err)
+						}
+						after := runOpts.Pool.Stats()
+						if d := after.Resyncs - before.Resyncs; d != 0 {
+							b.Fatalf("settled weighted round ran %d resyncs, want 0 (stats %+v)", d, after)
+						}
+						if d := after.Repairs - before.Repairs; d != 0 {
+							b.Fatalf("settled weighted round ran %d weight repairs, want 0", d)
+						}
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res, err := Run(g, settled, runOpts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if res.Rounds == 0 {
+							b.Fatal("no rounds executed")
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// assertWeightedModesAgree fails the benchmark if the weighted kernel
+// tier and the scalar Dijkstra reference diverge, comparing several
+// consecutive runs over shared weighted pools pairwise — cold, warming
+// and warm rounds — exactly like the timed loops.
+func assertWeightedModesAgree(b *testing.B, g *core.Game, start *graph.Digraph, opts Options) {
+	b.Helper()
+	runs := func(env string) []Result {
+		b.Setenv("BBNCG_WSTEP", env)
+		b.Setenv("BBNCG_STAMPS", env)
+		b.Setenv("BBNCG_SUMKERNEL", env)
+		o := opts
+		o.Pool = core.NewWeightedCachePool(g, 0, o.Weights)
+		defer o.Pool.Close()
+		var out []Result
+		for i := 0; i < 4; i++ {
+			res, err := Run(g, start, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+	kernel := runs("1")
+	reference := runs("0")
+	for i := range kernel {
+		if kernel[i].Moves != reference[i].Moves || kernel[i].Rounds != reference[i].Rounds ||
+			!kernel[i].Final.Equal(reference[i].Final) {
+			b.Fatalf("weighted kernel and Dijkstra-reference dynamics diverge on run %d:\nkernel    %+v\nreference %+v",
+				i, kernel[i], reference[i])
+		}
+	}
+}
+
 // BenchmarkDynamicsRunIncremental measures whole bounded runs from a
 // random profile — the adversarial mix for the pool: the early rounds
 // carry heavy move traffic (repairs degrade to refills plus bookkeeping)

@@ -96,6 +96,15 @@ type Options struct {
 	// case — the engine creates a pool per run. Useful to amortise
 	// warm caches over many short runs of the same instance.
 	Pool *core.CachePool
+	// Weights runs the dynamics under arc weights (graph.Weights): the
+	// run-owned pool becomes a weighted pool whose entries evaluate
+	// weighted shortest-path costs, and the recorded trajectory is the
+	// weighted social cost. The caller must supply matching weighted
+	// responders (core.WeightedGreedyResponder(Weights), ...) as
+	// Responder; Cached needs no weighted variant, since the pool hands
+	// it weighted Deviators. An external Pool must have been built by
+	// core.NewWeightedCachePool over the same weights.
+	Weights *graph.Weights
 }
 
 // newPool resolves the run's cache pool: nil when the incremental path
@@ -109,7 +118,16 @@ func (opts Options) newPool(g *core.Game) (pool *core.CachePool, owned bool) {
 	if opts.Pool != nil {
 		return opts.Pool, false
 	}
-	return core.NewCachePool(g, opts.PoolBudget), true
+	return core.NewWeightedCachePool(g, opts.PoolBudget, opts.Weights), true
+}
+
+// socialCost is the trajectory metric of a run: weighted diameter when
+// the run carries arc weights, plain diameter otherwise.
+func (opts Options) socialCost(g *core.Game, d *graph.Digraph) int64 {
+	if opts.Weights != nil {
+		return g.WeightedSocialCost(d, opts.Weights)
+	}
+	return g.SocialCost(d)
 }
 
 // respondWith returns the per-player response function of a run: the
@@ -241,7 +259,7 @@ func Run(g *core.Game, start *graph.Digraph, opts Options) (Result, error) {
 		}
 		res.Rounds = round
 		if opts.RecordTrajectory {
-			res.Trajectory = append(res.Trajectory, g.SocialCost(d))
+			res.Trajectory = append(res.Trajectory, opts.socialCost(g, d))
 		}
 		if !changed {
 			res.Converged = true

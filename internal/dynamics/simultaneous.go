@@ -95,7 +95,7 @@ func RunSimultaneous(g *core.Game, start *graph.Digraph, opts Options) (Result, 
 		}
 		res.Rounds = round
 		if opts.RecordTrajectory {
-			res.Trajectory = append(res.Trajectory, g.SocialCost(d))
+			res.Trajectory = append(res.Trajectory, opts.socialCost(g, d))
 		}
 		if !changed {
 			res.Converged = true

@@ -282,6 +282,16 @@ func Specs() []Spec {
 				return []*sweep.Table{treeDynamicsTable(rows)}, nil
 			}),
 		},
+		{
+			Name:    "weighted-dyn",
+			Desc:    "greedy dynamics on arc-weighted overlays (weighted cache tier)",
+			Aliases: []string{"wdyn"},
+			Seeded:  true,
+			Job:     weightedDynJob,
+			Render: renderRows(func(rows []weightedDynRow) ([]*sweep.Table, error) {
+				return []*sweep.Table{weightedDynTable(rows)}, nil
+			}),
+		},
 	}
 }
 
@@ -327,10 +337,11 @@ var table1Specs = []string{"table1-trees-max", "table1-trees-sum",
 	"table1-unit-sum", "table1-unit-max", "table1-positive-max",
 	"table1-general-sum"}
 
-// allOrder is the paper-order command sequence reproduced by `all`.
+// allOrder is the paper-order command sequence reproduced by `all`;
+// engine-validation sweeps (wdyn) follow the paper tables.
 var allOrder = []string{"fig1", "fig2", "fig3", "table1", "exist",
 	"nphard", "conn", "dyn", "poa", "uniform", "baseline", "weak",
-	"simul", "fip", "directed", "robust", "treedyn"}
+	"simul", "fip", "directed", "robust", "treedyn", "wdyn"}
 
 // Commands returns the CLI subcommand registry in usage order,
 // generated from the spec registry: single-spec commands inherit the
@@ -359,6 +370,7 @@ func Commands() []Command {
 		one("exist"), one("nphard"), one("conn"), one("dyn"), one("poa"),
 		one("uniform"), one("baseline"), one("weak"), one("simul"),
 		one("fip"), one("directed"), one("robust"), one("treedyn"),
+		one("wdyn"),
 	}
 	all := Command{Name: "all", Desc: "everything, in paper order"}
 	for _, name := range allOrder {

@@ -1,0 +1,442 @@
+package graph
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Weighted distance kernel. The deviation engine's cache rows generalise
+// from BFS levels to weighted shortest-path distances: arcs carry
+// positive int32 weights and rows are filled by a parallel Δ-stepping
+// SSSP (one bucketed scan per source over the shared worker pool, the
+// SPAA'21 stepping-algorithms idiom) instead of the word-parallel BFS.
+// A scalar binary-heap Dijkstra provides the reference fill; the two are
+// bit-identical — weighted shortest-path distances are unique values —
+// and BBNCG_WSTEP=0 pins the whole layer to the reference path.
+//
+// Offset-adjusted rows. The engine consumes rows through min-merge
+// kernels hard-wired to "distance via anchor v = 1 + row_v[w]". Weighted
+// deviation distances are w(u,v) + wdist_{G-u}(v, w) instead, so each
+// row is stored pre-shifted by its anchor offset off_v = w(u,v) - 1:
+//
+//	arow_v[w] = wdist_{G-u}(v, w) + off_v   (InfDist when unreachable)
+//
+// and 1 + min_v arow_v[w] is exactly the weighted deviation distance.
+// Every unweighted kernel — SumMerge, the bounded strips, colMin folds,
+// the suffix-bound inequality row_v[w] >= vec[w] - vec[v] (offsets are
+// nonnegative, so the triangle-inequality floor survives the shift) —
+// then runs unchanged on weighted rows. At unit weights every offset is
+// zero and the rows coincide bit-for-bit with the BFS cache.
+
+// WStepEnabled reports whether the parallel Δ-stepping fill and the
+// incremental weighted repair are on (the default). Setting
+// BBNCG_WSTEP=0 restores the scalar Dijkstra reference path — fills run
+// the binary heap and repairs degrade to full Dijkstra refills — for
+// A/B benchmarking; results are identical either way. The flag is read
+// per fill, mirroring BBNCG_INCREMENTAL.
+func WStepEnabled() bool { return os.Getenv("BBNCG_WSTEP") != "0" }
+
+// FitsWeightedCache reports whether offset-adjusted weighted distances
+// of an n-vertex graph with weights in [1, maxW] stay strictly below the
+// InfDist sentinel: any finite adjusted entry is at most (n+1)·maxW.
+// Callers must refuse to build weighted caches past this bound (the
+// engine then falls back to per-candidate Dijkstra evaluation).
+func FitsWeightedCache(n int, maxW int32) bool {
+	return maxW >= 1 && int64(n+2)*int64(maxW) < int64(InfDist)
+}
+
+// WeightChange is one netted entry of a Weights change log: the pair
+// {U,V} moved from Old to New since the queried generation.
+type WeightChange struct {
+	U, V     int32
+	Old, New int32
+}
+
+// wchange is the raw log entry behind WeightChange.
+type wchange struct {
+	gen      int64
+	u, v     int32
+	old, new int32
+}
+
+// Weights assigns symmetric positive arc weights to vertex pairs: a
+// deterministic seeded base in [1, max] (splitmix-style hash of the
+// pair, so any subset of pairs is addressable without materialising
+// n² values) plus sparse overrides installed by Set. Of(u,u) is 0.
+// Mutations bump a generation and feed a bounded change log so weighted
+// caches a few generations behind resync from the exact weight deltas
+// (ChangesSince), mirroring the Digraph mutation journal. A Weights is
+// safe for concurrent readers only while no Set is in flight.
+type Weights struct {
+	n    int
+	max  int32
+	seed int64
+	over map[[2]int32]int32
+
+	gen     int64
+	logBase int64
+	logCap  int
+	log     []wchange
+}
+
+// NewWeights returns symmetric pair weights over n vertices drawn
+// deterministically from seed in [1, max] (max < 1 is treated as unit
+// weights). The change log retains the last ~4n+64 mutations.
+func NewWeights(n int, seed int64, max int32) *Weights {
+	if max < 1 {
+		max = 1
+	}
+	return &Weights{
+		n:      n,
+		max:    max,
+		seed:   seed,
+		over:   make(map[[2]int32]int32),
+		logCap: 4*n + 64,
+	}
+}
+
+// N returns the vertex count the weights are defined over.
+func (w *Weights) N() int { return w.n }
+
+// MaxW returns the inclusive weight upper bound.
+func (w *Weights) MaxW() int32 { return w.max }
+
+// Gen returns the weights generation (number of effective Set calls).
+func (w *Weights) Gen() int64 { return w.gen }
+
+// Of returns the weight of the pair {u,v} (0 when u == v).
+func (w *Weights) Of(u, v int) int32 {
+	if u == v {
+		return 0
+	}
+	if u > v {
+		u, v = v, u
+	}
+	if ov, ok := w.over[[2]int32{int32(u), int32(v)}]; ok {
+		return ov
+	}
+	return w.baseOf(u, v)
+}
+
+// baseOf is the seeded hash weight of the normalised pair u < v.
+func (w *Weights) baseOf(u, v int) int32 {
+	if w.max <= 1 {
+		return 1
+	}
+	x := uint64(w.seed)*0x9E3779B97F4A7C15 + uint64(u)<<32 + uint64(v) + 1
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return 1 + int32(x%uint64(w.max))
+}
+
+// Set installs weight val on the pair {u,v}. Weights stay in [1, MaxW]
+// so the n²·MaxW disconnection penalty keeps dominating every finite
+// cost. A Set that does not change the pair's weight is a no-op and
+// does not advance the generation.
+func (w *Weights) Set(u, v int, val int32) error {
+	if u == v {
+		return fmt.Errorf("graph: weight of self-pair {%d,%d}", u, v)
+	}
+	if u < 0 || v < 0 || u >= w.n || v >= w.n {
+		return fmt.Errorf("graph: weight pair {%d,%d} out of range [0,%d)", u, v, w.n)
+	}
+	if val < 1 || val > w.max {
+		return fmt.Errorf("graph: weight %d out of range [1,%d]", val, w.max)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	old := w.Of(u, v)
+	if old == val {
+		return nil
+	}
+	w.over[[2]int32{int32(u), int32(v)}] = val
+	w.gen++
+	if w.logCap > 0 && len(w.log) >= w.logCap {
+		half := len(w.log) / 2
+		w.logBase = w.log[half-1].gen
+		w.log = append(w.log[:0], w.log[half:]...)
+	}
+	w.log = append(w.log, wchange{gen: w.gen, u: int32(u), v: int32(v), old: old, new: val})
+	return nil
+}
+
+// ChangesSince returns the net weight delta of every pair mutated after
+// generation since: first old value, last new value, pairs whose net
+// change cancels dropped, sorted lexicographically. ok is false when
+// the log no longer covers (since, Gen()] — callers must fall back to a
+// full weighted refill.
+func (w *Weights) ChangesSince(since int64) (changes []WeightChange, ok bool) {
+	if since == w.gen {
+		return nil, true
+	}
+	if since < w.logBase || since > w.gen {
+		return nil, false
+	}
+	type oldNew struct{ old, new int32 }
+	net := make(map[[2]int32]oldNew)
+	for i := range w.log {
+		e := &w.log[i]
+		if e.gen <= since {
+			continue
+		}
+		key := [2]int32{e.u, e.v}
+		if cur, seen := net[key]; seen {
+			net[key] = oldNew{old: cur.old, new: e.new}
+		} else {
+			net[key] = oldNew{old: e.old, new: e.new}
+		}
+	}
+	for key, on := range net {
+		if on.old == on.new {
+			continue
+		}
+		changes = append(changes, WeightChange{U: key[0], V: key[1], Old: on.old, New: on.new})
+	}
+	sort.Slice(changes, func(i, j int) bool {
+		if changes[i].U != changes[j].U {
+			return changes[i].U < changes[j].U
+		}
+		return changes[i].V < changes[j].V
+	})
+	return changes, true
+}
+
+// ShiftRow adds delta to every finite entry of a cached distance row
+// (InfDist entries stay put) — the constant per-row adjustment when an
+// anchor's offset w(u,v) changes.
+func ShiftRow(row []int32, delta int32) {
+	if delta == 0 {
+		return
+	}
+	for i, r := range row {
+		if r < InfDist {
+			row[i] = r + delta
+		}
+	}
+}
+
+// WEdge is one weighted undirected edge of a repair delta.
+type WEdge struct {
+	A, B, W int32
+}
+
+// WCSR is an immutable weighted compressed-sparse-row adjacency: arc k
+// of vertex v targets Nbrs[k] with weight W[k], for k in
+// [Indptr[v], Indptr[v+1]). MaxW caps every arc weight. Safe for any
+// number of concurrent readers.
+type WCSR struct {
+	Indptr []int32
+	Nbrs   []int32
+	W      []int32
+	MaxW   int32
+}
+
+// N returns the number of vertices.
+func (c *WCSR) N() int { return len(c.Indptr) - 1 }
+
+// NewWCSRExcluding packs a with vertex u deleted (u's row empty, u
+// dropped from every neighbour list) and per-arc weights from wts —
+// the weighted analogue of NewCSRExcluding.
+func NewWCSRExcluding(a Und, wts *Weights, u int) *WCSR {
+	n := len(a)
+	indptr := make([]int32, n+1)
+	total := 0
+	for v, nb := range a {
+		if v == u {
+			indptr[v+1] = int32(total)
+			continue
+		}
+		for _, w := range nb {
+			if w != u {
+				total++
+			}
+		}
+		indptr[v+1] = int32(total)
+	}
+	nbrs := make([]int32, 0, total)
+	ws := make([]int32, 0, total)
+	for v, nb := range a {
+		if v == u {
+			continue
+		}
+		for _, w := range nb {
+			if w != u {
+				nbrs = append(nbrs, int32(w))
+				ws = append(ws, wts.Of(v, w))
+			}
+		}
+	}
+	return &WCSR{Indptr: indptr, Nbrs: nbrs, W: ws, MaxW: wts.MaxW()}
+}
+
+// wScratch is the per-worker state of the weighted fills: the Δ-stepping
+// bucket ring and the Dijkstra binary heap, both reused across sources
+// (the SNIPPETS bucket/workspace-reuse idiom — per-source allocation
+// would dominate the scan on settled low-diameter graphs).
+type wScratch struct {
+	buckets [][]int32 // ring, indexed by (trueDist/delta) mod len
+	heap    []int64   // packed dist<<32 | vertex entries
+}
+
+// steppingDelta returns the Δ of the bucket structure: maxW/4 (floored
+// at 1), trading bucket count against intra-bucket re-relaxation. With
+// weights in [1, maxW] a bucket scan settles after at most Δ passes
+// over its light edges, and relaxations from bucket i land in buckets
+// [i, i + maxW/Δ + 1], so a ring of maxW/Δ + 2 buckets suffices.
+func steppingDelta(maxW int32) int32 {
+	d := maxW / 4
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+func newWScratch(maxW int32) *wScratch {
+	nb := int(maxW/steppingDelta(maxW)) + 2
+	return &wScratch{buckets: make([][]int32, nb)}
+}
+
+// DistanceRowsInto fills dst (length n*n) with offset-adjusted weighted
+// distances over c: dst[v*n+w] = wdist(v, w) + off[v], InfDist when
+// unreachable. off may be nil (all offsets zero); offsets must be
+// nonnegative and small enough that adjusted entries stay below InfDist
+// (FitsWeightedCache). Sources run in parallel over the worker pool,
+// by Δ-stepping (WStepEnabled) or the scalar Dijkstra reference.
+func (c *WCSR) DistanceRowsInto(dst []int32, off []int32) {
+	n := c.N()
+	stepping := WStepEnabled()
+	parallelRange(n, 64, func() *wScratch { return newWScratch(c.MaxW) }, func(ws *wScratch, src int) {
+		var o int32
+		if off != nil {
+			o = off[src]
+		}
+		c.fillRow(int32(src), dst[src*n:(src+1)*n], o, ws, stepping)
+	})
+}
+
+// fillRow fills one source's offset-adjusted row by the selected fill.
+func (c *WCSR) fillRow(src int32, row []int32, o int32, ws *wScratch, stepping bool) {
+	if stepping {
+		c.steppingRow(src, row, o, ws)
+	} else {
+		c.dijkstraRow(src, row, o, ws)
+	}
+}
+
+// steppingRow is one Δ-stepping SSSP: tentative distances live in the
+// row (offset included — the offset is constant per row, so relaxation
+// order in adjusted space equals true-distance order), vertices are
+// queued in the bucket of their true distance divided by Δ, and each
+// bucket is scanned to a fixed point (light edges requeue into the
+// bucket being scanned, which the in-loop reload picks up) before the
+// ring advances. Stale queue entries are skipped by the lazy validity
+// check against the row.
+func (c *WCSR) steppingRow(src int32, row []int32, o int32, ws *wScratch) {
+	for i := range row {
+		row[i] = InfDist
+	}
+	row[src] = o
+	delta := steppingDelta(c.MaxW)
+	nb := len(ws.buckets)
+	ws.buckets[0] = append(ws.buckets[0][:0], src)
+	maxIdx := 0
+	for cur := 0; cur <= maxIdx; cur++ {
+		b := ws.buckets[cur%nb]
+		for i := 0; i < len(b); i++ {
+			v := b[i]
+			dv := row[v]
+			if int(dv-o)/int(delta) != cur {
+				continue // superseded by a smaller tentative distance
+			}
+			for k := c.Indptr[v]; k < c.Indptr[v+1]; k++ {
+				w := c.Nbrs[k]
+				nd := dv + c.W[k]
+				if nd < row[w] {
+					row[w] = nd
+					idx := int(nd-o) / int(delta)
+					ws.buckets[idx%nb] = append(ws.buckets[idx%nb], w)
+					if idx > maxIdx {
+						maxIdx = idx
+					}
+				}
+			}
+			b = ws.buckets[cur%nb] // light-edge pushes land here; reload
+		}
+		ws.buckets[cur%nb] = b[:0]
+	}
+}
+
+// dijkstraRow is the scalar reference SSSP: a binary heap of packed
+// dist<<32|vertex entries with lazy deletion. Adjusted distances stay
+// below InfDist < 2^31, so the packed keys order by distance first.
+func (c *WCSR) dijkstraRow(src int32, row []int32, o int32, ws *wScratch) {
+	for i := range row {
+		row[i] = InfDist
+	}
+	row[src] = o
+	h := ws.heap[:0]
+	h = heapPush(h, int64(o)<<32|int64(src))
+	for len(h) > 0 {
+		var e int64
+		e, h = heapPop(h)
+		d := int32(e >> 32)
+		v := int32(e & 0xffffffff)
+		if row[v] != d {
+			continue // stale entry
+		}
+		for k := c.Indptr[v]; k < c.Indptr[v+1]; k++ {
+			w := c.Nbrs[k]
+			nd := d + c.W[k]
+			if nd < row[w] {
+				row[w] = nd
+				h = heapPush(h, int64(nd)<<32|int64(w))
+			}
+		}
+	}
+	ws.heap = h
+}
+
+// heapPush inserts e into the binary min-heap h and returns the heap.
+func heapPush(h []int64, e int64) []int64 {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+// heapPop removes and returns the minimum of the binary min-heap h.
+func heapPop(h []int64) (int64, []int64) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(h) && h[l] < h[s] {
+			s = l
+		}
+		if r < len(h) && h[r] < h[s] {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	return top, h
+}

@@ -1,0 +1,375 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// wRows fills a fresh offset-adjusted weighted distance matrix over c.
+func wRows(c *WCSR, off []int32) []int32 {
+	n := c.N()
+	rows := make([]int32, n*n)
+	c.DistanceRowsInto(rows, off)
+	return rows
+}
+
+func TestWeightsDeterminismAndSet(t *testing.T) {
+	w := NewWeights(16, 7, 9)
+	for u := 0; u < 16; u++ {
+		for v := 0; v < 16; v++ {
+			got := w.Of(u, v)
+			if u == v {
+				if got != 0 {
+					t.Fatalf("Of(%d,%d) = %d, want 0", u, v, got)
+				}
+				continue
+			}
+			if got < 1 || got > 9 {
+				t.Fatalf("Of(%d,%d) = %d out of [1,9]", u, v, got)
+			}
+			if sym := w.Of(v, u); sym != got {
+				t.Fatalf("asymmetric: Of(%d,%d)=%d, Of(%d,%d)=%d", u, v, got, v, u, sym)
+			}
+		}
+	}
+	w2 := NewWeights(16, 7, 9)
+	if w2.Of(3, 11) != w.Of(3, 11) {
+		t.Fatal("same seed, different base weight")
+	}
+	if err := w.Set(2, 2, 1); err == nil {
+		t.Fatal("Set on a self-pair succeeded")
+	}
+	if err := w.Set(0, 1, 0); err == nil {
+		t.Fatal("Set below 1 succeeded")
+	}
+	if err := w.Set(0, 1, 10); err == nil {
+		t.Fatal("Set above MaxW succeeded")
+	}
+	g0 := w.Gen()
+	if err := w.Set(0, 1, w.Of(0, 1)); err != nil || w.Gen() != g0 {
+		t.Fatalf("no-op Set: err=%v gen %d -> %d", err, g0, w.Gen())
+	}
+	if err := w.Set(1, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if w.Of(0, 1) != 5 || w.Of(1, 0) != 5 {
+		t.Fatalf("override not symmetric: %d / %d", w.Of(0, 1), w.Of(1, 0))
+	}
+	if w.Gen() != g0+1 {
+		t.Fatalf("gen = %d, want %d", w.Gen(), g0+1)
+	}
+}
+
+func TestWeightsChangesSince(t *testing.T) {
+	w := NewWeights(8, 1, 100)
+	base01 := w.Of(0, 1)
+	g0 := w.Gen()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.Set(0, 1, 40))
+	must(w.Set(0, 1, 60)) // nets to base01 -> 60
+	must(w.Set(2, 3, 10))
+	must(w.Set(2, 3, w.baseOf(2, 3))) // cancels if base was not 10
+	ch, ok := w.ChangesSince(g0)
+	if !ok {
+		t.Fatal("log should cover the gap")
+	}
+	found01 := false
+	for _, c := range ch {
+		if c.U == 0 && c.V == 1 {
+			found01 = true
+			if c.Old != base01 || c.New != 60 {
+				t.Fatalf("netted {0,1} = %+v, want old %d new 60", c, base01)
+			}
+		}
+		if c.U == 2 && c.V == 3 && c.Old == c.New {
+			t.Fatalf("cancelled pair survived: %+v", c)
+		}
+	}
+	if !found01 {
+		t.Fatalf("missing {0,1} in %+v", ch)
+	}
+	if ch2, ok := w.ChangesSince(w.Gen()); !ok || len(ch2) != 0 {
+		t.Fatalf("ChangesSince(now) = %v, %v", ch2, ok)
+	}
+	// Overflow the bounded log: a generation before the retained window
+	// must report ok=false.
+	small := NewWeights(2, 0, 1000)
+	start := small.Gen()
+	val := int32(1)
+	for i := 0; i < small.logCap+small.logCap/2+4; i++ {
+		val++
+		must(small.Set(0, 1, val))
+	}
+	if _, ok := small.ChangesSince(start); ok {
+		t.Fatal("overflowed log still claimed coverage")
+	}
+	if _, ok := small.ChangesSince(small.Gen() - 1); !ok {
+		t.Fatal("recent generation not covered after overflow")
+	}
+}
+
+// The Δ-stepping fill, the scalar Dijkstra reference, and (at unit
+// weights) the unweighted BFS must agree cell for cell, with and
+// without an excluded vertex and across weight ranges.
+func TestSteppingMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(32)
+		d := randomDigraphFor(n, 3, rng)
+		a := d.Underlying()
+		maxW := []int32{1, 2, 7, 100}[rng.Intn(4)]
+		wts := NewWeights(n, rng.Int63(), maxW)
+		u := rng.Intn(n)
+		c := NewWCSRExcluding(a, wts, u)
+		got := wRows(c, nil)
+		want := make([]int32, n*n)
+		ws := newWScratch(c.MaxW)
+		for s := 0; s < n; s++ {
+			c.dijkstraRow(int32(s), want[s*n:(s+1)*n], 0, ws)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d maxW=%d u=%d cell (%d,%d): stepping %d, dijkstra %d",
+					n, maxW, u, i/n, i%n, got[i], want[i])
+			}
+		}
+		if maxW == 1 {
+			bfs := NewCSRExcluding(a, u).DistanceRows()
+			for i := range bfs {
+				if got[i] != bfs[i] {
+					t.Fatalf("unit weights diverge from BFS at cell (%d,%d): %d vs %d",
+						i/n, i%n, got[i], bfs[i])
+				}
+			}
+		}
+	}
+}
+
+// BBNCG_WSTEP=0 must route fills through the reference path with
+// bit-identical output.
+func TestWStepKnob(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	d := randomDigraphFor(24, 3, rng)
+	wts := NewWeights(24, 9, 13)
+	c := NewWCSRExcluding(d.Underlying(), wts, 5)
+	on := wRows(c, nil)
+	t.Setenv("BBNCG_WSTEP", "0")
+	if WStepEnabled() {
+		t.Fatal("WStepEnabled with BBNCG_WSTEP=0")
+	}
+	off := wRows(c, nil)
+	for i := range on {
+		if on[i] != off[i] {
+			t.Fatalf("knob changed cell %d: %d vs %d", i, on[i], off[i])
+		}
+	}
+}
+
+// Offset-adjusted fills must equal the zero-offset fill shifted row by
+// row — the encoding the deviation cache relies on.
+func TestWeightedOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	n := 20
+	d := randomDigraphFor(n, 3, rng)
+	wts := NewWeights(n, 3, 9)
+	c := NewWCSRExcluding(d.Underlying(), wts, 0)
+	off := make([]int32, n)
+	for v := range off {
+		off[v] = int32(rng.Intn(9))
+	}
+	plain := wRows(c, nil)
+	adj := wRows(c, off)
+	for v := 0; v < n; v++ {
+		row := append([]int32(nil), plain[v*n:(v+1)*n]...)
+		ShiftRow(row, off[v])
+		for w := 0; w < n; w++ {
+			if adj[v*n+w] != row[w] {
+				t.Fatalf("row %d cell %d: adjusted %d, shifted %d", v, w, adj[v*n+w], row[w])
+			}
+		}
+	}
+}
+
+// weightSnapshot materialises every pair weight so a mutation stream's
+// removed edges can be labelled with the weights the rows were built on.
+func weightSnapshot(wts *Weights) map[[2]int32]int32 {
+	snap := make(map[[2]int32]int32)
+	n := wts.N()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			snap[[2]int32{int32(u), int32(v)}] = wts.Of(u, v)
+		}
+	}
+	return snap
+}
+
+// weightedDelta builds the removed/added WEdge lists of a combined
+// topology + weight mutation: removed edges carry their old weight,
+// added edges the new one, and surviving edges whose weight moved are
+// expressed as removed(old) + added(new).
+func weightedDelta(old, cur Und, skip int, snap map[[2]int32]int32, wts *Weights) (removed, added []WEdge) {
+	rp, ap := DiffUnd(old, cur, skip)
+	for _, e := range rp {
+		removed = append(removed, WEdge{A: e[0], B: e[1], W: snap[e]})
+	}
+	for _, e := range ap {
+		added = append(added, WEdge{A: e[0], B: e[1], W: wts.Of(int(e[0]), int(e[1]))})
+	}
+	for v := 0; v < len(old); v++ {
+		for _, w := range old[v] {
+			if w <= v || v == skip || w == skip || !cur.HasEdge(v, w) {
+				continue
+			}
+			key := [2]int32{int32(v), int32(w)}
+			if nw := wts.Of(v, w); nw != snap[key] {
+				removed = append(removed, WEdge{A: key[0], B: key[1], W: snap[key]})
+				added = append(added, WEdge{A: key[0], B: key[1], W: nw})
+			}
+		}
+	}
+	return removed, added
+}
+
+func checkWeightedRepair(t *testing.T, old, cur Und, skip int, snap map[[2]int32]int32, wts *Weights) {
+	t.Helper()
+	n := len(old)
+	oldCSR := &WCSR{MaxW: wts.MaxW()}
+	// Build the old WCSR against the snapshot weights by hand.
+	{
+		indptr := make([]int32, n+1)
+		var nbrs, ws []int32
+		for v, nb := range old {
+			if v != skip {
+				for _, w := range nb {
+					if w != skip {
+						nbrs = append(nbrs, int32(w))
+						lo, hi := int32(v), int32(w)
+						if lo > hi {
+							lo, hi = hi, lo
+						}
+						ws = append(ws, snap[[2]int32{lo, hi}])
+					}
+				}
+			}
+			indptr[v+1] = int32(len(nbrs))
+		}
+		oldCSR.Indptr, oldCSR.Nbrs, oldCSR.W = indptr, nbrs, ws
+	}
+	rows := wRows(oldCSR, nil)
+	newCSR := NewWCSRExcluding(cur, wts, skip)
+	removed, added := weightedDelta(old, cur, skip, snap, wts)
+	st := newCSR.RepairRowsWeighted(rows, nil, removed, added, NewWDeltaScratch(n))
+	want := make([]int32, n*n)
+	ws := newWScratch(newCSR.MaxW)
+	for s := 0; s < n; s++ {
+		newCSR.dijkstraRow(int32(s), want[s*n:(s+1)*n], 0, ws)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("skip=%d cell (%d,%d): repaired %d, refilled %d (removed=%v added=%v stats=%+v)",
+				skip, i/n, i%n, rows[i], want[i], removed, added, st)
+		}
+	}
+}
+
+// Weighted repair after mixed topology moves and weight changes must be
+// bit-identical to a fresh Dijkstra refill, at every damage level.
+func TestRepairRowsWeightedMatchesRefill(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(28)
+		d := randomDigraphFor(n, 3, rng)
+		maxW := []int32{1, 3, 9, 50}[rng.Intn(4)]
+		wts := NewWeights(n, rng.Int63(), maxW)
+		old := d.Underlying().Clone()
+		snap := weightSnapshot(wts)
+		if rng.Intn(2) == 0 {
+			mutateOneOwner(d, rng)
+		}
+		for k := rng.Intn(3); k > 0; k-- {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				_ = wts.Set(u, v, 1+int32(rng.Intn(int(maxW))))
+			}
+		}
+		cur := d.Underlying()
+		checkWeightedRepair(t, old, cur, -1, snap, wts) // no exclusion
+		checkWeightedRepair(t, old, cur, rng.Intn(n), snap, wts)
+	}
+}
+
+// The refill-fraction fallback and the never-refill path must agree.
+func TestRepairRowsWeightedThresholdPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	defer func(f float64) { RepairRefillFraction = f }(RepairRefillFraction)
+	for _, frac := range []float64{0, 1} {
+		RepairRefillFraction = frac
+		for trial := 0; trial < 50; trial++ {
+			n := 2 + rng.Intn(20)
+			d := randomDigraphFor(n, 2, rng)
+			wts := NewWeights(n, rng.Int63(), 7)
+			old := d.Underlying().Clone()
+			snap := weightSnapshot(wts)
+			mutateOneOwner(d, rng)
+			checkWeightedRepair(t, old, d.Underlying(), -1, snap, wts)
+		}
+	}
+}
+
+// FuzzWeightedRepair drives the weighted incremental-repair path with
+// fuzz-chosen graphs, weights and mutation streams: the repaired matrix
+// must equal a scalar Dijkstra refill bit for bit — the weighted
+// analogue of FuzzDeltaBFS.
+func FuzzWeightedRepair(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, d := decodeGraph(data)
+		if d == nil {
+			return
+		}
+		n := d.N()
+		maxW := int32(1)
+		seed := int64(0)
+		if len(data) > 1 {
+			maxW = int32(data[1])%100 + 1
+			seed = int64(data[1])
+		}
+		wts := NewWeights(n, seed, maxW)
+		old := d.Underlying().Clone()
+		snap := weightSnapshot(wts)
+		// Consume the tail alternately as weight sets and one topology
+		// move, mirroring the serve/dynamics mutation mix.
+		m := 0
+		var out []int
+		if len(data) > 2 {
+			m = int(data[2]) % n
+			have := make([]bool, n)
+			for i, b := range data[3:] {
+				v := int(b) % n
+				if i%3 == 2 {
+					// Weight mutation on a fuzz-chosen pair.
+					u2 := int(b) % n
+					v2 := (int(b) / 7) % n
+					if u2 != v2 {
+						_ = wts.Set(u2, v2, int32(b)%maxW+1)
+					}
+					continue
+				}
+				if v != m && !have[v] {
+					have[v] = true
+					out = append(out, v)
+				}
+			}
+			d.SetOut(m, out)
+		}
+		cur := d.Underlying()
+		for _, skip := range []int{-1, m % n} {
+			checkWeightedRepair(t, old, cur, skip, snap, wts)
+		}
+	})
+}

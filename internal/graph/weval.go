@@ -1,0 +1,130 @@
+package graph
+
+import "math"
+
+// Per-candidate weighted deviation evaluation — the reference fallback
+// the engine uses when no weighted cache fits (FitsWeightedCache failed
+// or the budget refused the matrix). One binary-heap Dijkstra from the
+// source over the fixed adjacency plus virtual strategy arcs, mirroring
+// Scratch.DeviationBFS. Distances are carried in int64 because this
+// path serves exactly the instances whose weighted distances may not
+// fit the int32 cache encoding.
+
+// WAggregates are the weighted analogue of BFSResult: eccentricity,
+// distance sum and reach of one weighted SSSP.
+type WAggregates struct {
+	Ecc     int64
+	Sum     int64
+	Reached int
+}
+
+// wItem is one heap entry of the int64-distance Dijkstra.
+type wItem struct {
+	d int64
+	v int32
+}
+
+// WEvalScratch holds the reusable buffers of weighted per-candidate
+// evaluation. Not safe for concurrent use; the zero value is ready.
+type WEvalScratch struct {
+	dist []int64
+	heap []wItem
+}
+
+// DeviationDijkstra runs one weighted SSSP from u over the adjacency a
+// augmented with virtual arcs u->v at weight wts.Of(u, v) for each
+// strategy target (strategy may be nil: plain SSSP over a, which is how
+// realized-graph weighted costs are computed). For deviation evaluation
+// a must be the fixed part of the deviated graph — UnderlyingWithout(u),
+// which keeps the arcs into u — so the traversal covers in(u) edges at
+// their pair weights and never depends on u's dropped strategy.
+func (ws *WEvalScratch) DeviationDijkstra(a Und, wts *Weights, u int, strategy []int) WAggregates {
+	n := len(a)
+	if cap(ws.dist) < n {
+		ws.dist = make([]int64, n)
+	}
+	dist := ws.dist[:n]
+	for i := range dist {
+		dist[i] = math.MaxInt64
+	}
+	h := ws.heap[:0]
+	dist[u] = 0
+	h = whPush(h, wItem{d: 0, v: int32(u)})
+	for _, v := range strategy {
+		if v == u {
+			continue
+		}
+		if w := int64(wts.Of(u, v)); w < dist[v] {
+			dist[v] = w
+			h = whPush(h, wItem{d: w, v: int32(v)})
+		}
+	}
+	for len(h) > 0 {
+		var it wItem
+		it, h = whPop(h)
+		if dist[it.v] != it.d {
+			continue // stale entry
+		}
+		for _, nb := range a[it.v] {
+			nd := it.d + int64(wts.Of(int(it.v), nb))
+			if nd < dist[nb] {
+				dist[nb] = nd
+				h = whPush(h, wItem{d: nd, v: int32(nb)})
+			}
+		}
+	}
+	ws.heap = h[:0]
+	var agg WAggregates
+	for _, d := range dist {
+		if d == math.MaxInt64 {
+			continue
+		}
+		agg.Reached++
+		agg.Sum += d
+		if d > agg.Ecc {
+			agg.Ecc = d
+		}
+	}
+	return agg
+}
+
+// whPush inserts it into the binary min-heap h (ordered by distance)
+// and returns the heap.
+func whPush(h []wItem, it wItem) []wItem {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].d <= h[i].d {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+// whPop removes and returns the minimum of the binary min-heap h.
+func whPop(h []wItem) (wItem, []wItem) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(h) && h[l].d < h[s].d {
+			s = l
+		}
+		if r < len(h) && h[r].d < h[s].d {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	return top, h
+}

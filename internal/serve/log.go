@@ -46,8 +46,11 @@ const (
 //
 //	create: Version, Budgets, Arcs (the materialised initial profile;
 //	        authoritative for replay), Graph (provenance only),
-//	        Responder (the session's memoised responder)
-//	rewire: Player, Strategy
+//	        Responder (the session's memoised responder), Weights
+//	        (the seeded weight recipe of an arc-weighted session)
+//	rewire: Player, Strategy, and in weighted sessions an optional
+//	        Weight (> 0: the new arcs' weight; replayed since the
+//	        create, not the anchor — anchors snapshot topology only)
 //	anchor: Out (full out-lists; replay restarts here)
 //	delete: nothing (tombstone; a later create reopens the id)
 type event struct {
@@ -59,9 +62,11 @@ type event struct {
 	Arcs      [][2]int             `json:"arcs,omitempty"`
 	Graph     *bbncg.GeneratorSpec `json:"graph,omitempty"`
 	Responder string               `json:"responder,omitempty"`
+	Weights   *bbncg.WeightsSpec   `json:"weights,omitempty"`
 
 	Player   int   `json:"player,omitempty"`
 	Strategy []int `json:"strategy,omitempty"`
+	Weight   int32 `json:"weight,omitempty"`
 
 	Out [][]int `json:"out,omitempty"`
 }
@@ -124,6 +129,7 @@ type replayState struct {
 	id      string
 	create  event // the last create event (authoritative metadata)
 	d       *bbncg.Digraph
+	wts     *bbncg.Weights // rebuilt weights of an arc-weighted session
 	nextSeq int64
 	moves   int64 // rewires replayed since the last create
 	dead    bool  // tombstoned by a trailing delete
@@ -190,6 +196,13 @@ func replaySession(id string, recs []store.Record) (*replayState, error) {
 		return nil, fmt.Errorf("log holds %d event(s) but no create", len(events))
 	}
 	rs := &replayState{id: id, create: events[createIdx], nextSeq: nextSeq}
+	if spec := rs.create.Weights; spec != nil {
+		wts, err := spec.Build(len(rs.create.Budgets))
+		if err != nil {
+			return nil, err
+		}
+		rs.wts = wts
+	}
 	for _, ev := range events[createIdx+1:] {
 		if ev.Kind == evDelete {
 			rs.dead = true
@@ -197,6 +210,16 @@ func replaySession(id string, recs []store.Record) (*replayState, error) {
 		}
 		if ev.Kind == evRewire {
 			rs.moves++ // counted across anchors; applied only after the last one
+			// Weight overrides replay from the create, not the anchor:
+			// anchors snapshot topology only, and Weights.Set is
+			// idempotent in sequence order.
+			if rs.wts != nil && ev.Weight > 0 {
+				for _, v := range ev.Strategy {
+					if err := rs.wts.Set(ev.Player, v, ev.Weight); err != nil {
+						return nil, fmt.Errorf("event seq %d: %w", ev.Seq, err)
+					}
+				}
+			}
 		}
 	}
 

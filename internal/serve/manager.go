@@ -114,8 +114,9 @@ func (m *Manager) sessionFromReplay(rs *replayState) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := newSession(rs.id, g, rs.d, rc, m.st, rs.nextSeq, m.opt.AnchorEvery, m.opt.SessionPoolBudget)
+	s := newSession(rs.id, g, rs.d, rc, m.st, rs.nextSeq, m.opt.AnchorEvery, m.opt.SessionPoolBudget, rs.wts)
 	s.spec = rs.create.Graph
+	s.wspec = rs.create.Weights
 	s.moves.Store(rs.moves)
 	s.replayed = true
 	return s, nil
@@ -139,6 +140,9 @@ type CreateRequest struct {
 	// Responder is the session's default responder: greedy (default),
 	// swap or exact.
 	Responder string `json:"responder,omitempty"`
+	// Weights makes the session arc-weighted: queries answer weighted
+	// costs on the weighted cache tier, and rewires may carry a weight.
+	Weights *bbncg.WeightsSpec `json:"weights,omitempty"`
 }
 
 // Create validates the request, durably logs the create event (with the
@@ -188,6 +192,12 @@ func (m *Manager) Create(req CreateRequest) (*Session, error) {
 	if g.N() > m.opt.MaxSessionN {
 		return nil, fmt.Errorf("serve: create: n=%d exceeds the server's session cap %d", g.N(), m.opt.MaxSessionN)
 	}
+	var wts *bbncg.Weights
+	if req.Weights != nil {
+		if wts, err = req.Weights.Build(g.N()); err != nil {
+			return nil, err
+		}
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -206,12 +216,14 @@ func (m *Manager) Create(req CreateRequest) (*Session, error) {
 		Arcs:      bbncg.Arcs(d),
 		Graph:     req.Graph,
 		Responder: rc.Name,
+		Weights:   req.Weights,
 	}
 	if err := appendEvent(m.st, id, ev); err != nil {
 		return nil, err
 	}
-	s := newSession(id, g, d, rc, m.st, seq+1, m.opt.AnchorEvery, m.opt.SessionPoolBudget)
+	s := newSession(id, g, d, rc, m.st, seq+1, m.opt.AnchorEvery, m.opt.SessionPoolBudget, wts)
 	s.spec = req.Graph
+	s.wspec = req.Weights
 	m.sessions[id] = s
 	delete(m.deadSeq, id)
 	s.lastUsed.Store(m.tickLocked())

@@ -83,7 +83,7 @@ func TestSessionCreateRewireQuery(t *testing.T) {
 	}
 
 	// Apply the witness; the move must improve the mover's cost.
-	changed, err := s.Rewire(eq.Witness.Player, eq.Witness.Strategy)
+	changed, err := s.Rewire(eq.Witness.Player, eq.Witness.Strategy, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestSessionCreateRewireQuery(t *testing.T) {
 	if info.Arcs[0][0] != 0 {
 		t.Fatalf("arcs not canonical: %v", info.Arcs)
 	}
-	changed, err = s.Rewire(0, cur)
+	changed, err = s.Rewire(0, cur, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,13 +116,13 @@ func TestSessionCreateRewireQuery(t *testing.T) {
 	}
 
 	// Validation rejects malformed strategies and players.
-	if _, err := s.Rewire(0, []int{0}); err == nil {
+	if _, err := s.Rewire(0, []int{0}, 0); err == nil {
 		t.Fatal("self-loop strategy accepted")
 	}
-	if _, err := s.Rewire(99, []int{1}); err == nil {
+	if _, err := s.Rewire(99, []int{1}, 0); err == nil {
 		t.Fatal("out-of-range player accepted")
 	}
-	if _, err := s.Rewire(0, []int{1, 2}); err == nil {
+	if _, err := s.Rewire(0, []int{1, 2}, 0); err == nil {
 		t.Fatal("over-budget strategy accepted")
 	}
 	if _, err := s.BestResponse(0, "nope", 0); err == nil {
@@ -202,7 +202,7 @@ func TestReplayByteIdentical(t *testing.T) {
 		if eq.Stable {
 			break
 		}
-		if _, err := s.Rewire(eq.Witness.Player, eq.Witness.Strategy); err != nil {
+		if _, err := s.Rewire(eq.Witness.Player, eq.Witness.Strategy, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -255,7 +255,7 @@ func TestReplayAbandonedStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Rewire(0, []int{3}); err != nil {
+	if _, err := s.Rewire(0, []int{3}, 0); err != nil {
 		t.Fatal(err)
 	}
 	wantInfo, err := s.Info(true)
@@ -294,7 +294,7 @@ func TestDeleteTombstoneAndRecreate(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Post-close access is defined behaviour.
-	if _, err := s.Rewire(0, []int{2}); !errors.Is(err, ErrSessionClosed) {
+	if _, err := s.Rewire(0, []int{2}, 0); !errors.Is(err, ErrSessionClosed) {
 		t.Fatalf("rewire on deleted session: %v", err)
 	}
 	if _, err := s.BestResponse(0, "", 0); !errors.Is(err, ErrSessionClosed) {
@@ -375,7 +375,7 @@ func TestAnchorFaultIsAdvisory(t *testing.T) {
 		t.Fatal(err)
 	}
 	fault.Install(fault.NewSet(fault.Rule{Site: "serve.snapshot.write", Mode: fault.ModeError, Sched: fault.Always()}))
-	_, err = s.Rewire(0, []int{3})
+	_, err = s.Rewire(0, []int{3}, 0)
 	fault.Disarm()
 	if err == nil || !fault.Injected(err) {
 		t.Fatalf("anchor fault not surfaced: %v", err)
@@ -399,7 +399,7 @@ func TestAnchorFaultIsAdvisory(t *testing.T) {
 		t.Fatalf("mutation lost behind failed anchor:\n want %v\n got  %v", wantInfo.Arcs, gotInfo.Arcs)
 	}
 	// With the fault gone the next mutation anchors again.
-	if _, err := s2.Rewire(1, []int{4}); err != nil {
+	if _, err := s2.Rewire(1, []int{4}, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -440,7 +440,7 @@ func TestConcurrentSessionsNoCrossTalk(t *testing.T) {
 						return
 					}
 					if br.Improves && iter%3 == 0 {
-						if _, err := s.Rewire(u, br.Strategy); err != nil {
+						if _, err := s.Rewire(u, br.Strategy, 0); err != nil {
 							errc <- fmt.Errorf("%s: %w", id, err)
 							return
 						}

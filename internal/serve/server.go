@@ -21,7 +21,7 @@ import (
 //	GET    /v1/sessions                     list session stats
 //	GET    /v1/sessions/{id}?arcs=1         session info (+profile)
 //	DELETE /v1/sessions/{id}                tombstone and close
-//	POST   /v1/sessions/{id}/rewire         {player, strategy}
+//	POST   /v1/sessions/{id}/rewire         {player, strategy, weight?}
 //	GET    /v1/sessions/{id}/bestresponse   ?player=&responder=&exactCap=
 //	GET    /v1/sessions/{id}/equilibrium    ?responder=&exactCap=
 //	GET    /v1/sessions/{id}/welfare
@@ -143,10 +143,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }
 
-// rewireRequest is the wire form of one explicit strategy change.
+// rewireRequest is the wire form of one explicit strategy change. In an
+// arc-weighted session, weight > 0 sets every new arc's weight (a
+// rewire to the current strategy is then a pure reweighting).
 type rewireRequest struct {
 	Player   int   `json:"player"`
 	Strategy []int `json:"strategy"`
+	Weight   int32 `json:"weight,omitempty"`
 }
 
 func (s *Server) handleRewire(w http.ResponseWriter, r *http.Request) {
@@ -159,7 +162,7 @@ func (s *Server) handleRewire(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	changed, err := sess.Rewire(req.Player, req.Strategy)
+	changed, err := sess.Rewire(req.Player, req.Strategy, req.Weight)
 	if err != nil {
 		writeErr(w, errCode(err), err)
 		return

@@ -43,6 +43,11 @@ type Session struct {
 	sinceAnchor int
 	poolBudget  int64
 	spec        *bbncg.GeneratorSpec // create-event provenance, if any
+	// wts makes the session arc-weighted: queries answer weighted costs
+	// on the weighted cache tier, and rewires may carry a weight. wspec
+	// is the create-event recipe (Info provenance and replay source).
+	wts   *bbncg.Weights
+	wspec *bbncg.WeightsSpec
 
 	// seq (next event sequence number), moves and evictions are written
 	// under mu but read lock-free by Stats, so /statsz never blocks
@@ -62,7 +67,7 @@ type Session struct {
 // profile. The caller has logged (or replayed) the corresponding
 // events.
 func newSession(id string, g *bbncg.Game, d *bbncg.Digraph, rc bbncg.ResponderChoice,
-	st *store.Store, seq int64, anchorEvery int, poolBudget int64) *Session {
+	st *store.Store, seq int64, anchorEvery int, poolBudget int64, wts *bbncg.Weights) *Session {
 	// The journal window covers a healthy number of rewires between two
 	// queries of the same player; overflow just falls back to the
 	// diff-resync path.
@@ -76,10 +81,19 @@ func newSession(id string, g *bbncg.Game, d *bbncg.Digraph, rc bbncg.ResponderCh
 		st:          st,
 		anchorEvery: anchorEvery,
 		poolBudget:  poolBudget,
+		wts:         wts,
 	}
-	s.pool.Store(bbncg.NewCachePool(g, poolBudget))
+	s.pool.Store(s.newPool())
 	s.seq.Store(seq)
 	return s
+}
+
+// newPool returns a cold pool matching the session's weighting.
+func (s *Session) newPool() *bbncg.CachePool {
+	if s.wts != nil {
+		return bbncg.NewWeightedCachePool(s.game, s.poolBudget, s.wts)
+	}
+	return bbncg.NewCachePool(s.game, s.poolBudget)
 }
 
 // ID returns the session id.
@@ -98,8 +112,8 @@ func (s *Session) guard() error {
 // logMutation appends a rewire event and, at the anchor cadence, a full
 // profile snapshot. It is called with the mutation NOT yet applied:
 // log-then-apply means a crash between the two replays the mutation.
-func (s *Session) logMutation(player int, strategy []int) error {
-	ev := event{Seq: s.seq.Load(), Kind: evRewire, Player: player, Strategy: append([]int{}, strategy...)}
+func (s *Session) logMutation(player int, strategy []int, weight int32) error {
+	ev := event{Seq: s.seq.Load(), Kind: evRewire, Player: player, Strategy: append([]int{}, strategy...), Weight: weight}
 	if err := appendEvent(s.st, s.id, ev); err != nil {
 		return err
 	}
@@ -140,8 +154,12 @@ func (s *Session) applyMove(player int, strategy []int) {
 // whether the profile actually changed (rewiring to the current
 // strategy is a logged no-op: it still appends an event, so intent
 // survives a crash, but SetOut detects the identical set and no cache
-// is invalidated).
-func (s *Session) Rewire(player int, strategy []int) (changed bool, err error) {
+// is invalidated). In a weighted session, weight > 0 sets the weight of
+// every new arc (player, target) before the rewire applies — a rewire
+// to the current strategy with a weight is a pure reweighting, served
+// by the pool's weight-generation repair path without any topology
+// invalidation. The changed return reports topology changes only.
+func (s *Session) Rewire(player int, strategy []int, weight int32) (changed bool, err error) {
 	if err := s.guard(); err != nil {
 		return false, err
 	}
@@ -152,8 +170,23 @@ func (s *Session) Rewire(player int, strategy []int) (changed bool, err error) {
 	if err := bbncg.ValidateStrategy(s.game.N(), player, s.game.Budgets[player], strategy); err != nil {
 		return false, err
 	}
-	if err := s.logMutation(player, strategy); err != nil {
+	if weight != 0 {
+		if s.wts == nil {
+			return false, fmt.Errorf("serve: session %s is unweighted; rewire cannot carry a weight", s.id)
+		}
+		if weight < 1 || weight > s.wspec.Max {
+			return false, fmt.Errorf("serve: weight %d out of range [1,%d]", weight, s.wspec.Max)
+		}
+	}
+	if err := s.logMutation(player, strategy, weight); err != nil {
 		return false, err
+	}
+	if weight > 0 {
+		for _, v := range strategy {
+			if err := s.wts.Set(player, v, weight); err != nil {
+				return false, err
+			}
+		}
 	}
 	gen := s.d.Gen()
 	s.applyMove(player, strategy)
@@ -297,6 +330,9 @@ func (s *Session) Welfare() (bbncg.Welfare, error) {
 		return bbncg.Welfare{}, err
 	}
 	defer s.mu.Unlock()
+	if s.wts != nil {
+		return bbncg.WeightedWelfareOf(s.game, s.d, s.wts), nil
+	}
 	return bbncg.WelfareOf(s.game, s.d), nil
 }
 
@@ -336,7 +372,7 @@ func (s *Session) Step(rounds int) (DynamicsReport, error) {
 			if !br.Improves() {
 				continue
 			}
-			if err := s.logMutation(u, br.Strategy); err != nil {
+			if err := s.logMutation(u, br.Strategy, 0); err != nil {
 				return rep, err
 			}
 			s.applyMove(u, br.Strategy)
@@ -363,6 +399,7 @@ type Info struct {
 	Budgets   []int                `json:"budgets"`
 	Responder string               `json:"responder"`
 	Graph     *bbncg.GeneratorSpec `json:"graph,omitempty"`
+	Weights   *bbncg.WeightsSpec   `json:"weights,omitempty"`
 	Seq       int64                `json:"seq"`
 	Moves     int64                `json:"moves"`
 	Replayed  bool                 `json:"replayed,omitempty"`
@@ -383,6 +420,7 @@ func (s *Session) Info(withArcs bool) (Info, error) {
 		Budgets:   append([]int{}, s.game.Budgets...),
 		Responder: s.resp.Name,
 		Graph:     s.spec,
+		Weights:   s.wspec,
 		Seq:       s.seq.Load(),
 		Moves:     s.moves.Load(),
 		Replayed:  s.replayed,
@@ -447,7 +485,7 @@ func (s *Session) evict() int64 {
 	}
 	freed := s.pool.Load().BytesUsed()
 	s.pool.Load().Close()
-	s.pool.Store(bbncg.NewCachePool(s.game, s.poolBudget))
+	s.pool.Store(s.newPool())
 	clear(s.lastBR)
 	s.evictions.Add(1)
 	return freed

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/pkg/bbncg"
+)
+
+// weightedRequest is the cycleRequest with a seeded weight recipe.
+func weightedRequest(id string) CreateRequest {
+	req := cycleRequest(id)
+	req.Weights = &bbncg.WeightsSpec{Seed: 7, Max: 9}
+	return req
+}
+
+func TestWeightedSessionLifecycle(t *testing.T) {
+	m := openManager(t, t.TempDir(), Options{})
+	s, err := m.Create(weightedRequest("w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Info(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Weights == nil || info.Weights.Max != 9 {
+		t.Fatalf("weights spec missing from info: %+v", info)
+	}
+
+	// Weighted answers must match a from-scratch weighted evaluation.
+	wf, err := s.Welfare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := bbncg.FromArcs(6, info.Arcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := bbncg.NewGame(info.Budgets, bbncg.SUM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wts, err := info.Weights.Build(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bbncg.WeightedWelfareOf(g, d, wts); !reflect.DeepEqual(wf, want) {
+		t.Fatalf("served weighted welfare %+v, fresh %+v", wf, want)
+	}
+
+	// A rewire carrying a weight reprices the new arc; a repeat rewire to
+	// the same strategy with a new weight is a pure reweighting (no
+	// topology change) and must still move the welfare.
+	if _, err := s.Rewire(0, []int{3}, 9); err != nil {
+		t.Fatal(err)
+	}
+	wf9, err := s.Welfare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := s.Rewire(0, []int{3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("pure reweighting reported a topology change")
+	}
+	wf1, err := s.Welfare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf1.Costs[0] >= wf9.Costs[0] {
+		t.Fatalf("cheapening 0->3 did not reduce player 0's cost: %d -> %d", wf9.Costs[0], wf1.Costs[0])
+	}
+
+	// Best responses ride the weighted pool and must stay self-consistent
+	// with the welfare after applying the move.
+	br, err := s.BestResponse(1, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Improves {
+		if _, err := s.Rewire(1, br.Strategy, 0); err != nil {
+			t.Fatal(err)
+		}
+		wf2, err := s.Welfare()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wf2.Costs[1] != br.Cost {
+			t.Fatalf("weighted best response promised %d, profile delivers %d", br.Cost, wf2.Costs[1])
+		}
+	}
+
+	// Weight validation: unweighted sessions refuse weights, weighted
+	// sessions bound them by the spec.
+	if _, err := s.Rewire(0, []int{3}, 10); err == nil {
+		t.Fatal("weight above the spec max accepted")
+	}
+	u, err := m.Create(cycleRequest("plain"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Rewire(0, []int{2}, 3); err == nil {
+		t.Fatal("unweighted session accepted a weighted rewire")
+	}
+}
+
+// A weighted session must replay byte-identically: same profile, same
+// weights (base recipe + logged overrides), same answers — across
+// enough mutations to cross the anchor cadence, since anchors snapshot
+// topology only and overrides replay from the create.
+func TestWeightedSessionReplay(t *testing.T) {
+	dir := t.TempDir()
+	m := openManager(t, dir, Options{AnchorEvery: 4})
+	s, err := m.Create(weightedRequest("w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mixed mutation stream: weighted rewires, plain rewires, pure
+	// reweightings, crossing several anchors.
+	moves := []struct {
+		player   int
+		strategy []int
+		weight   int32
+	}{
+		{0, []int{3}, 5}, {1, []int{4}, 0}, {2, []int{0}, 2}, {0, []int{3}, 1},
+		{3, []int{1}, 7}, {4, []int{2}, 0}, {5, []int{3}, 9}, {2, []int{5}, 4},
+		{1, []int{0}, 3}, {0, []int{2}, 6},
+	}
+	for _, mv := range moves {
+		if _, err := s.Rewire(mv.player, mv.strategy, mv.weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	brs, wf := answers(t, s)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := openManager(t, dir, Options{AnchorEvery: 4})
+	s2, ok := m2.Get("w")
+	if !ok {
+		t.Fatal("weighted session not replayed")
+	}
+	info, err := s2.Info(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Replayed || info.Weights == nil {
+		t.Fatalf("replayed session lost its weights: %+v", info)
+	}
+	brs2, wf2 := answers(t, s2)
+	if !reflect.DeepEqual(wf, wf2) {
+		t.Fatalf("weighted welfare drifted across replay: %+v vs %+v", wf, wf2)
+	}
+	if !reflect.DeepEqual(brs, brs2) {
+		t.Fatalf("weighted best responses drifted across replay:\npre  %+v\npost %+v", brs, brs2)
+	}
+}

@@ -148,6 +148,46 @@ type (
 // (<= 0 means core.DefaultPoolBudget).
 func NewCachePool(g *Game, budgetBytes int64) *CachePool { return core.NewCachePool(g, budgetBytes) }
 
+// Weights is a symmetric positive arc-weight assignment: a deterministic
+// seeded base in [1, max] plus explicit overrides, with the bounded
+// change log the weighted cache tier's repair path consumes.
+type Weights = graph.Weights
+
+// NewWeights returns the weight assignment for n vertices with base
+// weights hashed from seed into [1, max].
+func NewWeights(n int, seed int64, max int32) *Weights { return graph.NewWeights(n, seed, max) }
+
+// NewWeightedCachePool is NewCachePool over the arc-weighted game: pool
+// entries hold weighted distance rows (Δ-stepping fill, incremental
+// weighted repair) and track wts's generation as a second staleness
+// stream — weight-only mutations need no Invalidate call.
+func NewWeightedCachePool(g *Game, budgetBytes int64, wts *Weights) *CachePool {
+	return core.NewWeightedCachePool(g, budgetBytes, wts)
+}
+
+// WeightsSpec is the declarative, JSON-encodable recipe for a session's
+// arc weights: a deterministic seeded base in [1, Max]. Explicit
+// overrides are not part of the spec — persistent embedders replay them
+// from their mutation log (each carrying its weight), exactly like
+// rewires.
+type WeightsSpec struct {
+	Seed int64 `json:"seed,omitempty"`
+	Max  int32 `json:"max"`
+}
+
+// Build materialises the spec for an n-vertex session, refusing weight
+// ranges whose adjusted distances the weighted cache tier cannot encode
+// (the service would silently lose the warm-row fast path otherwise).
+func (s WeightsSpec) Build(n int) (*Weights, error) {
+	if s.Max < 1 {
+		return nil, fmt.Errorf("bbncg: weights max must be >= 1, got %d", s.Max)
+	}
+	if !graph.FitsWeightedCache(n, s.Max) {
+		return nil, fmt.Errorf("bbncg: weights max %d on %d vertices exceeds the encodable distance range", s.Max, n)
+	}
+	return NewWeights(n, s.Seed, s.Max), nil
+}
+
 // DefaultExactCap bounds exact best-response enumeration on service
 // paths: C(n-1,b) above it is refused instead of attempted, since the
 // exact solver is exponential in the budget (Theorem 2.1).
@@ -231,4 +271,11 @@ type Welfare struct {
 // WelfareOf evaluates g's welfare on d.
 func WelfareOf(g *Game, d *Digraph) Welfare {
 	return Welfare{Social: g.SocialCost(d), Costs: g.AllCosts(d)}
+}
+
+// WeightedWelfareOf is WelfareOf on the arc-weighted game: weighted
+// eccentricities and distance sums, with unreachable pairs costed at
+// n²·maxW.
+func WeightedWelfareOf(g *Game, d *Digraph, wts *Weights) Welfare {
+	return Welfare{Social: g.WeightedSocialCost(d, wts), Costs: g.WeightedAllCosts(d, wts)}
 }

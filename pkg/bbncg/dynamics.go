@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/dynamics"
 )
 
@@ -32,6 +33,11 @@ type DynamicsOptions struct {
 	// Pool supplies an external warm-cache pool surviving across runs;
 	// the caller owns its lifetime.
 	Pool *CachePool `json:"-"`
+	// Weights makes the run arc-weighted: responders optimise weighted
+	// costs, trajectories record the weighted social cost, and a run-owned
+	// pool becomes a weighted pool. An external Pool must then be a
+	// NewWeightedCachePool over the same Weights.
+	Weights *Weights `json:"-"`
 }
 
 // engineOptions lowers the wire form onto the dynamics engine,
@@ -57,6 +63,21 @@ func (o DynamicsOptions) engineOptions(g *Game) (dynamics.Options, error) {
 		RecordTrajectory: o.RecordTrajectory,
 		Parallel:         o.Parallel,
 		Pool:             o.Pool,
+		Weights:          o.Weights,
+	}
+	if o.Weights != nil {
+		// The plain responder (the no-pool fallback path) must optimise
+		// the weighted costs; the pooled DeviatorResponder needs no
+		// variant — it evaluates through the acquired Deviator, which
+		// carries the weighted state.
+		switch rc.Name {
+		case "greedy":
+			opts.Responder = core.WeightedGreedyResponder(o.Weights)
+		case "swap":
+			opts.Responder = core.WeightedSwapResponder(o.Weights)
+		case "exact":
+			opts.Responder = core.WeightedExactResponder(o.Weights, rc.Cap)
+		}
 	}
 	if o.ShuffleSeed != 0 {
 		opts.Scheduler = dynamics.RandomOrder{Rng: rand.New(rand.NewSource(o.ShuffleSeed))}
