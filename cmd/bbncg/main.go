@@ -71,6 +71,9 @@ func main() {
 		case "serve":
 			serveMain(os.Args[2:])
 			return
+		case "loadgen":
+			loadgenMain(os.Args[2:])
+			return
 		case "version", "-version", "--version":
 			fmt.Println(version.String())
 			return
@@ -284,8 +287,12 @@ func serveMain(args []string) {
 	anchorEvery := fs.Int("anchor", 0, "event-log snapshot cadence in mutations (0 = default 64)")
 	maxN := fs.Int("maxn", 0, "largest session player count accepted (0 = default 4096)")
 	fsync := fs.Bool("fsync", false, "fsync every event append (survives power loss, slower)")
+	rps := fs.Float64("rps", 0, "per-client token rate on /v1 routes (0 = unthrottled)")
+	burst := fs.Int("burst", 0, "per-client token-bucket burst (0 with -rps = 2*rps)")
+	inflight := fs.Int("inflight", 0, "per-client concurrent /v1 request cap (0 = uncapped)")
+	heartbeat := fs.Duration("heartbeat", 0, "SSE heartbeat cadence for streamed dynamics (0 = default 10s)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: bbncg serve -out DIR [-addr :8080] [-sessionmb N] [-poolmb N] [-anchor N] [-maxn N] [-fsync]")
+		fmt.Fprintln(os.Stderr, "usage: bbncg serve -out DIR [-addr :8080] [-sessionmb N] [-poolmb N] [-anchor N] [-maxn N] [-fsync] [-rps N -burst N] [-inflight N] [-heartbeat D]")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args) //nolint:errcheck // ExitOnError
@@ -316,7 +323,11 @@ func serveMain(args []string) {
 		// from it.
 		fmt.Fprintf(os.Stderr, "bbncg serve: listening on %s\n", <-ready)
 	}()
-	if err := serve.Run(ctx, *addr, m, ready); err != nil {
+	cfg := serve.Config{
+		Quota:          serve.QuotaConfig{RPS: *rps, Burst: *burst, MaxInFlight: *inflight},
+		HeartbeatEvery: *heartbeat,
+	}
+	if err := serve.Run(ctx, *addr, m, cfg, ready); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "bbncg serve: drained, store flushed")
@@ -329,6 +340,7 @@ func usage() {
        bbncg -out DIR merge <command>
        bbncg -out DIR fetch SRC [SRC...]
        bbncg serve -out DIR [-addr :8080]
+       bbncg loadgen -addr HOST:PORT [-sessions N] [-check]
        bbncg doctor DIR
        bbncg version
 
@@ -349,6 +361,7 @@ commands:
 	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "fetch", "concatenate shard stores (e.g. from -shard runs) into -out")
 	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "doctor", "audit a store directory read-only (counts, checksums, failures)")
 	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "serve", "persistent game-session HTTP service over a durable store (docs/SERVE.md)")
+	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "loadgen", "drive mixed traffic at a running serve instance and report latency/pool gates")
 	fmt.Fprintf(os.Stderr, "  %-*s  %s\n", width, "version", "print the build identity (module, VCS revision, go version)")
 	fmt.Fprintf(os.Stderr, `
 Any spec name from `+"`bbncg list`"+` is also a command. -out DIR

@@ -10,17 +10,23 @@
 //	kill -9 %1; bbncg serve -addr :8080 -out /tmp/sessions &
 //	servedemo -addr localhost:8080          > after.json
 //	diff before.json after.json
+//
+// It speaks the v1 wire API exclusively through the typed client
+// (repro/pkg/bbncg/client) and the shared api structs — no ad-hoc
+// JSON shapes on either side of the wire.
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
 	"os"
+
+	"repro/pkg/bbncg"
+	"repro/pkg/bbncg/api"
+	"repro/pkg/bbncg/client"
 )
 
 var (
@@ -30,73 +36,38 @@ var (
 	players = flag.Int("n", 8, "player count of the demo session (setup only)")
 )
 
-// call performs one JSON request and returns the raw response body.
-func call(method, path string, body any) ([]byte, error) {
-	var rd io.Reader
-	if body != nil {
-		raw, err := json.Marshal(body)
-		if err != nil {
-			return nil, err
-		}
-		rd = bytes.NewReader(raw)
-	}
-	req, err := http.NewRequest(method, "http://"+*addr+path, rd)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode >= 300 {
-		return nil, fmt.Errorf("%s %s: %d %s", method, path, resp.StatusCode, raw)
-	}
-	return raw, nil
-}
-
 func main() {
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("servedemo: ")
+	ctx := context.Background()
+	c := client.New(*addr)
 
 	if *setup {
 		// Create a seeded random session — the arc list is materialised
 		// server-side, so replay never re-runs the generator.
-		_, err := call("POST", "/v1/sessions", map[string]any{
-			"id":    *session,
-			"graph": map[string]any{"kind": "random", "n": *players, "b": 2, "seed": 7},
+		_, err := c.CreateSession(ctx, api.CreateRequest{
+			ID:    *session,
+			Graph: &bbncg.GeneratorSpec{Kind: "random", N: *players, B: 2, Seed: 7},
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		// Mutate: a few dynamics rounds, then one explicit rewire taken
 		// from the equilibrium witness (if any player still improves).
-		if _, err := call("POST", "/v1/sessions/"+*session+"/dynamics", map[string]any{"rounds": 2}); err != nil {
+		if _, err := c.Dynamics(ctx, *session, 2); err != nil {
 			log.Fatal(err)
 		}
-		raw, err := call("GET", "/v1/sessions/"+*session+"/equilibrium", nil)
+		eq, err := c.Equilibrium(ctx, *session, "", 0)
 		if err != nil {
 			log.Fatal(err)
 		}
-		var eq struct {
-			Stable  bool `json:"stable"`
-			Witness *struct {
-				Player   int   `json:"player"`
-				Strategy []int `json:"strategy"`
-			} `json:"witness"`
-		}
-		if err := json.Unmarshal(raw, &eq); err != nil {
-			log.Fatal(err)
-		}
 		if !eq.Stable && eq.Witness != nil {
-			if _, err := call("POST", "/v1/sessions/"+*session+"/rewire", map[string]any{
-				"player": eq.Witness.Player, "strategy": eq.Witness.Strategy,
-			}); err != nil {
+			_, err := c.Rewire(ctx, *session, api.RewireRequest{
+				Player:   eq.Witness.Player,
+				Strategy: eq.Witness.Strategy,
+			})
+			if err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -104,47 +75,36 @@ func main() {
 
 	// Query: profile, per-player best responses, welfare — printed as
 	// canonical JSON lines so two runs diff cleanly. The replayed flag
-	// and memo bit legitimately differ across a restart and are
-	// stripped.
-	raw, err := call("GET", "/v1/sessions/"+*session+"?arcs=1", nil)
+	// and memo bit legitimately differ across a restart and are zeroed.
+	info, err := c.Session(ctx, *session, true)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var info map[string]json.RawMessage
-	if err := json.Unmarshal(raw, &info); err != nil {
-		log.Fatal(err)
-	}
-	delete(info, "replayed")
+	info.Replayed = false
 	emit(info)
 
-	var n int
-	if err := json.Unmarshal(info["n"], &n); err != nil {
-		log.Fatal(err)
-	}
-	for u := 0; u < n; u++ {
-		raw, err := call("GET", fmt.Sprintf("/v1/sessions/%s/bestresponse?player=%d", *session, u), nil)
+	for u := 0; u < info.N; u++ {
+		br, err := c.BestResponse(ctx, *session, u, "", 0)
 		if err != nil {
-			log.Fatal(err)
+			log.Fatal(fmt.Errorf("bestresponse player %d: %w", u, err))
 		}
-		var br map[string]json.RawMessage
-		if err := json.Unmarshal(raw, &br); err != nil {
-			log.Fatal(err)
-		}
-		delete(br, "memo")
+		br.Memo = false
 		emit(br)
 	}
-	raw, err = call("GET", "/v1/sessions/"+*session+"/welfare", nil)
+	wf, err := c.Welfare(ctx, *session)
 	if err != nil {
 		log.Fatal(err)
 	}
-	os.Stdout.Write(append(raw, '\n'))
+	emit(wf)
 }
 
-// emit prints one canonical JSON line (sorted keys, no HTML escaping).
+// emit prints one canonical JSON line (stable field order, no HTML
+// escaping — both runs marshal the same typed structs, so the diff is
+// byte-exact).
 func emit(v any) {
-	raw, err := json.Marshal(v)
-	if err != nil {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
 		log.Fatal(err)
 	}
-	os.Stdout.Write(append(raw, '\n'))
 }

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/sweep"
+	"repro/pkg/bbncg/api"
+)
+
+// maxBatchOps bounds one batch request; larger workloads page.
+const maxBatchOps = 1024
+
+// handleBatch executes N operations across sessions in one scheduler
+// pass. Ops naming the same session run sequentially in request order
+// (create-then-query of one id composes inside a single batch);
+// distinct sessions run concurrently on the worker pool, amortising
+// both HTTP round-trips and pool acquisition. An op that fails fills
+// its item's Error and never fails the batch; results come back in
+// request order.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Errorf("serve: batch has no ops"))
+		return
+	}
+	if len(req.Ops) > maxBatchOps {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest,
+			fmt.Errorf("serve: batch has %d ops; max %d", len(req.Ops), maxBatchOps))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.executeBatch(req))
+}
+
+// executeBatch groups ops by session key preserving request order
+// within each group, runs the groups concurrently, and reassembles
+// results in request order. One Rebalance pass settles pool budgets
+// after the whole batch instead of after every op.
+func (s *Server) executeBatch(req api.BatchRequest) api.BatchResult {
+	type indexed struct {
+		i  int
+		op api.BatchOp
+	}
+	groups := make(map[string][]indexed)
+	var keys []string
+	for i, op := range req.Ops {
+		key := op.Session
+		if key == "" {
+			// A sessionless op (malformed, or a create relying on
+			// CreateRequest.ID) gets its own group: nothing to order
+			// against.
+			key = fmt.Sprintf("\x00op-%d", i)
+		}
+		if _, ok := groups[key]; !ok {
+			keys = append(keys, key)
+		}
+		groups[key] = append(groups[key], indexed{i, op})
+	}
+	items := make([]api.BatchItem, len(req.Ops))
+	sweep.Parallel(keys, func(key string) struct{} {
+		for _, ix := range groups[key] {
+			items[ix.i] = s.executeOp(ix.op)
+		}
+		return struct{}{}
+	})
+	s.m.Rebalance("")
+	return api.BatchResult{Results: items}
+}
+
+// executeOp dispatches one batch op, mirroring the corresponding
+// HTTP handler.
+func (s *Server) executeOp(op api.BatchOp) api.BatchItem {
+	item := api.BatchItem{Session: op.Session, Op: op.Op}
+	fail := func(err error) api.BatchItem {
+		_, code := errToAPI(err)
+		item.Error = &api.Error{Code: code, Message: err.Error()}
+		return item
+	}
+	if op.Op == api.OpCreate {
+		req := api.CreateRequest{}
+		if op.Create != nil {
+			req = *op.Create
+		}
+		if req.ID == "" {
+			req.ID = op.Session
+		}
+		sess, err := s.m.Create(req)
+		if err != nil {
+			return fail(err)
+		}
+		info, err := sess.Info(false)
+		if err != nil {
+			return fail(err)
+		}
+		item.Session = sess.ID()
+		item.Info = &info
+		return item
+	}
+	sess, ok := s.m.Get(op.Session)
+	if !ok {
+		item.Error = &api.Error{Code: api.CodeNotFound, Message: fmt.Sprintf("serve: no session %q", op.Session)}
+		return item
+	}
+	switch op.Op {
+	case api.OpInfo:
+		info, err := sess.Info(false)
+		if err != nil {
+			return fail(err)
+		}
+		item.Info = &info
+	case api.OpRewire:
+		if op.Rewire == nil {
+			return fail(fmt.Errorf("serve: rewire op needs a rewire body"))
+		}
+		changed, err := sess.Rewire(op.Rewire.Player, op.Rewire.Strategy, op.Rewire.Weight)
+		if err != nil {
+			return fail(err)
+		}
+		item.Rewire = &api.RewireResult{Changed: changed}
+	case api.OpBestResponse:
+		br, err := sess.BestResponse(op.Player, op.Responder, op.ExactCap)
+		if err != nil {
+			return fail(err)
+		}
+		item.BestResponse = &br
+	case api.OpEquilibrium:
+		eq, err := sess.Equilibrium(op.Responder, op.ExactCap)
+		if err != nil {
+			return fail(err)
+		}
+		item.Equilibrium = &eq
+	case api.OpWelfare:
+		wf, err := sess.Welfare()
+		if err != nil {
+			return fail(err)
+		}
+		item.Welfare = &wf
+	case api.OpDynamics:
+		rounds := 0
+		if op.Dynamics != nil {
+			if op.Dynamics.From != 0 {
+				return fail(fmt.Errorf("serve: dynamics from applies to streamed runs only"))
+			}
+			rounds = op.Dynamics.Rounds
+		}
+		rep, err := sess.Step(rounds)
+		if err != nil {
+			return fail(err)
+		}
+		item.Dynamics = &rep
+	default:
+		return fail(fmt.Errorf("serve: unknown batch op %q", op.Op))
+	}
+	return item
+}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/pkg/bbncg"
+	"repro/pkg/bbncg/api"
+)
+
+// TestBatchMatchesSequential is the batch contract under -race: one
+// batch over N sessions must produce byte-identical results to the
+// same ops issued sequentially against twin sessions.
+func TestBatchMatchesSequential(t *testing.T) {
+	ts, m := newTestServer(t, Options{})
+	const n = 6
+	var ops []api.BatchOp
+	for i := 0; i < n; i++ {
+		seq := fmt.Sprintf("seq-%d", i)
+		bat := fmt.Sprintf("bat-%d", i)
+		spec := &bbncg.GeneratorSpec{Kind: "random", N: 10, B: 2, Seed: int64(i + 1)}
+		if _, err := m.Create(api.CreateRequest{ID: seq, Graph: spec}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Create(api.CreateRequest{ID: bat, Graph: spec}); err != nil {
+			t.Fatal(err)
+		}
+		ops = append(ops,
+			api.BatchOp{Session: bat, Op: api.OpDynamics, Dynamics: &api.DynamicsRequest{Rounds: 50}},
+			api.BatchOp{Session: bat, Op: api.OpBestResponse, Player: i % 10},
+			api.BatchOp{Session: bat, Op: api.OpEquilibrium},
+			api.BatchOp{Session: bat, Op: api.OpWelfare},
+		)
+	}
+
+	var batch api.BatchResult
+	if code := call(t, ts, "POST", "/v1/batch", api.BatchRequest{Ops: ops}, &batch); code != 200 {
+		t.Fatalf("batch: %d", code)
+	}
+	if len(batch.Results) != len(ops) {
+		t.Fatalf("batch returned %d results for %d ops", len(batch.Results), len(ops))
+	}
+
+	for i, op := range ops {
+		item := batch.Results[i]
+		if item.Error != nil {
+			t.Fatalf("op %d (%s %s) errored: %+v", i, op.Session, op.Op, item.Error)
+		}
+		seq := "seq" + op.Session[3:] // twin id
+		var want any
+		switch op.Op {
+		case api.OpDynamics:
+			var rep api.DynamicsResult
+			if code := call(t, ts, "POST", "/v1/sessions/"+seq+"/dynamics", *op.Dynamics, &rep); code != 200 {
+				t.Fatalf("sequential dynamics: %d", code)
+			}
+			want = rep
+			if !item.Dynamics.Converged {
+				t.Fatalf("batch dynamics did not converge: %+v", item.Dynamics)
+			}
+		case api.OpBestResponse:
+			var br api.BestResponseResult
+			path := fmt.Sprintf("/v1/sessions/%s/bestresponse?player=%d", seq, op.Player)
+			if code := call(t, ts, "GET", path, nil, &br); code != 200 {
+				t.Fatalf("sequential bestresponse: %d", code)
+			}
+			br.Memo = item.BestResponse.Memo // memo-vs-computed depends on op order, not the answer
+			want = br
+		case api.OpEquilibrium:
+			var eq api.EquilibriumResult
+			if code := call(t, ts, "GET", "/v1/sessions/"+seq+"/equilibrium", nil, &eq); code != 200 {
+				t.Fatalf("sequential equilibrium: %d", code)
+			}
+			if eq.Witness != nil {
+				eq.Witness.Memo = item.Equilibrium.Witness.Memo
+			}
+			want = eq
+		case api.OpWelfare:
+			var wf api.WelfareResult
+			if code := call(t, ts, "GET", "/v1/sessions/"+seq+"/welfare", nil, &wf); code != 200 {
+				t.Fatalf("sequential welfare: %d", code)
+			}
+			want = wf
+		}
+		var got any
+		switch op.Op {
+		case api.OpDynamics:
+			got = *item.Dynamics
+		case api.OpBestResponse:
+			got = *item.BestResponse
+		case api.OpEquilibrium:
+			got = *item.Equilibrium
+		case api.OpWelfare:
+			got = *item.Welfare
+		}
+		wantRaw, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRaw, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(wantRaw) != string(gotRaw) {
+			t.Fatalf("op %d (%s %s) differs:\n batch %s\n seq   %s", i, op.Session, op.Op, gotRaw, wantRaw)
+		}
+	}
+}
+
+// TestBatchSameSessionOrdering runs create → rewire → welfare on ONE
+// session id inside a single batch: same-session ops execute in
+// request order, so the welfare must reflect the rewire.
+func TestBatchSameSessionOrdering(t *testing.T) {
+	ts, m := newTestServer(t, Options{})
+	s, err := m.Create(cycleRequest("ref"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Rewire(0, []int{3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	wantWF, err := s.Welfare()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := api.BatchRequest{Ops: []api.BatchOp{
+		{Session: "ord", Op: api.OpCreate, Create: func() *api.CreateRequest { r := cycleRequest(""); return &r }()},
+		{Session: "ord", Op: api.OpRewire, Rewire: &api.RewireRequest{Player: 0, Strategy: []int{3}}},
+		{Session: "ord", Op: api.OpWelfare},
+	}}
+	var res api.BatchResult
+	if code := call(t, ts, "POST", "/v1/batch", req, &res); code != 200 {
+		t.Fatalf("batch: %d", code)
+	}
+	for i, item := range res.Results {
+		if item.Error != nil {
+			t.Fatalf("op %d errored: %+v", i, item.Error)
+		}
+	}
+	if res.Results[0].Info == nil || res.Results[0].Info.ID != "ord" {
+		t.Fatalf("create result: %+v", res.Results[0])
+	}
+	if !res.Results[1].Rewire.Changed {
+		t.Fatal("ordered rewire reported unchanged")
+	}
+	if got := *res.Results[2].Welfare; got.Social != wantWF.Social {
+		t.Fatalf("batch welfare %d, reference %d — ops ran out of order", got.Social, wantWF.Social)
+	}
+}
+
+// TestBatchErrorIsolation: a failing op fills its item's error and
+// leaves every other op's result intact.
+func TestBatchErrorIsolation(t *testing.T) {
+	ts, m := newTestServer(t, Options{})
+	if _, err := m.Create(cycleRequest("ok")); err != nil {
+		t.Fatal(err)
+	}
+	req := api.BatchRequest{Ops: []api.BatchOp{
+		{Session: "ok", Op: api.OpWelfare},
+		{Session: "ghost", Op: api.OpWelfare},
+		{Session: "ok", Op: api.OpRewire, Rewire: &api.RewireRequest{Player: 99, Strategy: []int{1}}},
+		{Session: "ok", Op: "frobnicate"},
+		{Session: "ok", Op: api.OpEquilibrium},
+	}}
+	var res api.BatchResult
+	if code := call(t, ts, "POST", "/v1/batch", req, &res); code != 200 {
+		t.Fatalf("batch with failing ops must still be 200: %d", code)
+	}
+	if res.Results[0].Error != nil || res.Results[0].Welfare == nil {
+		t.Fatalf("healthy op 0 poisoned: %+v", res.Results[0])
+	}
+	if res.Results[1].Error == nil || res.Results[1].Error.Code != api.CodeNotFound {
+		t.Fatalf("missing session: %+v", res.Results[1].Error)
+	}
+	if res.Results[2].Error == nil || res.Results[2].Error.Code != api.CodeBadRequest {
+		t.Fatalf("bad rewire: %+v", res.Results[2].Error)
+	}
+	if res.Results[3].Error == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if res.Results[4].Error != nil || res.Results[4].Equilibrium == nil {
+		t.Fatalf("healthy op 4 poisoned: %+v", res.Results[4])
+	}
+
+	// Batch-level validation still 400s.
+	if code := call(t, ts, "POST", "/v1/batch", api.BatchRequest{}, nil); code != 400 {
+		t.Fatalf("empty batch: %d", code)
+	}
+	big := api.BatchRequest{Ops: make([]api.BatchOp, maxBatchOps+1)}
+	if code := call(t, ts, "POST", "/v1/batch", big, nil); code != 400 {
+		t.Fatalf("oversized batch: %d", code)
+	}
+}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/pkg/bbncg/api"
+)
+
+// TestErrorEnvelopeEverywhere: every failure shape — bad body, missing
+// session, closed session, wrong method, unknown route, unknown
+// version — is the one envelope with the right status and code.
+func TestErrorEnvelopeEverywhere(t *testing.T) {
+	ts, m := newTestServer(t, Options{})
+	if _, err := m.Create(cycleRequest("env")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete("env"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(cycleRequest("live")); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+		code   string
+	}{
+		{"unknown route", "GET", "/nope", "", 404, api.CodeNotFound},
+		{"unknown session", "GET", "/v1/sessions/ghost", "", 404, api.CodeNotFound},
+		{"unknown version", "GET", "/v9/sessions", "", 404, api.CodeUnsupportedVersion},
+		{"wrong method", "PUT", "/v1/sessions/live", "", 405, api.CodeMethodNotAllowed},
+		{"bad body", "POST", "/v1/sessions", `{"bogus":1}`, 400, api.CodeBadRequest},
+		{"bad rewire", "POST", "/v1/sessions/live/rewire", `{"player":99,"strategy":[1]}`, 400, api.CodeBadRequest},
+		{"bad query", "GET", "/v1/sessions/live/bestresponse?player=banana", "", 400, api.CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+			if got := resp.Header.Get(api.VersionHeader); got != api.Version {
+				t.Fatalf("version header %q", got)
+			}
+			var env api.ErrorEnvelope
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatalf("body is not the envelope: %v", err)
+			}
+			if env.Err.Code != tc.code {
+				t.Fatalf("code %q, want %q", env.Err.Code, tc.code)
+			}
+			if env.Err.Message == "" {
+				t.Fatal("envelope without a message")
+			}
+			if tc.status == 405 && resp.Header.Get("Allow") == "" {
+				t.Fatal("405 without Allow")
+			}
+		})
+	}
+
+	// Operations on a tombstoned session are gone, not bad requests.
+	// (Deleted ids 404 at the registry; gone needs a live handle, so
+	// exercise it via a session deleted mid-request path: recreate and
+	// delete leaves only 404 — the Gone mapping is covered by the unit
+	// path below.)
+	status, code := errToAPI(ErrSessionClosed)
+	if status != http.StatusGone || code != api.CodeGone {
+		t.Fatalf("ErrSessionClosed maps to %d/%s", status, code)
+	}
+}
+
+func TestVersionNegotiation(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	var vi api.VersionInfo
+	if code := call(t, ts, "GET", "/v1", nil, &vi); code != 200 {
+		t.Fatalf("GET /v1: %d", code)
+	}
+	if vi.API != api.Version || len(vi.Versions) != 1 || vi.Versions[0] != api.Version {
+		t.Fatalf("version info: %+v", vi)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env api.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 404 || env.Err.Code != api.CodeUnsupportedVersion {
+		t.Fatalf("GET /v2: %d %+v", resp.StatusCode, env)
+	}
+}
+
+func TestReadyzDraining(t *testing.T) {
+	m := openManager(t, t.TempDir(), Options{})
+	sv := NewServer(m, Config{})
+	ts := newTSFromServer(t, sv)
+
+	var rd api.Ready
+	if code := call(t, ts, "GET", "/readyz", nil, &rd); code != 200 || !rd.Ready || rd.Status != "ok" {
+		t.Fatalf("readyz live: %d %+v", code, rd)
+	}
+	sv.SetDraining(true)
+	if code := call(t, ts, "GET", "/readyz", nil, &rd); code != 503 || rd.Ready || rd.Status != "draining" {
+		t.Fatalf("readyz draining: %d %+v", code, rd)
+	}
+	// Liveness is unaffected: the process is healthy while it drains.
+	var h api.Health
+	if code := call(t, ts, "GET", "/healthz", nil, &h); code != 200 || h.Status != "ok" {
+		t.Fatalf("healthz while draining: %d %+v", code, h)
+	}
+	var st api.StatsSnapshot
+	if code := call(t, ts, "GET", "/statsz", nil, &st); code != 200 || !st.Draining {
+		t.Fatalf("statsz while draining: %d %+v", code, st)
+	}
+}
+
+// newTSFromServer serves an already-constructed Server (tests that
+// need the handle, e.g. to flip draining).
+func newTSFromServer(t *testing.T, sv *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(sv)
+	t.Cleanup(ts.Close)
+	return ts
+}

@@ -26,10 +26,13 @@ import (
 )
 
 // Failpoint sites owned by serve (see internal/fault): the periodic
-// anchor snapshot write and the per-session replay at startup.
+// anchor snapshot write, the per-session replay at startup, and the
+// top of every served dynamics round (delay schedules there let tests
+// pace streamed runs deterministically).
 var (
 	siteSnapshotWrite = fault.Register("serve.snapshot.write", "session anchor snapshot append")
 	siteSessionReplay = fault.Register("serve.session.replay", "session event-log replay at open")
+	siteDynamicsRound = fault.Register("serve.dynamics.round", "top of each served dynamics round")
 )
 
 // sessionExpPrefix namespaces session shards inside the store; the

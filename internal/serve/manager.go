@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/store"
 	"repro/pkg/bbncg"
+	"repro/pkg/bbncg/api"
 )
 
 // Options configure a Manager.
@@ -122,33 +123,10 @@ func (m *Manager) sessionFromReplay(rs *replayState) (*Session, error) {
 	return s, nil
 }
 
-// CreateRequest is the wire form of session creation.
-type CreateRequest struct {
-	// ID names the session ([a-z0-9-], <= 40 chars); empty draws a
-	// random one.
-	ID string `json:"id,omitempty"`
-	// Version is "SUM" (default) or "MAX".
-	Version string `json:"version,omitempty"`
-	// Budgets is the explicit budget vector; when omitted it is derived
-	// from the initial profile's out-degrees.
-	Budgets []int `json:"budgets,omitempty"`
-	// Exactly one of Graph (generator spec) or Arcs (explicit arc
-	// list, with N) supplies the initial profile.
-	Graph *bbncg.GeneratorSpec `json:"graph,omitempty"`
-	N     int                  `json:"n,omitempty"`
-	Arcs  [][2]int             `json:"arcs,omitempty"`
-	// Responder is the session's default responder: greedy (default),
-	// swap or exact.
-	Responder string `json:"responder,omitempty"`
-	// Weights makes the session arc-weighted: queries answer weighted
-	// costs on the weighted cache tier, and rewires may carry a weight.
-	Weights *bbncg.WeightsSpec `json:"weights,omitempty"`
-}
-
 // Create validates the request, durably logs the create event (with the
 // materialised profile, so replay never re-runs a generator), and
 // registers the live session.
-func (m *Manager) Create(req CreateRequest) (*Session, error) {
+func (m *Manager) Create(req api.CreateRequest) (*Session, error) {
 	id := req.ID
 	if id == "" {
 		id = randomSessionID()
@@ -263,14 +241,14 @@ func (m *Manager) Delete(id string) error {
 }
 
 // List snapshots the registry's session stats, sorted by id.
-func (m *Manager) List() []SessionStats {
+func (m *Manager) List() []api.SessionStats {
 	m.mu.Lock()
 	ss := make([]*Session, 0, len(m.sessions))
 	for _, s := range m.sessions {
 		ss = append(ss, s)
 	}
 	m.mu.Unlock()
-	out := make([]SessionStats, len(ss))
+	out := make([]api.SessionStats, len(ss))
 	for i, s := range ss {
 		out[i] = s.Stats()
 	}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/pkg/bbncg/api"
+)
+
+// QuotaConfig bounds one client's traffic (a client is its X-Api-Key,
+// or its remote host when unkeyed). The zero value disables the
+// corresponding limit.
+type QuotaConfig struct {
+	// RPS refills each client's token bucket; a request spends one
+	// token. <= 0 disables rate limiting.
+	RPS float64
+	// Burst caps the bucket (instantaneous excursions above RPS).
+	// <= 0 with RPS > 0 defaults to max(1, 2*RPS).
+	Burst int
+	// MaxInFlight caps one client's concurrent /v1 requests.
+	// <= 0 disables the cap.
+	MaxInFlight int
+}
+
+func (c QuotaConfig) enabled() bool { return c.RPS > 0 || c.MaxInFlight > 0 }
+
+// clientState is one client's bucket and in-flight gauge.
+type clientState struct {
+	tokens   float64
+	last     time.Time
+	inflight int
+}
+
+// quota is the admission controller behind Server.ServeHTTP: a
+// per-client token bucket plus a per-client concurrency gauge, both
+// under one small mutex (admission is O(1); the handlers behind it do
+// the real work).
+type quota struct {
+	cfg   QuotaConfig
+	burst float64
+	mu    sync.Mutex
+	byKey map[string]*clientState
+	now   func() time.Time // test hook
+}
+
+func newQuota(cfg QuotaConfig) *quota {
+	q := &quota{cfg: cfg, byKey: make(map[string]*clientState), now: time.Now}
+	q.burst = float64(cfg.Burst)
+	if q.burst <= 0 {
+		q.burst = 2 * cfg.RPS
+		if q.burst < 1 {
+			q.burst = 1
+		}
+	}
+	return q
+}
+
+// admit charges one request to key. On success it returns a release
+// func (drops the in-flight slot) and an empty code. On rejection the
+// code names the exhausted limit (api.CodeRateLimited or
+// api.CodeConcurrencyLimited) and retryAfter suggests the wait.
+func (q *quota) admit(key string) (release func(), retryAfter time.Duration, code string) {
+	if !q.cfg.enabled() {
+		return func() {}, 0, ""
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	st, ok := q.byKey[key]
+	if !ok {
+		q.pruneLocked(now)
+		st = &clientState{tokens: q.burst, last: now}
+		q.byKey[key] = st
+	}
+	if q.cfg.RPS > 0 {
+		st.tokens += now.Sub(st.last).Seconds() * q.cfg.RPS
+		if st.tokens > q.burst {
+			st.tokens = q.burst
+		}
+		st.last = now
+		if st.tokens < 1 {
+			wait := time.Duration((1 - st.tokens) / q.cfg.RPS * float64(time.Second))
+			return nil, wait, api.CodeRateLimited
+		}
+	}
+	if q.cfg.MaxInFlight > 0 && st.inflight >= q.cfg.MaxInFlight {
+		return nil, time.Second, api.CodeConcurrencyLimited
+	}
+	if q.cfg.RPS > 0 {
+		st.tokens--
+	}
+	st.inflight++
+	return func() {
+		q.mu.Lock()
+		st.inflight--
+		q.mu.Unlock()
+	}, 0, ""
+}
+
+// pruneLocked drops idle clients (full bucket, nothing in flight) so
+// the map tracks active traffic, not every address ever seen. Called
+// on new-client admission — the only time the map grows.
+func (q *quota) pruneLocked(now time.Time) {
+	if len(q.byKey) < 1024 {
+		return
+	}
+	for k, st := range q.byKey {
+		if st.inflight > 0 {
+			continue
+		}
+		idle := now.Sub(st.last)
+		if q.cfg.RPS <= 0 || idle.Seconds()*q.cfg.RPS >= q.burst {
+			delete(q.byKey, k)
+		}
+	}
+}

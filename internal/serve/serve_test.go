@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/pkg/bbncg"
+	"repro/pkg/bbncg/api"
 )
 
 // openManager opens a manager over dir with test-friendly defaults and
@@ -31,23 +32,23 @@ func openManager(t *testing.T, dir string, opt Options) *Manager {
 // cycleRequest is a 6-cycle with explicit arcs: every player has budget
 // 1, so greedy best responses always exist and rewiring is easy to
 // exercise.
-func cycleRequest(id string) CreateRequest {
+func cycleRequest(id string) api.CreateRequest {
 	arcs := make([][2]int, 6)
 	for u := 0; u < 6; u++ {
 		arcs[u] = [2]int{u, (u + 1) % 6}
 	}
-	return CreateRequest{ID: id, N: 6, Arcs: arcs}
+	return api.CreateRequest{ID: id, N: 6, Arcs: arcs}
 }
 
 // answers collects every player's best response plus the welfare — the
 // comparison handle the replay tests diff across restarts.
-func answers(t *testing.T, s *Session) ([]BestResponseAnswer, bbncg.Welfare) {
+func answers(t *testing.T, s *Session) ([]api.BestResponseResult, api.WelfareResult) {
 	t.Helper()
 	info, err := s.Info(false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	brs := make([]BestResponseAnswer, info.N)
+	brs := make([]api.BestResponseResult, info.N)
 	for u := 0; u < info.N; u++ {
 		br, err := s.BestResponse(u, "", 0)
 		if err != nil {
@@ -132,7 +133,7 @@ func TestSessionCreateRewireQuery(t *testing.T) {
 
 func TestDynamicsConvergeAndMemo(t *testing.T) {
 	m := openManager(t, t.TempDir(), Options{})
-	s, err := m.Create(CreateRequest{ID: "dyn", Graph: &bbncg.GeneratorSpec{Kind: "random", N: 10, B: 2, Seed: 7}})
+	s, err := m.Create(api.CreateRequest{ID: "dyn", Graph: &bbncg.GeneratorSpec{Kind: "random", N: 10, B: 2, Seed: 7}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestDeleteTombstoneAndRecreate(t *testing.T) {
 
 	// Re-creating the id continues the event seq, so the store's unique
 	// record ids never collide — across a restart too.
-	s2, err := m.Create(CreateRequest{ID: "phoenix", Graph: &bbncg.GeneratorSpec{Kind: "star", N: 4}})
+	s2, err := m.Create(api.CreateRequest{ID: "phoenix", Graph: &bbncg.GeneratorSpec{Kind: "star", N: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +415,7 @@ func TestConcurrentSessionsNoCrossTalk(t *testing.T) {
 	ids := make([]string, nSessions)
 	for i := range ids {
 		ids[i] = fmt.Sprintf("conc-%d", i)
-		if _, err := m.Create(CreateRequest{
+		if _, err := m.Create(api.CreateRequest{
 			ID:    ids[i],
 			Graph: &bbncg.GeneratorSpec{Kind: "random", N: 12, B: 2, Seed: int64(i + 1)},
 		}); err != nil {
@@ -517,7 +518,7 @@ func TestGlobalBudgetEvictsLRU(t *testing.T) {
 	m := openManager(t, t.TempDir(), Options{GlobalPoolBudget: 1 << 14})
 	var ss [2]*Session
 	for i := range ss {
-		s, err := m.Create(CreateRequest{
+		s, err := m.Create(api.CreateRequest{
 			ID:    fmt.Sprintf("ev-%d", i),
 			Graph: &bbncg.GeneratorSpec{Kind: "random", N: 24, B: 2, Seed: int64(i + 1)},
 		})
@@ -569,7 +570,7 @@ func TestValidSessionID(t *testing.T) {
 func newTestServer(t *testing.T, opt Options) (*httptest.Server, *Manager) {
 	t.Helper()
 	m := openManager(t, t.TempDir(), opt)
-	ts := httptest.NewServer(NewServer(m))
+	ts := httptest.NewServer(NewServer(m, Config{}))
 	t.Cleanup(ts.Close)
 	return ts, m
 }
@@ -607,19 +608,18 @@ func call(t *testing.T, ts *httptest.Server, method, path string, body, out any)
 func TestHTTPEndToEnd(t *testing.T) {
 	ts, _ := newTestServer(t, Options{})
 
-	var health struct {
-		Status   string `json:"status"`
-		Version  string `json:"version"`
-		Sessions int    `json:"sessions"`
-	}
+	var health api.Health
 	if code := call(t, ts, "GET", "/healthz", nil, &health); code != 200 {
 		t.Fatalf("healthz: %d", code)
 	}
 	if health.Status != "ok" || !strings.Contains(health.Version, "bbncg") || health.Sessions != 0 {
 		t.Fatalf("healthz: %+v", health)
 	}
+	if health.API != api.Version {
+		t.Fatalf("healthz api version %q, want %q", health.API, api.Version)
+	}
 
-	var info Info
+	var info api.SessionInfo
 	if code := call(t, ts, "POST", "/v1/sessions", cycleRequest("web"), &info); code != 201 {
 		t.Fatalf("create: %d", code)
 	}
@@ -627,7 +627,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("create info: %+v", info)
 	}
 
-	var eq EquilibriumAnswer
+	var eq api.EquilibriumResult
 	if code := call(t, ts, "GET", "/v1/sessions/web/equilibrium", nil, &eq); code != 200 {
 		t.Fatalf("equilibrium: %d", code)
 	}
@@ -635,15 +635,13 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("cycle stable over HTTP: %+v", eq)
 	}
 
-	var rew struct {
-		Changed bool `json:"changed"`
-	}
-	body := rewireRequest{Player: eq.Witness.Player, Strategy: eq.Witness.Strategy}
+	var rew api.RewireResult
+	body := api.RewireRequest{Player: eq.Witness.Player, Strategy: eq.Witness.Strategy}
 	if code := call(t, ts, "POST", "/v1/sessions/web/rewire", body, &rew); code != 200 || !rew.Changed {
 		t.Fatalf("rewire: %d %+v", code, rew)
 	}
 
-	var br BestResponseAnswer
+	var br api.BestResponseResult
 	path := fmt.Sprintf("/v1/sessions/web/bestresponse?player=%d", eq.Witness.Player)
 	if code := call(t, ts, "GET", path, nil, &br); code != 200 {
 		t.Fatalf("bestresponse: %d", code)
@@ -658,30 +656,36 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("bestresponse with bad player: %d", code)
 	}
 
-	var wf bbncg.Welfare
+	var wf api.WelfareResult
 	if code := call(t, ts, "GET", "/v1/sessions/web/welfare", nil, &wf); code != 200 || wf.Social <= 0 {
 		t.Fatalf("welfare: %d %+v", code, wf)
 	}
 
-	var dyn DynamicsReport
-	if code := call(t, ts, "POST", "/v1/sessions/web/dynamics", dynamicsRequest{Rounds: 100}, &dyn); code != 200 {
+	var dyn api.DynamicsResult
+	if code := call(t, ts, "POST", "/v1/sessions/web/dynamics", api.DynamicsRequest{Rounds: 100}, &dyn); code != 200 {
 		t.Fatalf("dynamics: %d", code)
 	}
 	if !dyn.Converged {
 		t.Fatalf("dynamics did not converge: %+v", dyn)
 	}
+	if len(dyn.Trace) != dyn.Rounds {
+		t.Fatalf("dynamics trace has %d rounds, report says %d", len(dyn.Trace), dyn.Rounds)
+	}
 
-	var withArcs Info
+	var withArcs api.SessionInfo
 	if code := call(t, ts, "GET", "/v1/sessions/web?arcs=1", nil, &withArcs); code != 200 || len(withArcs.Arcs) != 6 {
 		t.Fatalf("info with arcs: %d %+v", code, withArcs)
 	}
 
-	var stats []SessionStats
-	if code := call(t, ts, "GET", "/statsz", nil, &stats); code != 200 || len(stats) != 1 {
+	var stats api.StatsSnapshot
+	if code := call(t, ts, "GET", "/statsz", nil, &stats); code != 200 || len(stats.Sessions) != 1 {
 		t.Fatalf("statsz: %d %+v", code, stats)
 	}
-	if stats[0].N != 6 || stats[0].Pool.Acquires == 0 {
-		t.Fatalf("statsz counters empty: %+v", stats[0])
+	if stats.Sessions[0].N != 6 || stats.Sessions[0].Pool.Acquires == 0 {
+		t.Fatalf("statsz counters empty: %+v", stats.Sessions[0])
+	}
+	if stats.Draining {
+		t.Fatalf("statsz reports draining on a live server")
 	}
 
 	if code := call(t, ts, "DELETE", "/v1/sessions/web", nil, nil); code != 200 {

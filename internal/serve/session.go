@@ -9,12 +9,18 @@ import (
 	"repro/internal/fault"
 	"repro/internal/store"
 	"repro/pkg/bbncg"
+	"repro/pkg/bbncg/api"
 )
 
 // ErrSessionClosed is returned by every operation on a session that has
 // been deleted or whose manager has shut down: post-close access is
 // defined behaviour, not a race.
 var ErrSessionClosed = errors.New("serve: session is closed")
+
+// maxTrace bounds the in-memory round-trace window a session keeps for
+// streamed-dynamics resume. Overflow drops the oldest half; a resume
+// request predating the window is refused with a descriptive error.
+const maxTrace = 1 << 16
 
 // Session is one persistent game: a game instance, its live profile,
 // and a warm cache pool that makes repeated queries cheap. All
@@ -36,7 +42,7 @@ type Session struct {
 	// memo proves "u's last scan against this exact anchor found no
 	// improving move", and lastBR holds that full answer (the memo bit
 	// alone cannot reproduce the cost fields).
-	lastBR map[int]bbncg.BestResponse
+	lastBR map[int]api.BestResponseResult
 
 	st          *store.Store
 	anchorEvery int
@@ -48,6 +54,15 @@ type Session struct {
 	// is the create-event recipe (Info provenance and replay source).
 	wts   *bbncg.Weights
 	wspec *bbncg.WeightsSpec
+
+	// rounds is the session-global dynamics round counter; trace holds
+	// the per-round welfare trace of the last maxTrace rounds, starting
+	// at global round traceBase. Both are in-memory only (a restarted
+	// server starts a fresh trace at round 1) and serve the streamed
+	// resume-from-round path.
+	rounds    int
+	trace     []api.RoundTrace
+	traceBase int
 
 	// seq (next event sequence number), moves and evictions are written
 	// under mu but read lock-free by Stats, so /statsz never blocks
@@ -77,11 +92,12 @@ func newSession(id string, g *bbncg.Game, d *bbncg.Digraph, rc bbncg.ResponderCh
 		game:        g,
 		d:           d,
 		resp:        rc,
-		lastBR:      make(map[int]bbncg.BestResponse),
+		lastBR:      make(map[int]api.BestResponseResult),
 		st:          st,
 		anchorEvery: anchorEvery,
 		poolBudget:  poolBudget,
 		wts:         wts,
+		traceBase:   1,
 	}
 	s.pool.Store(s.newPool())
 	s.seq.Store(seq)
@@ -196,61 +212,40 @@ func (s *Session) Rewire(player int, strategy []int, weight int32) (changed bool
 	return s.d.Gen() != gen, nil
 }
 
-// BestResponseAnswer is the wire form of a best-response query.
-type BestResponseAnswer struct {
-	Player    int    `json:"player"`
-	Responder string `json:"responder"`
-	Improves  bool   `json:"improves"`
-	Strategy  []int  `json:"strategy"`
-	Cost      int64  `json:"cost"`
-	Current   int64  `json:"current"`
-	Explored  int64  `json:"explored"`
-	// Memo reports that the whole scan was skipped by the round memo
-	// (the answer is the recorded one, still exact for this anchor).
-	Memo bool `json:"memo,omitempty"`
-}
-
 // BestResponse computes player u's best response without mutating the
 // session. responder may be "" for the session default; only default-
 // responder answers feed the memo (a different responder's answer must
 // not satisfy, or poison, the default's skip path).
-func (s *Session) BestResponse(u int, responder string, exactCap int64) (BestResponseAnswer, error) {
+func (s *Session) BestResponse(u int, responder string, exactCap int64) (api.BestResponseResult, error) {
 	rc := s.resp
 	if responder != "" && responder != s.resp.Name {
 		var err error
 		rc, err = bbncg.ResponderByName(responder, exactCap)
 		if err != nil {
-			return BestResponseAnswer{}, err
+			return api.BestResponseResult{}, err
 		}
 	}
 	if err := s.guard(); err != nil {
-		return BestResponseAnswer{}, err
+		return api.BestResponseResult{}, err
 	}
 	defer s.mu.Unlock()
 	if u < 0 || u >= s.game.N() {
-		return BestResponseAnswer{}, fmt.Errorf("serve: player %d out of range [0,%d)", u, s.game.N())
+		return api.BestResponseResult{}, fmt.Errorf("serve: player %d out of range [0,%d)", u, s.game.N())
 	}
 	if rc.Exact {
 		if err := bbncg.CheckExactSpace(s.game, u, rc.Cap); err != nil {
-			return BestResponseAnswer{}, err
+			return api.BestResponseResult{}, err
 		}
 	}
 	br, memo := s.bestResponseLocked(u, rc)
-	return BestResponseAnswer{
-		Player:    u,
-		Responder: rc.Name,
-		Improves:  br.Improves(),
-		Strategy:  append([]int{}, br.Strategy...),
-		Cost:      br.Cost,
-		Current:   br.Current,
-		Explored:  br.Explored,
-		Memo:      memo,
-	}, nil
+	br.Memo = memo
+	return br, nil
 }
 
 // bestResponseLocked runs one pooled scan, riding the memo when the
-// requested responder is the session default.
-func (s *Session) bestResponseLocked(u int, rc bbncg.ResponderChoice) (bbncg.BestResponse, bool) {
+// requested responder is the session default. The returned result has
+// Memo unset; the caller decides whether to surface the second return.
+func (s *Session) bestResponseLocked(u int, rc bbncg.ResponderChoice) (api.BestResponseResult, bool) {
 	pool := s.pool.Load()
 	def := rc.Name == s.resp.Name
 	if def && pool.SkipResponse(s.d, u) {
@@ -259,25 +254,23 @@ func (s *Session) bestResponseLocked(u int, rc bbncg.ResponderChoice) (bbncg.Bes
 		}
 	}
 	br := bbncg.PooledResponse(s.game, s.d, pool, u, rc.Cached, def)
+	ans := api.BestResponseResult{
+		Player:    u,
+		Responder: rc.Name,
+		Improves:  br.Improves(),
+		Strategy:  append([]int{}, br.Strategy...),
+		Cost:      br.Cost,
+		Current:   br.Current,
+		Explored:  br.Explored,
+	}
 	if def {
-		if br.Improves() {
+		if ans.Improves {
 			delete(s.lastBR, u)
 		} else {
-			s.lastBR[u] = br
+			s.lastBR[u] = ans
 		}
 	}
-	return br, false
-}
-
-// EquilibriumAnswer is the wire form of an equilibrium-status query.
-type EquilibriumAnswer struct {
-	Responder string `json:"responder"`
-	Stable    bool   `json:"stable"`
-	// Checked counts the players scanned (budget-0 players are stable
-	// by definition and skipped).
-	Checked int `json:"checked"`
-	// Witness is the first improving deviation found, when not stable.
-	Witness *BestResponseAnswer `json:"witness,omitempty"`
+	return ans, false
 }
 
 // Equilibrium scans every player for an improving move with the
@@ -285,38 +278,34 @@ type EquilibriumAnswer struct {
 // certify stability against that heuristic). The scan feeds the round
 // memo, so repeating it against an unchanged session is O(players)
 // memo hits with zero cache work.
-func (s *Session) Equilibrium(responder string, exactCap int64) (EquilibriumAnswer, error) {
+func (s *Session) Equilibrium(responder string, exactCap int64) (api.EquilibriumResult, error) {
 	rc := s.resp
 	if responder != "" && responder != s.resp.Name {
 		var err error
 		rc, err = bbncg.ResponderByName(responder, exactCap)
 		if err != nil {
-			return EquilibriumAnswer{}, err
+			return api.EquilibriumResult{}, err
 		}
 	}
 	if err := s.guard(); err != nil {
-		return EquilibriumAnswer{}, err
+		return api.EquilibriumResult{}, err
 	}
 	defer s.mu.Unlock()
-	ans := EquilibriumAnswer{Responder: rc.Name, Stable: true}
+	ans := api.EquilibriumResult{Responder: rc.Name, Stable: true}
 	for u := 0; u < s.game.N(); u++ {
 		if s.game.Budgets[u] == 0 {
 			continue
 		}
 		if rc.Exact {
 			if err := bbncg.CheckExactSpace(s.game, u, rc.Cap); err != nil {
-				return EquilibriumAnswer{}, err
+				return api.EquilibriumResult{}, err
 			}
 		}
 		br, _ := s.bestResponseLocked(u, rc)
 		ans.Checked++
-		if br.Improves() {
+		if br.Improves {
 			ans.Stable = false
-			ans.Witness = &BestResponseAnswer{
-				Player: u, Responder: rc.Name, Improves: true,
-				Strategy: append([]int{}, br.Strategy...),
-				Cost:     br.Cost, Current: br.Current, Explored: br.Explored,
-			}
+			ans.Witness = &br
 			break
 		}
 	}
@@ -325,40 +314,91 @@ func (s *Session) Equilibrium(responder string, exactCap int64) (EquilibriumAnsw
 
 // Welfare evaluates the current profile's social cost and per-player
 // costs, matrix-free.
-func (s *Session) Welfare() (bbncg.Welfare, error) {
+func (s *Session) Welfare() (api.WelfareResult, error) {
 	if err := s.guard(); err != nil {
-		return bbncg.Welfare{}, err
+		return api.WelfareResult{}, err
 	}
 	defer s.mu.Unlock()
-	if s.wts != nil {
-		return bbncg.WeightedWelfareOf(s.game, s.d, s.wts), nil
-	}
-	return bbncg.WelfareOf(s.game, s.d), nil
+	return s.welfareLocked(), nil
 }
 
-// DynamicsReport summarises served dynamics rounds.
-type DynamicsReport struct {
-	Rounds    int  `json:"rounds"`
-	Moves     int  `json:"moves"`
-	Converged bool `json:"converged"`
+func (s *Session) welfareLocked() api.WelfareResult {
+	var wf bbncg.Welfare
+	if s.wts != nil {
+		wf = bbncg.WeightedWelfareOf(s.game, s.d, s.wts)
+	} else {
+		wf = bbncg.WelfareOf(s.game, s.d)
+	}
+	return api.WelfareResult{Social: wf.Social, Costs: wf.Costs}
+}
+
+// socialLocked is the social cost alone (the per-round trace value),
+// weighted when the session is.
+func (s *Session) socialLocked() int64 {
+	if s.wts != nil {
+		return s.game.WeightedSocialCost(s.d, s.wts)
+	}
+	return s.game.SocialCost(s.d)
 }
 
 // Step runs up to rounds of sequential best-response dynamics with the
 // session responder, mutating the session. Each accepted move is
 // logged before it is applied — per-move crash safety — and rides the
 // warm pool exactly like dynamics.Run: settled rounds cost a memo hit
-// per player.
-func (s *Session) Step(rounds int) (DynamicsReport, error) {
+// per player. Every executed round appends one RoundTrace (round
+// number, moves, social cost) to the result AND to the session's
+// in-memory trace window, which streamed reconnects replay from.
+func (s *Session) Step(rounds int) (api.DynamicsResult, error) {
+	return s.step(rounds, 0, nil)
+}
+
+// StreamStep is Step for a streamed run: when from > 0 it first
+// re-emits every recorded trace entry with Round >= from (the
+// resume-from-round contract), then runs up to rounds new rounds,
+// calling emit as each completes. An emit error — the client
+// disconnected or the write failed — stops the run promptly at the
+// next round boundary; the moves already logged stay applied and
+// durable. The whole call holds the session lock, so replay and live
+// rounds are one atomic sequence with no interleaved mutations.
+func (s *Session) StreamStep(rounds, from int, emit func(api.RoundTrace) error) (api.DynamicsResult, error) {
+	return s.step(rounds, from, emit)
+}
+
+// TraceWindow reports the recorded trace bounds: the global round
+// number of the oldest recorded entry and of the next round to run.
+func (s *Session) TraceWindow() (base, next int, err error) {
 	if err := s.guard(); err != nil {
-		return DynamicsReport{}, err
+		return 0, 0, err
 	}
 	defer s.mu.Unlock()
+	return s.traceBase, s.rounds + 1, nil
+}
+
+func (s *Session) step(rounds, from int, emit func(api.RoundTrace) error) (api.DynamicsResult, error) {
+	if err := s.guard(); err != nil {
+		return api.DynamicsResult{}, err
+	}
+	defer s.mu.Unlock()
+	var rep api.DynamicsResult
+	if from > 0 {
+		if from < s.traceBase {
+			return rep, fmt.Errorf("serve: resume round %d predates the recorded trace (window starts at round %d)", from, s.traceBase)
+		}
+		for i := from - s.traceBase; i < len(s.trace); i++ {
+			if err := emit(s.trace[i]); err != nil {
+				return rep, err
+			}
+		}
+	}
 	if rounds <= 0 {
 		rounds = 1
 	}
-	var rep DynamicsReport
 	for r := 0; r < rounds; r++ {
+		if err := fault.Hit(siteDynamicsRound); err != nil {
+			return rep, err
+		}
 		changed := false
+		movesThisRound := 0
 		for u := 0; u < s.game.N(); u++ {
 			if s.game.Budgets[u] == 0 {
 				continue
@@ -369,20 +409,30 @@ func (s *Session) Step(rounds int) (DynamicsReport, error) {
 				}
 			}
 			br, _ := s.bestResponseLocked(u, s.resp)
-			if !br.Improves() {
+			if !br.Improves {
 				continue
 			}
 			if err := s.logMutation(u, br.Strategy, 0); err != nil {
 				return rep, err
 			}
 			s.applyMove(u, br.Strategy)
-			rep.Moves++
+			movesThisRound++
 			changed = true
 			if err := s.maybeAnchor(); err != nil {
 				return rep, err
 			}
 		}
-		rep.Rounds = r + 1
+		s.rounds++
+		rt := api.RoundTrace{Round: s.rounds, Moves: movesThisRound, Welfare: s.socialLocked()}
+		s.pushTraceLocked(rt)
+		rep.Rounds++
+		rep.Moves += movesThisRound
+		rep.Trace = append(rep.Trace, rt)
+		if emit != nil {
+			if err := emit(rt); err != nil {
+				return rep, err
+			}
+		}
 		if !changed {
 			rep.Converged = true
 			break
@@ -391,29 +441,24 @@ func (s *Session) Step(rounds int) (DynamicsReport, error) {
 	return rep, nil
 }
 
-// Info is the wire form of session metadata.
-type Info struct {
-	ID        string               `json:"id"`
-	N         int                  `json:"n"`
-	Version   string               `json:"version"`
-	Budgets   []int                `json:"budgets"`
-	Responder string               `json:"responder"`
-	Graph     *bbncg.GeneratorSpec `json:"graph,omitempty"`
-	Weights   *bbncg.WeightsSpec   `json:"weights,omitempty"`
-	Seq       int64                `json:"seq"`
-	Moves     int64                `json:"moves"`
-	Replayed  bool                 `json:"replayed,omitempty"`
-	Arcs      [][2]int             `json:"arcs,omitempty"`
+// pushTraceLocked appends one round to the bounded trace window.
+func (s *Session) pushTraceLocked(rt api.RoundTrace) {
+	if len(s.trace) >= maxTrace {
+		drop := len(s.trace) / 2
+		s.traceBase += drop
+		s.trace = append(s.trace[:0], s.trace[drop:]...)
+	}
+	s.trace = append(s.trace, rt)
 }
 
 // Info reports the session's metadata; withArcs includes the full
 // profile (the canonical comparison handle for replay tests).
-func (s *Session) Info(withArcs bool) (Info, error) {
+func (s *Session) Info(withArcs bool) (api.SessionInfo, error) {
 	if err := s.guard(); err != nil {
-		return Info{}, err
+		return api.SessionInfo{}, err
 	}
 	defer s.mu.Unlock()
-	info := Info{
+	info := api.SessionInfo{
 		ID:        s.id,
 		N:         s.game.N(),
 		Version:   s.game.Version.String(),
@@ -431,22 +476,11 @@ func (s *Session) Info(withArcs bool) (Info, error) {
 	return info, nil
 }
 
-// SessionStats is the wire form of one session's pool counters.
-type SessionStats struct {
-	ID        string          `json:"id"`
-	N         int             `json:"n"`
-	Seq       int64           `json:"seq"`
-	Moves     int64           `json:"moves"`
-	Evictions int64           `json:"evictions"`
-	PoolBytes int64           `json:"poolBytes"`
-	Pool      bbncg.PoolStats `json:"pool"`
-}
-
 // Stats snapshots the session's counters. Unlike the other accessors
 // it does not take the session lock — PoolStats and BytesUsed are
 // atomics — so /statsz never blocks behind a long-running query.
-func (s *Session) Stats() SessionStats {
-	return SessionStats{
+func (s *Session) Stats() api.SessionStats {
+	return api.SessionStats{
 		ID:        s.id,
 		N:         s.game.N(),
 		Seq:       s.seq.Load(),

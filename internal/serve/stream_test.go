@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/pkg/bbncg"
+	"repro/pkg/bbncg/api"
+)
+
+// sseEvent is one parsed server-sent event (or heartbeat comment).
+type sseEvent struct {
+	id      string
+	name    string
+	data    string
+	comment bool
+}
+
+// readSSE parses events off r until the stream ends or limit events
+// (comments excluded) have arrived; limit <= 0 reads to EOF.
+func readSSE(r *bufio.Reader, limit int) ([]sseEvent, error) {
+	var evs []sseEvent
+	cur := sseEvent{}
+	rounds := 0
+	flush := func() {
+		if cur.name != "" || cur.data != "" || cur.comment {
+			evs = append(evs, cur)
+			if !cur.comment {
+				rounds++
+			}
+		}
+		cur = sseEvent{}
+	}
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			flush()
+			return evs, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			flush()
+			if limit > 0 && rounds >= limit {
+				return evs, nil
+			}
+		case strings.HasPrefix(line, ": "):
+			cur.comment = true
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+}
+
+// streamDyn drives one streamed dynamics request and returns the raw
+// parsed events. lastEventID, when non-empty, is sent as the SSE
+// reconnect header.
+func streamDyn(t *testing.T, ctx context.Context, ts *httptest.Server, id string, req api.DynamicsRequest, lastEventID string, limit int) ([]sseEvent, *http.Response) {
+	t.Helper()
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/sessions/"+id+"/dynamics?stream=1", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		hr.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := ts.Client().Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content-type %q", ct)
+	}
+	evs, _ := readSSE(bufio.NewReader(resp.Body), limit)
+	return evs, resp
+}
+
+func dynSession(t *testing.T, m *Manager, id string, seed int64) *Session {
+	t.Helper()
+	s, err := m.Create(api.CreateRequest{ID: id, Graph: &bbncg.GeneratorSpec{Kind: "random", N: 14, B: 2, Seed: seed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStreamMatchesPlain is the byte-identity acceptance gate: twin
+// sessions from one seed, one run streamed and one plain, and the
+// concatenated round-event payloads must equal the plain response's
+// trace entries byte for byte.
+func TestStreamMatchesPlain(t *testing.T) {
+	ts, m := newTestServer(t, Options{})
+	plain := dynSession(t, m, "plain", 42)
+	dynSession(t, m, "stream", 42)
+
+	rep, err := plain.Step(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatal("plain run did not converge")
+	}
+
+	evs, resp := streamDyn(t, context.Background(), ts, "stream", api.DynamicsRequest{Rounds: 200}, "", 0)
+	resp.Body.Close()
+	var rounds []sseEvent
+	var done *sseEvent
+	for i, ev := range evs {
+		switch {
+		case ev.comment:
+		case ev.name == api.StreamEventRound:
+			rounds = append(rounds, ev)
+		case ev.name == api.StreamEventDone:
+			done = &evs[i]
+		default:
+			t.Fatalf("unexpected event %q: %s", ev.name, ev.data)
+		}
+	}
+	if done == nil {
+		t.Fatal("stream ended without a done event")
+	}
+	if len(rounds) != len(rep.Trace) {
+		t.Fatalf("streamed %d rounds, plain ran %d", len(rounds), len(rep.Trace))
+	}
+	for i, ev := range rounds {
+		want, err := json.Marshal(rep.Trace[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.data != string(want) {
+			t.Fatalf("round %d differs:\n stream %s\n plain  %s", i, ev.data, want)
+		}
+		if ev.id != fmt.Sprintf("%d", rep.Trace[i].Round) {
+			t.Fatalf("round %d carries id %q, want %d", i, ev.id, rep.Trace[i].Round)
+		}
+	}
+	var sum api.DynamicsResult
+	if err := json.Unmarshal([]byte(done.data), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Converged || sum.Rounds != rep.Rounds || sum.Moves != rep.Moves || sum.Trace != nil {
+		t.Fatalf("done summary %+v, plain %+v", sum, rep)
+	}
+}
+
+// TestStreamResume reconnects mid-run with Last-Event-ID: the union of
+// the two client views must equal an uninterrupted twin's full trace.
+func TestStreamResume(t *testing.T) {
+	ts, m := newTestServer(t, Options{})
+	twin := dynSession(t, m, "twin", 30)
+	dynSession(t, m, "res", 30)
+
+	rep, err := twin.Step(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged || len(rep.Trace) < 4 {
+		t.Fatalf("seed 30 settles in %d rounds; test wants >= 4", len(rep.Trace))
+	}
+
+	// First connection: read 2 rounds, then drop the client.
+	ctx, cancel := context.WithCancel(context.Background())
+	evs, resp := streamDyn(t, ctx, ts, "res", api.DynamicsRequest{Rounds: 200}, "", 2)
+	cancel()
+	resp.Body.Close()
+	seen := make(map[int]string)
+	lastID := ""
+	for _, ev := range evs {
+		if ev.name != api.StreamEventRound {
+			continue
+		}
+		var rt api.RoundTrace
+		if err := json.Unmarshal([]byte(ev.data), &rt); err != nil {
+			t.Fatal(err)
+		}
+		seen[rt.Round] = ev.data
+		lastID = ev.id
+	}
+	if lastID == "" {
+		t.Fatal("first connection saw no rounds")
+	}
+
+	// Give the server a moment to notice the cancel and release the
+	// session (cancellation lands at the next round boundary).
+	waitInFlightZero(t, ts)
+
+	// Reconnect where SSE clients do: Last-Event-ID = last seen id.
+	// Recorded rounds replay, then the run continues to convergence.
+	evs2, resp2 := streamDyn(t, context.Background(), ts, "res", api.DynamicsRequest{Rounds: 200}, lastID, 0)
+	resp2.Body.Close()
+	gotDone := false
+	for _, ev := range evs2 {
+		switch ev.name {
+		case api.StreamEventRound:
+			var rt api.RoundTrace
+			if err := json.Unmarshal([]byte(ev.data), &rt); err != nil {
+				t.Fatal(err)
+			}
+			if prev, dup := seen[rt.Round]; dup && prev != ev.data {
+				t.Fatalf("round %d replayed differently: %s vs %s", rt.Round, prev, ev.data)
+			}
+			seen[rt.Round] = ev.data
+		case api.StreamEventDone:
+			gotDone = true
+		case api.StreamEventError:
+			t.Fatalf("resume errored: %s", ev.data)
+		}
+	}
+	if !gotDone {
+		t.Fatal("resumed stream ended without done")
+	}
+	// The union must cover the twin's whole trace byte-for-byte. The
+	// resumed request may run extra rounds past convergence (a resume
+	// with rounds=200 runs new rounds like any Step on a settled
+	// session); those must be zero-move rounds at the final welfare.
+	if len(seen) < len(rep.Trace) {
+		t.Fatalf("union covers %d rounds, twin ran %d", len(seen), len(rep.Trace))
+	}
+	for _, rt := range rep.Trace {
+		want, err := json.Marshal(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[rt.Round] != string(want) {
+			t.Fatalf("round %d: union %s, twin %s", rt.Round, seen[rt.Round], want)
+		}
+	}
+	final := rep.Trace[len(rep.Trace)-1]
+	for round, data := range seen {
+		if round <= final.Round {
+			continue
+		}
+		var rt api.RoundTrace
+		if err := json.Unmarshal([]byte(data), &rt); err != nil {
+			t.Fatal(err)
+		}
+		if rt.Moves != 0 || rt.Welfare != final.Welfare {
+			t.Fatalf("post-convergence round %d moved: %s", round, data)
+		}
+	}
+
+	// A resume point older than the trace window is a plain 400.
+	hr, _ := http.NewRequest("POST", ts.URL+"/v1/sessions/res/dynamics?stream=1", strings.NewReader(`{"rounds":1,"from":-3}`))
+	badResp, err := ts.Client().Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer badResp.Body.Close()
+	if badResp.StatusCode != 400 {
+		t.Fatalf("negative from: %d", badResp.StatusCode)
+	}
+}
+
+// waitInFlightZero polls /statsz until the in-flight gauge drains —
+// the no-leak assertion behind disconnect cancellation.
+func waitInFlightZero(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var st api.StatsSnapshot
+		if code := call(t, ts, "GET", "/statsz", nil, &st); code != 200 {
+			t.Fatalf("statsz: %d", code)
+		}
+		if st.InFlight == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight gauge stuck at %d after disconnect", st.InFlight)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStreamDisconnectCancels drops the client mid-run while a delay
+// failpoint keeps rounds slow: the run must stop at the next round
+// boundary (gauge drains, session lock frees) instead of finishing the
+// requested 10k rounds.
+func TestStreamDisconnectCancels(t *testing.T) {
+	ts, m := newTestServer(t, Options{})
+	dynSession(t, m, "drop", 44)
+	fault.Install(fault.NewSet(fault.Rule{
+		Site: "serve.dynamics.round", Mode: fault.ModeDelay,
+		Delay: 20 * time.Millisecond, Sched: fault.Always(),
+	}))
+	defer fault.Disarm()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	_, resp := streamDyn(t, ctx, ts, "drop", api.DynamicsRequest{Rounds: 10000}, "", 1)
+	cancel()
+	resp.Body.Close()
+	waitInFlightZero(t, ts)
+	fault.Disarm()
+
+	// The session must be immediately usable — the abandoned run is not
+	// holding the lock or still burning rounds.
+	s, _ := m.Get("drop")
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Welfare()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("session lock still held after client disconnect")
+	}
+}
+
+// TestStreamHeartbeat paces rounds with the delay failpoint and a
+// near-zero heartbeat cadence: comment lines must appear between
+// round events.
+func TestStreamHeartbeat(t *testing.T) {
+	m := openManager(t, t.TempDir(), Options{})
+	ts := httptest.NewServer(NewServer(m, Config{HeartbeatEvery: time.Millisecond}))
+	t.Cleanup(ts.Close)
+	dynSession(t, m, "hb", 45)
+	fault.Install(fault.NewSet(fault.Rule{
+		Site: "serve.dynamics.round", Mode: fault.ModeDelay,
+		Delay: 30 * time.Millisecond, Sched: fault.Always(),
+	}))
+	defer fault.Disarm()
+
+	evs, resp := streamDyn(t, context.Background(), ts, "hb", api.DynamicsRequest{Rounds: 3}, "", 0)
+	resp.Body.Close()
+	beats := 0
+	for _, ev := range evs {
+		if ev.comment {
+			beats++
+		}
+	}
+	if beats == 0 {
+		t.Fatal("no heartbeats on a slow stream")
+	}
+}

@@ -5,10 +5,11 @@ import (
 	"testing"
 
 	"repro/pkg/bbncg"
+	"repro/pkg/bbncg/api"
 )
 
 // weightedRequest is the cycleRequest with a seeded weight recipe.
-func weightedRequest(id string) CreateRequest {
+func weightedRequest(id string) api.CreateRequest {
 	req := cycleRequest(id)
 	req.Weights = &bbncg.WeightsSpec{Seed: 7, Max: 9}
 	return req
@@ -45,7 +46,8 @@ func TestWeightedSessionLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := bbncg.WeightedWelfareOf(g, d, wts); !reflect.DeepEqual(wf, want) {
+	want := bbncg.WeightedWelfareOf(g, d, wts)
+	if wf.Social != want.Social || !reflect.DeepEqual(wf.Costs, want.Costs) {
 		t.Fatalf("served weighted welfare %+v, fresh %+v", wf, want)
 	}
 

@@ -1,0 +1,246 @@
+// Package client is the typed Go client of the bbncg session service:
+// one method per /v1 route, speaking exactly the pkg/bbncg/api wire
+// types the server marshals. Errors come back as *api.Error (the
+// decoded envelope, decorated with the HTTP status and Retry-After),
+// so callers branch on api codes instead of parsing bodies:
+//
+//	c := client.New("http://127.0.0.1:8080")
+//	info, err := c.CreateSession(ctx, api.CreateRequest{ID: "g", N: 6, Arcs: arcs})
+//	var apiErr *api.Error
+//	if errors.As(err, &apiErr) && apiErr.Code == api.CodeRateLimited { ... }
+//
+// StreamDynamics (stream.go) consumes the SSE variant of the dynamics
+// route, surfacing each round to a callback and handling reconnect
+// cursors via the round numbers it reports.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/pkg/bbncg/api"
+)
+
+// Client talks to one bbncg serve instance.
+type Client struct {
+	base string
+	hc   *http.Client
+	key  string
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithAPIKey sends key as X-Api-Key on every request — the quota
+// principal when the server enforces per-client limits.
+func WithAPIKey(key string) Option { return func(c *Client) { c.key = key } }
+
+// New builds a client for the server at base (e.g.
+// "http://127.0.0.1:8080"; a bare host:port gets http://).
+func New(base string, opts ...Option) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do runs one JSON round-trip: marshal in (when non-nil), decode the
+// 2xx body into out (when non-nil), decode everything else as the
+// error envelope.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.key != "" {
+		req.Header.Set("X-Api-Key", c.key)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeError(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into *api.Error, preserving the
+// envelope code and decorating it with the transport facts.
+func decodeError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil || env.Err.Code == "" {
+		env.Err = api.Error{
+			Code:    api.CodeInternal,
+			Message: fmt.Sprintf("http %d: %s", resp.StatusCode, strings.TrimSpace(string(raw))),
+		}
+	}
+	e := env.Err
+	e.Status = resp.StatusCode
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return &e
+}
+
+// Versions negotiates: GET /v1.
+func (c *Client) Versions(ctx context.Context) (api.VersionInfo, error) {
+	var vi api.VersionInfo
+	err := c.do(ctx, "GET", "/v1", nil, &vi)
+	return vi, err
+}
+
+// Health reports liveness: GET /healthz.
+func (c *Client) Health(ctx context.Context) (api.Health, error) {
+	var h api.Health
+	err := c.do(ctx, "GET", "/healthz", nil, &h)
+	return h, err
+}
+
+// Ready reports readiness: GET /readyz. A draining server answers 503,
+// which surfaces as *api.Error with Status 503.
+func (c *Client) Ready(ctx context.Context) (api.Ready, error) {
+	var rd api.Ready
+	err := c.do(ctx, "GET", "/readyz", nil, &rd)
+	return rd, err
+}
+
+// Stats snapshots every session's counters plus the server gauges:
+// GET /statsz.
+func (c *Client) Stats(ctx context.Context) (api.StatsSnapshot, error) {
+	var st api.StatsSnapshot
+	err := c.do(ctx, "GET", "/statsz", nil, &st)
+	return st, err
+}
+
+// CreateSession creates a session: POST /v1/sessions.
+func (c *Client) CreateSession(ctx context.Context, req api.CreateRequest) (api.SessionInfo, error) {
+	var info api.SessionInfo
+	err := c.do(ctx, "POST", "/v1/sessions", req, &info)
+	return info, err
+}
+
+// ListSessions lists every live session's stats: GET /v1/sessions.
+func (c *Client) ListSessions(ctx context.Context) ([]api.SessionStats, error) {
+	var ss []api.SessionStats
+	err := c.do(ctx, "GET", "/v1/sessions", nil, &ss)
+	return ss, err
+}
+
+// Session fetches one session's metadata: GET /v1/sessions/{id};
+// withArcs includes the full profile.
+func (c *Client) Session(ctx context.Context, id string, withArcs bool) (api.SessionInfo, error) {
+	path := "/v1/sessions/" + url.PathEscape(id)
+	if withArcs {
+		path += "?arcs=1"
+	}
+	var info api.SessionInfo
+	err := c.do(ctx, "GET", path, nil, &info)
+	return info, err
+}
+
+// DeleteSession tombstones a session: DELETE /v1/sessions/{id}.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	return c.do(ctx, "DELETE", "/v1/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+// Rewire posts one strategy change: POST /v1/sessions/{id}/rewire.
+func (c *Client) Rewire(ctx context.Context, id string, req api.RewireRequest) (api.RewireResult, error) {
+	var res api.RewireResult
+	err := c.do(ctx, "POST", "/v1/sessions/"+url.PathEscape(id)+"/rewire", req, &res)
+	return res, err
+}
+
+// BestResponse queries one player's best response:
+// GET /v1/sessions/{id}/bestresponse. responder "" and exactCap 0 take
+// the session defaults.
+func (c *Client) BestResponse(ctx context.Context, id string, player int, responder string, exactCap int64) (api.BestResponseResult, error) {
+	q := url.Values{"player": {strconv.Itoa(player)}}
+	if responder != "" {
+		q.Set("responder", responder)
+	}
+	if exactCap > 0 {
+		q.Set("exactCap", strconv.FormatInt(exactCap, 10))
+	}
+	var br api.BestResponseResult
+	err := c.do(ctx, "GET", "/v1/sessions/"+url.PathEscape(id)+"/bestresponse?"+q.Encode(), nil, &br)
+	return br, err
+}
+
+// Equilibrium checks stability: GET /v1/sessions/{id}/equilibrium.
+func (c *Client) Equilibrium(ctx context.Context, id, responder string, exactCap int64) (api.EquilibriumResult, error) {
+	q := url.Values{}
+	if responder != "" {
+		q.Set("responder", responder)
+	}
+	if exactCap > 0 {
+		q.Set("exactCap", strconv.FormatInt(exactCap, 10))
+	}
+	path := "/v1/sessions/" + url.PathEscape(id) + "/equilibrium"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var eq api.EquilibriumResult
+	err := c.do(ctx, "GET", path, nil, &eq)
+	return eq, err
+}
+
+// Welfare reports social cost and per-player costs:
+// GET /v1/sessions/{id}/welfare.
+func (c *Client) Welfare(ctx context.Context, id string) (api.WelfareResult, error) {
+	var wf api.WelfareResult
+	err := c.do(ctx, "GET", "/v1/sessions/"+url.PathEscape(id)+"/welfare", nil, &wf)
+	return wf, err
+}
+
+// Dynamics runs up to rounds of best-response dynamics, buffered:
+// POST /v1/sessions/{id}/dynamics. The result carries the full
+// per-round trace; use StreamDynamics to consume it incrementally.
+func (c *Client) Dynamics(ctx context.Context, id string, rounds int) (api.DynamicsResult, error) {
+	var rep api.DynamicsResult
+	err := c.do(ctx, "POST", "/v1/sessions/"+url.PathEscape(id)+"/dynamics", api.DynamicsRequest{Rounds: rounds}, &rep)
+	return rep, err
+}
+
+// Batch executes ops in one request: POST /v1/batch.
+func (c *Client) Batch(ctx context.Context, ops []api.BatchOp) (api.BatchResult, error) {
+	var res api.BatchResult
+	err := c.do(ctx, "POST", "/v1/batch", api.BatchRequest{Ops: ops}, &res)
+	return res, err
+}

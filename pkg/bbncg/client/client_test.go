@@ -1,0 +1,148 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/pkg/bbncg"
+	"repro/pkg/bbncg/api"
+)
+
+// testClient spins a full serve stack and a client over it.
+func testClient(t *testing.T, cfg serve.Config) (*Client, *serve.Manager) {
+	t.Helper()
+	m, err := serve.Open(t.TempDir(), serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	ts := httptest.NewServer(serve.NewServer(m, cfg))
+	t.Cleanup(ts.Close)
+	return New(ts.URL, WithHTTPClient(ts.Client()), WithAPIKey("test")), m
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	c, _ := testClient(t, serve.Config{})
+
+	vi, err := c.Versions(ctx)
+	if err != nil || vi.API != api.Version {
+		t.Fatalf("versions: %+v %v", vi, err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health: %+v %v", h, err)
+	}
+	rd, err := c.Ready(ctx)
+	if err != nil || !rd.Ready {
+		t.Fatalf("ready: %+v %v", rd, err)
+	}
+
+	info, err := c.CreateSession(ctx, api.CreateRequest{ID: "rt", Graph: &bbncg.GeneratorSpec{Kind: "random", N: 12, B: 2, Seed: 5}})
+	if err != nil || info.ID != "rt" || info.N != 12 {
+		t.Fatalf("create: %+v %v", info, err)
+	}
+
+	eq, err := c.Equilibrium(ctx, "rt", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq.Stable {
+		if _, err := c.Rewire(ctx, "rt", api.RewireRequest{Player: eq.Witness.Player, Strategy: eq.Witness.Strategy}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := c.Dynamics(ctx, "rt", 100)
+	if err != nil || !rep.Converged {
+		t.Fatalf("dynamics: %+v %v", rep, err)
+	}
+	br, err := c.BestResponse(ctx, "rt", 0, "", 0)
+	if err != nil || br.Improves {
+		t.Fatalf("settled best response improves: %+v %v", br, err)
+	}
+	wf, err := c.Welfare(ctx, "rt")
+	if err != nil || wf.Social <= 0 || len(wf.Costs) != 12 {
+		t.Fatalf("welfare: %+v %v", wf, err)
+	}
+	ss, err := c.ListSessions(ctx)
+	if err != nil || len(ss) != 1 || ss[0].ID != "rt" {
+		t.Fatalf("list: %+v %v", ss, err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil || len(st.Sessions) != 1 {
+		t.Fatalf("stats: %+v %v", st, err)
+	}
+
+	// Batch through the client.
+	res, err := c.Batch(ctx, []api.BatchOp{
+		{Session: "rt", Op: api.OpWelfare},
+		{Session: "rt", Op: api.OpEquilibrium},
+	})
+	if err != nil || len(res.Results) != 2 {
+		t.Fatalf("batch: %+v %v", res, err)
+	}
+	if res.Results[0].Welfare == nil || res.Results[0].Welfare.Social != wf.Social {
+		t.Fatalf("batch welfare: %+v", res.Results[0])
+	}
+
+	if err := c.DeleteSession(ctx, "rt"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Typed errors: a missing session is *api.Error with code not_found.
+	_, err = c.Welfare(ctx, "rt")
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound || apiErr.Status != 404 {
+		t.Fatalf("typed error: %v", err)
+	}
+}
+
+// TestClientStreamMatchesPlain mirrors the server-side byte-identity
+// gate through the client: the streamed rounds must marshal exactly as
+// the plain response's trace.
+func TestClientStreamMatchesPlain(t *testing.T) {
+	ctx := context.Background()
+	c, _ := testClient(t, serve.Config{})
+	spec := &bbncg.GeneratorSpec{Kind: "random", N: 14, B: 2, Seed: 42}
+	if _, err := c.CreateSession(ctx, api.CreateRequest{ID: "plain", Graph: spec}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(ctx, api.CreateRequest{ID: "stream", Graph: spec}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Dynamics(ctx, "plain", 200)
+	if err != nil || !rep.Converged {
+		t.Fatalf("plain: %+v %v", rep, err)
+	}
+	var rounds []api.RoundTrace
+	res, err := c.StreamDynamics(ctx, "stream", 200, 0, func(rt api.RoundTrace) error {
+		rounds = append(rounds, rt)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Summary.Converged || res.Summary.Moves != rep.Moves || res.Rounds != len(rep.Trace) {
+		t.Fatalf("stream summary %+v (%d rounds), plain %+v", res.Summary, res.Rounds, rep)
+	}
+	for i, rt := range rounds {
+		got, _ := json.Marshal(rt)
+		want, _ := json.Marshal(rep.Trace[i])
+		if string(got) != string(want) {
+			t.Fatalf("round %d: stream %s plain %s", i, got, want)
+		}
+	}
+	if res.NextFrom != rounds[len(rounds)-1].Round+1 {
+		t.Fatalf("NextFrom %d after round %d", res.NextFrom, rounds[len(rounds)-1].Round)
+	}
+
+	// Aborting from onRound surfaces the callback's error verbatim.
+	sentinel := errors.New("stop here")
+	if _, err := c.StreamDynamics(ctx, "stream", 5, 0, func(api.RoundTrace) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("onRound abort: %v", err)
+	}
+}

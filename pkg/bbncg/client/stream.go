@@ -1,0 +1,129 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/pkg/bbncg/api"
+)
+
+// ErrStreamTruncated reports a streamed dynamics connection that ended
+// before its terminal `done` event. The StreamResult returned alongside
+// it carries NextFrom — pass it to the next StreamDynamics call to
+// resume where the trace stopped.
+var ErrStreamTruncated = errors.New("client: dynamics stream ended before done")
+
+// StreamResult summarises one streamed dynamics connection.
+type StreamResult struct {
+	// Summary is the terminal done event (zero when the stream was
+	// truncated).
+	Summary api.DynamicsResult
+	// Rounds counts the round events delivered on THIS connection,
+	// replayed ones included.
+	Rounds int
+	// NextFrom is the resume cursor: one past the last round received.
+	// On truncation, pass it as from to the next call.
+	NextFrom int
+}
+
+// StreamDynamics consumes POST /v1/sessions/{id}/dynamics?stream=1:
+// onRound is called for every `round` event in order (replayed entries
+// first when from > 0), and the terminal `done` summary is returned.
+// Heartbeat comments are skipped. An onRound error aborts the stream
+// and is returned verbatim. When the connection dies mid-run the error
+// wraps ErrStreamTruncated and the result's NextFrom resumes the trace.
+func (c *Client) StreamDynamics(ctx context.Context, id string, rounds, from int, onRound func(api.RoundTrace) error) (StreamResult, error) {
+	var res StreamResult
+	res.NextFrom = from
+	raw, err := json.Marshal(api.DynamicsRequest{Rounds: rounds, From: from})
+	if err != nil {
+		return res, err
+	}
+	path := c.base + "/v1/sessions/" + url.PathEscape(id) + "/dynamics?stream=1"
+	req, err := http.NewRequestWithContext(ctx, "POST", path, bytes.NewReader(raw))
+	if err != nil {
+		return res, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "text/event-stream")
+	if c.key != "" {
+		req.Header.Set("X-Api-Key", c.key)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return res, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return res, decodeError(resp)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var event, data string
+	flush := func() (terminal bool, err error) {
+		ev, payload := event, data
+		event, data = "", ""
+		switch ev {
+		case "":
+			return false, nil // comment/heartbeat frame
+		case api.StreamEventRound:
+			var rt api.RoundTrace
+			if err := json.Unmarshal([]byte(payload), &rt); err != nil {
+				return false, fmt.Errorf("client: round event: %w", err)
+			}
+			res.Rounds++
+			res.NextFrom = rt.Round + 1
+			if onRound != nil {
+				if err := onRound(rt); err != nil {
+					return true, err
+				}
+			}
+			return false, nil
+		case api.StreamEventDone:
+			if err := json.Unmarshal([]byte(payload), &res.Summary); err != nil {
+				return false, fmt.Errorf("client: done event: %w", err)
+			}
+			return true, nil
+		case api.StreamEventError:
+			var env api.ErrorEnvelope
+			if err := json.Unmarshal([]byte(payload), &env); err != nil {
+				return false, fmt.Errorf("client: error event: %w", err)
+			}
+			e := env.Err
+			return true, &e
+		default:
+			return false, nil // unknown event kinds are skippable per SSE
+		}
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			terminal, err := flush()
+			if terminal {
+				return res, err
+			}
+			if err != nil {
+				return res, err
+			}
+		case len(line) > 7 && line[:7] == "event: ":
+			event = line[7:]
+		case len(line) > 6 && line[:6] == "data: ":
+			data = line[6:]
+			// id: lines are ignored — the round event's own Round field
+			// is the authoritative cursor.
+		}
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		return res, fmt.Errorf("%w: %w (resume with from=%d)", ErrStreamTruncated, err, res.NextFrom)
+	}
+	return res, fmt.Errorf("%w (resume with from=%d)", ErrStreamTruncated, res.NextFrom)
+}
